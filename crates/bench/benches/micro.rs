@@ -1,0 +1,208 @@
+//! Criterion microbenchmarks for the building blocks: SHA-1 hashing,
+//! UTS child generation, the chunked steal stack, the alias sampler and
+//! victim selectors, the discrete-event queue, the Chase–Lev deque, and
+//! a small end-to-end simulated experiment.
+//!
+//! These complement the `fig*` binaries (which regenerate the paper's
+//! charts): the figures measure *simulated* time; these measure the
+//! *host* cost of the primitives the simulator and the shared-memory
+//! executor are built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dws_core::{
+    run_experiment, AliasTable, ChunkedStack, ExperimentConfig, StealAmount, VictimPolicy,
+};
+use dws_simnet::{Actor, ConstantLatency, Ctx, DetRng, Rank, SimConfig, Simulation};
+use dws_topology::{Job, RankMapping};
+use dws_uts::{presets, sha1::Sha1, Node, RngState};
+use std::sync::Arc;
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [24usize, 64, 1024] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| Sha1::digest(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_uts_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uts");
+    let spec = presets::t3xxl().spec;
+    let root = spec.root(316);
+    g.bench_function("spawn_child", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(root.state.spawn(i, 1))
+        })
+    });
+    g.bench_function("children_of_root_b0_2000", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            spec.children_into(black_box(&root), 1, &mut buf);
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("sequential_search_xs_tree", |b| {
+        let w = presets::t3sim_xs();
+        b.iter(|| black_box(dws_uts::search(&w).nodes))
+    });
+    g.finish();
+}
+
+fn bench_chunked_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunked_stack");
+    let node = Node {
+        state: RngState::from_seed(1),
+        height: 0,
+    };
+    g.bench_function("push_pop_cycle", |b| {
+        let mut s = ChunkedStack::new(20);
+        b.iter(|| {
+            for _ in 0..100 {
+                s.push(black_box(node));
+            }
+            for _ in 0..100 {
+                black_box(s.pop());
+            }
+        })
+    });
+    g.bench_function("steal_half_of_100_chunks", |b| {
+        b.iter_with_setup(
+            || {
+                let mut s = ChunkedStack::new(20);
+                for _ in 0..2000 {
+                    s.push(node);
+                }
+                s
+            },
+            |mut s| {
+                let loot = s.steal_chunks(50);
+                black_box(loot.len())
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_victim_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("victim_selection");
+    let job = Arc::new(Job::compact(1024, RankMapping::OneToOne));
+    g.bench_function("alias_build_1024", |b| {
+        b.iter(|| {
+            let weights: Vec<f64> = (0..1023)
+                .map(|j| dws_core::skew_weight(&job, 0, j + 1, 1.0))
+                .collect();
+            black_box(AliasTable::new(&weights))
+        })
+    });
+    let policies = [
+        ("round_robin", VictimPolicy::RoundRobin),
+        ("uniform", VictimPolicy::Uniform),
+        ("skew_alias", VictimPolicy::DistanceSkewed { alpha: 1.0 }),
+    ];
+    for (name, policy) in policies {
+        let mut selector = policy.build(&job, 0, 2048);
+        let mut rng = DetRng::new(7);
+        g.bench_function(format!("draw_{name}"), |b| {
+            b.iter(|| black_box(selector.next_victim(&mut rng)))
+        });
+    }
+    let mut rejection = VictimPolicy::DistanceSkewed { alpha: 1.0 }.build(&job, 0, 0);
+    let mut rng = DetRng::new(7);
+    g.bench_function("draw_skew_rejection", |b| {
+        b.iter(|| black_box(rejection.next_victim(&mut rng)))
+    });
+    g.finish();
+}
+
+/// Actor ping-ponging a counter, to measure raw engine throughput.
+struct Pinger {
+    left: u64,
+}
+impl Actor for Pinger {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if ctx.me() == 0 {
+            ctx.send(1, 8, self.left);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: Rank, msg: u64) {
+        if msg > 0 {
+            ctx.send(from, 8, msg - 1);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _t: u64) {}
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_throughput_10k_messages", |b| {
+        b.iter(|| {
+            let actors = vec![Pinger { left: 10_000 }, Pinger { left: 0 }];
+            let mut sim = Simulation::new(actors, ConstantLatency(100), SimConfig::default());
+            black_box(sim.run().events)
+        })
+    });
+    g.finish();
+}
+
+fn bench_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chase_lev");
+    g.bench_function("owner_push_pop", |b| {
+        let (w, _s) = dws_shmem::new_deque::<u64>(1024);
+        b.iter(|| {
+            for i in 0..64u64 {
+                w.push(black_box(i));
+            }
+            for _ in 0..64 {
+                black_box(w.pop());
+            }
+        })
+    });
+    g.bench_function("uncontended_steal", |b| {
+        let (w, s) = dws_shmem::new_deque::<u64>(1024);
+        for i in 0..1_000_000u64 {
+            if i % 64 == 0 {
+                w.push(i);
+            }
+        }
+        b.iter(|| black_box(s.steal()))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("simulated_16_ranks_xs_tree", |b| {
+        b.iter(|| {
+            let mut cfg = ExperimentConfig::new(presets::t3sim_xs(), 16)
+                .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+                .with_steal(StealAmount::Half);
+            cfg.collect_trace = false;
+            black_box(run_experiment(&cfg).total_nodes)
+        })
+    });
+    g.bench_function("threads_4_xs_tree", |b| {
+        b.iter(|| black_box(dws_shmem::parallel_search(&presets::t3sim_xs(), 4).stats.nodes))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_uts_generation,
+    bench_chunked_stack,
+    bench_victim_selection,
+    bench_engine,
+    bench_deque,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: chunk size. The paper fixes 20 nodes per chunk, citing
+//! prior UTS studies; this sweep revisits the tradeoff — large chunks
+//! amortize steal costs but hide work behind the private chunk.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    for chunk in [5usize, 10, 20, 50, 100] {
+        for name in ["Rand", "Tofu Half"] {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.chunk_size = chunk;
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                chunk.to_string(),
+                name.to_string(),
+                f(r.perf.speedup(), 1),
+                f(
+                    r.stats.total().nodes_received as f64
+                        / r.stats.total().steals_ok.max(1) as f64,
+                    1,
+                ),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_chunk_size",
+        "Chunk size sweep",
+        &["chunk_size", "strategy", "speedup", "nodes_per_steal"],
+        &rows,
+        None,
+    );
+}

@@ -1,0 +1,43 @@
+//! Ablation: flat network. With every pair of nodes equidistant, the
+//! distance-skewed selection degenerates to uniform random, so the
+//! Tofu-vs-Rand gap must vanish — a consistency check that the gap
+//! observed on the Tofu topology really comes from latency structure.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs};
+use dws_topology::LatencyParams;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    for (net, latency) in [
+        ("tofu", LatencyParams::default()),
+        ("flat", LatencyParams::flat(8_000)),
+    ] {
+        for name in ["Rand", "Tofu"] {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.latency = latency.clone();
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                net.to_string(),
+                name.to_string(),
+                f(r.perf.speedup(), 1),
+                f(r.stats.avg_session_ns() / 1000.0, 1),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_flat_network",
+        "Flat vs Tofu network: skew only helps when latency has structure",
+        &["network", "strategy", "speedup", "avg_session_us"],
+        &rows,
+        None,
+    );
+}

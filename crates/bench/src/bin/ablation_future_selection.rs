@@ -1,0 +1,55 @@
+//! Extension experiment (paper §VII future work): alternative victim
+//! selection strategies beyond the paper's three —
+//!
+//! - `LatSkew`: weight by inverse *modelled latency* rather than
+//!   coordinate distance (sees blade/cube/rack structure and same-node
+//!   transport, not just geometry);
+//! - `Hier`: two-level hierarchical selection (burst of same-node
+//!   attempts, then a global draw), the scheme the related-work section
+//!   contrasts against.
+//!
+//! Compared under 1/N (no node mates — Hier degenerates to Rand) and
+//! 8G (8 node mates each).
+
+use dws_bench::{emit, f, run_logged, FigArgs};
+use dws_core::{StealAmount, VictimPolicy};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let policies: [(&str, VictimPolicy); 4] = [
+        ("Rand", VictimPolicy::Uniform),
+        ("Tofu", VictimPolicy::DistanceSkewed { alpha: 1.0 }),
+        ("LatSkew", VictimPolicy::LatencySkewed { alpha: 1.0 }),
+        ("Hier(4)", VictimPolicy::Hierarchical { local_tries: 4 }),
+    ];
+    let mut rows = Vec::new();
+    for mapping in [RankMapping::OneToOne, RankMapping::Grouped { ppn: 8 }] {
+        for (name, victim) in policies {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(StealAmount::Half)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                name.to_string(),
+                mapping.label(),
+                f(r.perf.speedup(), 1),
+                f(r.stats.avg_session_ns() / 1000.0, 0),
+                r.stats.failed_steals().to_string(),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_future_selection",
+        "Extended victim-selection strategies (all steal-half)",
+        &["policy", "mapping", "speedup", "session_us", "failed_steals"],
+        &rows,
+        None,
+    );
+}

@@ -1,0 +1,56 @@
+//! Extension experiment: lifeline-based load balancing (Saraswat et
+//! al., the paper's §VI comparison point) versus pure work stealing.
+//!
+//! "After the number of steal attempts exceeds a threshold, idle
+//! workers wait for their lifelines to provide work, thus limiting the
+//! lock and network contention in the system." This sweep measures how
+//! the dormancy threshold trades steal-spam reduction against wake-up
+//! latency, on top of the Rand and Tofu strategies.
+
+use dws_bench::{emit, f, run_logged, FigArgs};
+use dws_core::{StealAmount, VictimPolicy};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    for victim in [
+        VictimPolicy::Uniform,
+        VictimPolicy::DistanceSkewed { alpha: 1.0 },
+    ] {
+        for threshold in [None, Some(4u32), Some(16), Some(64)] {
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(StealAmount::Half);
+            cfg.lifeline_threshold = threshold;
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            let t = r.stats.total();
+            rows.push(vec![
+                victim.label().to_string(),
+                threshold.map_or("off".to_string(), |t| t.to_string()),
+                f(r.perf.speedup(), 1),
+                t.steals_failed.to_string(),
+                t.lifeline_dormancies.to_string(),
+                t.lifeline_pushes.to_string(),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_lifelines",
+        "Lifeline threshold sweep (steal-half)",
+        &[
+            "victim",
+            "threshold",
+            "speedup",
+            "failed_steals",
+            "dormancies",
+            "pushed_chunks",
+        ],
+        &rows,
+        None,
+    );
+}

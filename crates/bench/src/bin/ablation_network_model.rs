@@ -1,0 +1,41 @@
+//! Ablation: contention model fidelity. The default network folds path
+//! contention into a per-hop constant plus shared-NIC queueing
+//! (mean-field); the link-level model routes every message over its
+//! dimension-ordered path and queues at each directed link. If the
+//! paper's qualitative orderings hold under both, they do not hinge on
+//! the contention shortcut.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    for (model, link_level) in [("mean-field", None), ("link-level", Some((1_000u64, 800u64)))] {
+        for name in ["Reference", "Rand", "Tofu Half"] {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.link_level_network = link_level;
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                model.to_string(),
+                name.to_string(),
+                f(r.perf.speedup(), 1),
+                f(r.stats.avg_session_ns() / 1000.0, 0),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_network_model",
+        "Mean-field vs link-level contention model",
+        &["model", "strategy", "speedup", "session_us"],
+        &rows,
+        None,
+    );
+}

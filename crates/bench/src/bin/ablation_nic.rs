@@ -1,0 +1,40 @@
+//! Ablation: per-node NIC contention on/off, across rank mappings.
+//! With the shared-NIC model disabled, packing 8 ranks per node looks
+//! free (the 8-rank job is physically smaller); with it enabled, the
+//! paper's observation that one rank per node wins at scale emerges.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs, MAPPINGS};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 512 };
+    let mut rows = Vec::new();
+    for (nic, occupancy) in [("on", 2_000u64), ("off", 0)] {
+        for mapping in MAPPINGS {
+            let (victim, steal) = strategy("Rand");
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(*mapping);
+            cfg.nic_occupancy_ns = occupancy;
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                nic.to_string(),
+                mapping.label(),
+                r.n_ranks.to_string(),
+                f(r.perf.speedup(), 1),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_nic",
+        "Shared-NIC contention vs rank mapping (Rand)",
+        &["nic", "mapping", "ranks", "speedup"],
+        &rows,
+        None,
+    );
+}

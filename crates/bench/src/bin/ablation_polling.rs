@@ -1,0 +1,39 @@
+//! Ablation: message-polling interval. The reference UTS polls every
+//! iteration; we batch expansions between polls to bound simulator
+//! event counts. This sweep shows how the choice trades victim
+//! responsiveness against (simulated) per-poll overhead.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    for poll in [1u32, 2, 4, 8, 16, 32] {
+        for name in ["Reference", "Rand"] {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.poll_interval = poll;
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                poll.to_string(),
+                name.to_string(),
+                f(r.perf.speedup(), 1),
+                r.stats.failed_steals().to_string(),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_polling",
+        "Polling interval sweep",
+        &["poll_interval", "strategy", "speedup", "failed_steals"],
+        &rows,
+        None,
+    );
+}

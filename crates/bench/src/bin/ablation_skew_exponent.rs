@@ -1,0 +1,37 @@
+//! Ablation: skew exponent. The paper weights victims by 1/e (alpha=1).
+//! In a 6-D torus, node count grows ~e^5 with distance, so alpha=1
+//! concentrates only mildly; this sweep extends the paper by asking how
+//! much concentration actually helps (and when it over-concentrates,
+//! starving thieves of distant work).
+
+use dws_bench::{emit, f, run_logged, FigArgs};
+use dws_core::{StealAmount, VictimPolicy};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = args.flagship_ranks();
+    let mut rows = Vec::new();
+    for alpha in [0.0f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut cfg = args
+            .config(tree.clone(), ranks)
+            .with_victim(VictimPolicy::DistanceSkewed { alpha })
+            .with_steal(StealAmount::Half);
+        cfg.collect_trace = false;
+        let r = run_logged(&cfg);
+        rows.push(vec![
+            format!("{alpha}"),
+            f(r.perf.speedup(), 1),
+            f(r.stats.avg_session_ns() / 1000.0, 1),
+            r.stats.failed_steals().to_string(),
+        ]);
+    }
+    emit(
+        &args,
+        "ablation_skew_exponent",
+        "Skew exponent sweep (Tofu Half, 1/N)",
+        &["alpha", "speedup", "avg_session_us", "failed_steals"],
+        &rows,
+        None,
+    );
+}

@@ -1,0 +1,43 @@
+//! Ablation: alias-table vs rejection sampling for the skewed victim
+//! draw. Both realize the same distribution; the alias table costs
+//! O(N) memory per rank (prohibitive at 8,192 ranks), rejection costs
+//! O(1) memory and a few extra RNG draws. Results must agree.
+
+use dws_bench::{emit, f, run_logged, FigArgs};
+use dws_core::{StealAmount, VictimPolicy};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = if args.full { 1024 } else { 256 };
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (impl_name, threshold) in [("alias", u32::MAX), ("rejection", 0u32)] {
+        let mut cfg = args
+            .config(tree.clone(), ranks)
+            .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+            .with_steal(StealAmount::Half);
+        cfg.alias_threshold = threshold;
+        cfg.collect_trace = false;
+        let wall = std::time::Instant::now();
+        let r = run_logged(&cfg);
+        let wall = wall.elapsed();
+        speedups.push(r.perf.speedup());
+        rows.push(vec![
+            impl_name.to_string(),
+            f(r.perf.speedup(), 2),
+            r.stats.failed_steals().to_string(),
+            format!("{wall:.2?}"),
+        ]);
+    }
+    let gap = (speedups[0] - speedups[1]).abs() / speedups[0];
+    println!("relative speedup gap between samplers: {:.2}%", gap * 100.0);
+    emit(
+        &args,
+        "ablation_skew_impl",
+        "Alias vs rejection sampling for the skewed draw",
+        &["sampler", "speedup", "failed_steals", "wall_time"],
+        &rows,
+        None,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 2: efficiency of the reference implementation, 8–128 ranks,
+//! under the three process allocations (1/N, 8RR, 8G), on T3XXL.
+
+use dws_bench::{chart, emit, f, run_logged, FigArgs, MAPPINGS};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.small_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for mapping in MAPPINGS {
+        let mut pts = Vec::new();
+        for &ranks in &args.small_ranks() {
+            let n_nodes = ranks / mapping.ppn();
+            if n_nodes == 0 {
+                continue;
+            }
+            let mut cfg = args.config(tree.clone(), n_nodes).with_mapping(*mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                format!("Reference {}", mapping.label()),
+                r.n_ranks.to_string(),
+                f(r.perf.efficiency(), 4),
+                f(r.makespan.as_secs_f64(), 4),
+            ]);
+            pts.push((r.n_ranks as f64, r.perf.efficiency()));
+        }
+        series.push((format!("Reference {}", mapping.label()), pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig02",
+        "Efficiency of the reference implementation, 8-128 ranks",
+        &["config", "ranks", "efficiency", "makespan_s"],
+        &rows,
+        Some(chart("efficiency vs ranks", &refs)),
+    );
+}

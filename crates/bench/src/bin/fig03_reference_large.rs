@@ -1,0 +1,38 @@
+//! Figure 3: speedup of the reference implementation at large scale
+//! (paper: 1,024–8,192 ranks on T3WL) under the three allocations.
+
+use dws_bench::{chart, emit, f, run_logged, FigArgs, MAPPINGS};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for mapping in MAPPINGS {
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let n_nodes = ranks / mapping.ppn();
+            let mut cfg = args.config(tree.clone(), n_nodes).with_mapping(*mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                format!("Reference {}", mapping.label()),
+                r.n_ranks.to_string(),
+                f(r.perf.speedup(), 1),
+                f(r.makespan.as_secs_f64(), 4),
+            ]);
+            pts.push((r.n_ranks as f64, r.perf.speedup()));
+        }
+        series.push((format!("Reference {}", mapping.label()), pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig03",
+        "Speedup of the reference implementation at large scale",
+        &["config", "ranks", "speedup", "makespan_s"],
+        &rows,
+        Some(chart("speedup vs ranks", &refs)),
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 4: starting and ending latencies of the reference
+//! implementation at 128 ranks (1/N): both stay tiny — the scheduler
+//! fills and drains the machine almost instantly at small scale.
+
+use dws_bench::{chart, emit, f, run_logged, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let cfg = args.config(args.small_tree(), 128);
+    let r = run_logged(&cfg);
+    let occ = r.occupancy().expect("trace collected by default");
+    let mut rows = Vec::new();
+    let mut sl_pts = Vec::new();
+    let mut el_pts = Vec::new();
+    for (pct, sl, el) in occ.latency_series(90) {
+        let (Some(sl), Some(el)) = (sl, el) else { continue };
+        rows.push(vec![
+            pct.to_string(),
+            f(sl * 100.0, 3),
+            f(el * 100.0, 3),
+        ]);
+        sl_pts.push((pct as f64, sl * 100.0));
+        el_pts.push((pct as f64, el * 100.0));
+    }
+    println!("Wmax = {} of {} ranks", occ.w_max(), occ.n_ranks());
+    emit(
+        &args,
+        "fig04",
+        "Starting/ending latency, Reference 1/N, 128 ranks",
+        &["occupancy_%", "SL_%runtime", "EL_%runtime"],
+        &rows,
+        Some(chart(
+            "latency (% of runtime) vs occupancy (%)",
+            &[("SL", sl_pts), ("EL", el_pts)],
+        )),
+    );
+}

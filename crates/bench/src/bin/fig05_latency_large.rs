@@ -1,0 +1,40 @@
+//! Figure 5: starting and ending latencies of the reference
+//! implementation at the largest scale — the paper's smoking gun: the
+//! scheduler "struggles to provide work to most workers" (their 8,192
+//! rank run never exceeded 43% occupancy).
+
+use dws_bench::{chart, emit, f, run_logged, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let cfg = args.config(args.large_tree(), args.flagship_ranks());
+    let r = run_logged(&cfg);
+    let occ = r.occupancy().expect("trace collected by default");
+    let wmax_pct = 100.0 * occ.w_max() as f64 / occ.n_ranks() as f64;
+    println!(
+        "Wmax = {} of {} ranks ({:.1}% peak occupancy)",
+        occ.w_max(),
+        occ.n_ranks(),
+        wmax_pct
+    );
+    let mut rows = Vec::new();
+    let mut sl_pts = Vec::new();
+    let mut el_pts = Vec::new();
+    for (pct, sl, el) in occ.latency_series(wmax_pct as u32) {
+        let (Some(sl), Some(el)) = (sl, el) else { continue };
+        rows.push(vec![pct.to_string(), f(sl * 100.0, 2), f(el * 100.0, 2)]);
+        sl_pts.push((pct as f64, sl * 100.0));
+        el_pts.push((pct as f64, el * 100.0));
+    }
+    emit(
+        &args,
+        "fig05",
+        "Starting/ending latency, Reference 1/N, largest scale",
+        &["occupancy_%", "SL_%runtime", "EL_%runtime"],
+        &rows,
+        Some(chart(
+            "latency (% of runtime) vs occupancy (%)",
+            &[("SL", sl_pts), ("EL", el_pts)],
+        )),
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 6: speedup with uniform random victim selection ("Rand")
+//! under the three allocations, with Reference 1/N for comparison.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> =
+        vec![("Reference 1/N".into(), "Reference", RankMapping::OneToOne)];
+    for m in MAPPINGS {
+        configs.push((format!("Rand {}", m.label()), "Rand", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                label.clone(),
+                r.n_ranks.to_string(),
+                f(r.perf.speedup(), 1),
+            ]);
+            pts.push((r.n_ranks as f64, r.perf.speedup()));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig06",
+        "Speedup with random victim selection",
+        &["config", "ranks", "speedup"],
+        &rows,
+        Some(chart("speedup vs ranks", &refs)),
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 7: number of failed steals — random selection vs the
+//! reference, across allocations. Fewer failed steals track better
+//! performance.
+
+use dws_bench::{chart, emit, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> =
+        vec![("Reference 1/N".into(), "Reference", RankMapping::OneToOne)];
+    for m in MAPPINGS {
+        configs.push((format!("Rand {}", m.label()), "Rand", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            let failed = r.stats.failed_steals();
+            rows.push(vec![label.clone(), r.n_ranks.to_string(), failed.to_string()]);
+            pts.push((r.n_ranks as f64, failed as f64));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig07",
+        "Failed steals: random vs reference selection",
+        &["config", "ranks", "failed_steals"],
+        &rows,
+        Some(chart("failed steals vs ranks", &refs)),
+    );
+}

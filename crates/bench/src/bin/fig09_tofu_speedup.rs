@@ -1,0 +1,49 @@
+//! Figure 9: speedup with the distance-skewed ("Tofu") selection under
+//! the three allocations, with Rand 1/N and Rand 8G for reference.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> = vec![
+        ("Rand 8G".into(), "Rand", RankMapping::Grouped { ppn: 8 }),
+        ("Rand 1/N".into(), "Rand", RankMapping::OneToOne),
+    ];
+    for m in MAPPINGS {
+        configs.push((format!("Tofu {}", m.label()), "Tofu", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                label.clone(),
+                r.n_ranks.to_string(),
+                f(r.perf.speedup(), 1),
+            ]);
+            pts.push((r.n_ranks as f64, r.perf.speedup()));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig09",
+        "Speedup with distance-skewed victim selection",
+        &["config", "ranks", "speedup"],
+        &rows,
+        Some(chart("speedup vs ranks", &refs)),
+    );
+}

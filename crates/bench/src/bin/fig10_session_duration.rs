@@ -1,0 +1,47 @@
+//! Figure 10: average duration of a work-discovery session (a session
+//! starts when a rank exhausts its work and ends when work arrives or
+//! the run terminates). Topology-aware selection finds work faster.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> = vec![
+        ("Reference 1/N".into(), "Reference", RankMapping::OneToOne),
+        ("Rand 1/N".into(), "Rand", RankMapping::OneToOne),
+    ];
+    for m in MAPPINGS {
+        configs.push((format!("Tofu {}", m.label()), "Tofu", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            let ms = r.stats.avg_session_ns() / 1e6;
+            rows.push(vec![label.clone(), r.n_ranks.to_string(), f(ms, 3)]);
+            pts.push((r.n_ranks as f64, ms));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig10",
+        "Average work-discovery session duration (ms)",
+        &["config", "ranks", "avg_session_ms"],
+        &rows,
+        Some(chart("session duration (ms) vs ranks", &refs)),
+    );
+}

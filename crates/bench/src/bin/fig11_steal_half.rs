@@ -1,0 +1,41 @@
+//! Figure 11: speedup of the half-stealing variants (all 1/N). The
+//! paper's headline: skewed selection + steal-half restores scaling and
+//! beats the original by ~3x at its largest scale.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for name in ["Reference", "Reference Half", "Tofu", "Rand Half", "Tofu Half"] {
+        let (victim, steal) = strategy(name);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            rows.push(vec![
+                format!("{name} 1/N"),
+                r.n_ranks.to_string(),
+                f(r.perf.speedup(), 1),
+            ]);
+            pts.push((r.n_ranks as f64, r.perf.speedup()));
+        }
+        series.push((format!("{name} 1/N"), pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig11",
+        "Speedup of half-stealing variants (1/N)",
+        &["config", "ranks", "speedup"],
+        &rows,
+        Some(chart("speedup vs ranks", &refs)),
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 13: ending latencies, Reference vs Tofu-Half, at the largest
+//! scale (1/N): the optimized scheduler keeps occupancy high until
+//! late in the execution.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks = args.flagship_ranks();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for name in ["Reference", "Tofu Half"] {
+        let (victim, steal) = strategy(name);
+        let cfg = args
+            .config(tree.clone(), ranks)
+            .with_victim(victim)
+            .with_steal(steal);
+        let r = run_logged(&cfg);
+        let occ = r.occupancy().expect("trace collected");
+        let wmax_pct = (100 * occ.w_max() / occ.n_ranks()).max(1);
+        let mut pts = Vec::new();
+        for (pct, _, el) in occ.latency_series(wmax_pct) {
+            let Some(el) = el else { continue };
+            rows.push(vec![name.to_string(), pct.to_string(), f(el * 100.0, 2)]);
+            pts.push((pct as f64, el * 100.0));
+        }
+        series.push((name.to_string(), pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig13",
+        "Ending latencies: Reference vs Tofu Half (1/N)",
+        &["config", "occupancy_%", "EL_%runtime"],
+        &rows,
+        Some(chart("EL (% of runtime) vs occupancy (%)", &refs)),
+    );
+}

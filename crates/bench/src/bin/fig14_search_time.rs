@@ -1,0 +1,45 @@
+//! Figure 14: average per-rank search time (total time waiting for
+//! steal answers) — the original vs skewed-selection-with-half-steal
+//! across allocations.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> =
+        vec![("Reference 1/N".into(), "Reference", RankMapping::OneToOne)];
+    for m in MAPPINGS {
+        configs.push((format!("Tofu Half {}", m.label()), "Tofu Half", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            let secs = r.stats.avg_search_ns() / 1e9;
+            rows.push(vec![label.clone(), r.n_ranks.to_string(), f(secs * 1e3, 3)]);
+            pts.push((r.n_ranks as f64, secs * 1e3));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig14",
+        "Average per-rank search time (ms)",
+        &["config", "ranks", "avg_search_ms"],
+        &rows,
+        Some(chart("search time (ms) vs ranks", &refs)),
+    );
+}

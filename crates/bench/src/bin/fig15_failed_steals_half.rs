@@ -1,0 +1,44 @@
+//! Figure 15: failed steals — the original vs Tofu-Half across
+//! allocations. Better work distribution means fewer negative answers.
+
+use dws_bench::{chart, emit, run_logged, strategy, FigArgs, MAPPINGS};
+use dws_topology::RankMapping;
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let mut rows = Vec::new();
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut configs: Vec<(String, &str, RankMapping)> =
+        vec![("Reference 1/N".into(), "Reference", RankMapping::OneToOne)];
+    for m in MAPPINGS {
+        configs.push((format!("Tofu Half {}", m.label()), "Tofu Half", *m));
+    }
+    for (label, strat, mapping) in configs {
+        let (victim, steal) = strategy(strat);
+        let mut pts = Vec::new();
+        for &ranks in &args.large_ranks() {
+            let mut cfg = args
+                .config(tree.clone(), ranks / mapping.ppn())
+                .with_victim(victim)
+                .with_steal(steal)
+                .with_mapping(mapping);
+            cfg.collect_trace = false;
+            let r = run_logged(&cfg);
+            let failed = r.stats.failed_steals();
+            rows.push(vec![label.clone(), r.n_ranks.to_string(), failed.to_string()]);
+            pts.push((r.n_ranks as f64, failed as f64));
+        }
+        series.push((label, pts));
+    }
+    let refs: Vec<(&str, Vec<(f64, f64)>)> =
+        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    emit(
+        &args,
+        "fig15",
+        "Failed steals: Reference vs Tofu Half",
+        &["config", "ranks", "failed_steals"],
+        &rows,
+        Some(chart("failed steals vs ranks", &refs)),
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 16: runtime improvement of Rand-Half and Tofu-Half over
+//! Reference-Half as per-node work granularity grows (SHA rounds per
+//! node creation). As each steal carries more compute time, the
+//! latency-awareness advantage shrinks.
+
+use dws_bench::{chart, emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let ranks = args.flagship_ranks();
+    let rounds = [1u32, 2, 4, 8, 16, 24];
+    let mut rows = Vec::new();
+    let mut rand_pts = Vec::new();
+    let mut tofu_pts = Vec::new();
+    for &g in &rounds {
+        let tree = args.large_tree().with_gen_rounds(g);
+        let runtime = |name: &str| {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.collect_trace = false;
+            run_logged(&cfg).makespan.ns() as f64
+        };
+        let base = runtime("Reference Half");
+        let rand = runtime("Rand Half");
+        let tofu = runtime("Tofu Half");
+        let rand_improv = 100.0 * (base - rand) / base;
+        let tofu_improv = 100.0 * (base - tofu) / base;
+        rows.push(vec![
+            g.to_string(),
+            f(rand_improv, 2),
+            f(tofu_improv, 2),
+        ]);
+        rand_pts.push((g as f64, rand_improv));
+        tofu_pts.push((g as f64, tofu_improv));
+    }
+    emit(
+        &args,
+        "fig16",
+        "Runtime improvement over Reference Half vs work granularity",
+        &["sha_rounds", "rand_half_improv_%", "tofu_half_improv_%"],
+        &rows,
+        Some(chart(
+            "improvement (%) vs SHA rounds",
+            &[("Rand Half", rand_pts), ("Tofu Half", tofu_pts)],
+        )),
+    );
+}

@@ -1,0 +1,46 @@
+//! Full-scale spot check: the paper's literal rank counts for the three
+//! headline configurations. Slow (minutes per run) — this is the
+//! deep-starvation regime where the strategy gaps are largest.
+//!
+//! Not part of the default suite; run explicitly:
+//! `cargo run --release -p dws-bench --bin fullscale_spotcheck`
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.large_tree();
+    let ranks: &[u32] = if args.full {
+        &[2048, 4096, 8192]
+    } else {
+        &[1024, 2048, 4096]
+    };
+    let mut rows = Vec::new();
+    for &r in ranks {
+        for name in ["Reference", "Rand", "Tofu Half"] {
+            let (victim, steal) = strategy(name);
+            let mut cfg = args
+                .config(tree.clone(), r)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.collect_trace = false;
+            let res = run_logged(&cfg);
+            let t = res.stats.total();
+            rows.push(vec![
+                name.to_string(),
+                r.to_string(),
+                f(res.perf.speedup(), 1),
+                f(res.stats.avg_session_ns() / 1000.0, 0),
+                t.steals_failed.to_string(),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "fullscale_spotcheck",
+        "Paper-scale rank counts, headline strategies (T3WL, 1/N)",
+        &["strategy", "ranks", "speedup", "session_us", "failed_steals"],
+        &rows,
+        None,
+    );
+}

@@ -1,0 +1,193 @@
+//! Minimal flag parser shared by the subcommands.
+//!
+//! Deliberately dependency-free: flags are `--name value` or boolean
+//! `--name`, every unknown flag is an error, and each subcommand
+//! declares which flags it understands.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags of one invocation.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    bools: Vec<String>,
+}
+
+/// Parse `args` against the allowed flag lists. `valued` flags take one
+/// argument, `boolean` flags take none.
+pub fn parse(
+    args: &[String],
+    valued: &[&str],
+    boolean: &[&str],
+) -> Result<Flags, String> {
+    let mut out = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {a:?}"));
+        };
+        if boolean.contains(&name) {
+            out.bools.push(name.to_string());
+        } else if valued.contains(&name) {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            out.values.insert(name.to_string(), v.clone());
+        } else {
+            return Err(format!(
+                "unknown flag --{name} (valid: {})",
+                valued
+                    .iter()
+                    .chain(boolean.iter())
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+impl Flags {
+    /// A valued flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A boolean flag.
+    pub fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    /// A parsed valued flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// A parsed optional flag.
+    pub fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+/// Parse a mapping name (`1/N`, `8RR`, `8G`, `<k>RR`, `<k>G`).
+pub fn parse_mapping(s: &str) -> Result<dws_topology::RankMapping, String> {
+    use dws_topology::RankMapping;
+    if s.eq_ignore_ascii_case("1/n") || s == "1" {
+        return Ok(RankMapping::OneToOne);
+    }
+    let lower = s.to_ascii_lowercase();
+    if let Some(k) = lower.strip_suffix("rr") {
+        let ppn: u32 = k.parse().map_err(|_| format!("bad mapping {s:?}"))?;
+        return Ok(RankMapping::RoundRobin { ppn });
+    }
+    if let Some(k) = lower.strip_suffix('g') {
+        let ppn: u32 = k.parse().map_err(|_| format!("bad mapping {s:?}"))?;
+        return Ok(RankMapping::Grouped { ppn });
+    }
+    Err(format!("bad mapping {s:?} (expected 1/N, 8RR, 8G, ...)"))
+}
+
+/// Parse a victim-policy name with an optional `--alpha`/`--local-tries`.
+pub fn parse_victim(
+    name: &str,
+    alpha: f64,
+    local_tries: u32,
+) -> Result<dws_core::VictimPolicy, String> {
+    use dws_core::VictimPolicy;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "reference" | "roundrobin" | "rr" => VictimPolicy::RoundRobin,
+        "rand" | "uniform" => VictimPolicy::Uniform,
+        "tofu" | "skew" | "distance" => VictimPolicy::DistanceSkewed { alpha },
+        "latskew" | "latency" => VictimPolicy::LatencySkewed { alpha },
+        "hier" | "hierarchical" => VictimPolicy::Hierarchical { local_tries },
+        other => return Err(format!("unknown victim policy {other:?}")),
+    })
+}
+
+/// Parse a steal-amount name.
+pub fn parse_steal(name: &str) -> Result<dws_core::StealAmount, String> {
+    use dws_core::StealAmount;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "one" | "onechunk" | "1" => StealAmount::OneChunk,
+        "half" => StealAmount::Half,
+        other => return Err(format!("unknown steal amount {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_valued_and_boolean_flags() {
+        let f = parse(
+            &args(&["--tree", "t3wl", "--full", "--nodes", "128"]),
+            &["tree", "nodes"],
+            &["full"],
+        )
+        .expect("valid");
+        assert_eq!(f.get("tree"), Some("t3wl"));
+        assert!(f.has("full"));
+        assert_eq!(f.parse_or::<u32>("nodes", 0).expect("number"), 128);
+        assert_eq!(f.parse_or::<u32>("missing", 7).expect("default"), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse(&args(&["--bogus"]), &["tree"], &[]).is_err());
+        assert!(parse(&args(&["--tree"]), &["tree"], &[]).is_err());
+        assert!(parse(&args(&["positional"]), &["tree"], &[]).is_err());
+    }
+
+    #[test]
+    fn mapping_names() {
+        use dws_topology::RankMapping;
+        assert_eq!(parse_mapping("1/N").expect("ok"), RankMapping::OneToOne);
+        assert_eq!(
+            parse_mapping("8RR").expect("ok"),
+            RankMapping::RoundRobin { ppn: 8 }
+        );
+        assert_eq!(
+            parse_mapping("4g").expect("ok"),
+            RankMapping::Grouped { ppn: 4 }
+        );
+        assert!(parse_mapping("wat").is_err());
+    }
+
+    #[test]
+    fn victim_names() {
+        assert_eq!(
+            parse_victim("tofu", 2.0, 4).expect("ok").label(),
+            "Tofu"
+        );
+        assert_eq!(
+            parse_victim("reference", 1.0, 4).expect("ok").label(),
+            "Reference"
+        );
+        assert!(parse_victim("nope", 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn steal_names() {
+        use dws_core::StealAmount;
+        assert_eq!(parse_steal("half").expect("ok"), StealAmount::Half);
+        assert_eq!(parse_steal("one").expect("ok"), StealAmount::OneChunk);
+        assert!(parse_steal("all").is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, parse_mapping, parse_steal, parse_victim, Flags};
+use dws_core::{run_experiment, ExperimentConfig};
+
+use dws_metrics::{lifestory, render_table, write_csv, Summary};
+use dws_topology::{Job, LatencyParams};
+use dws_uts::Workload;
+
+fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
+    let name = flags.get("tree").unwrap_or(default);
+    dws_uts::presets::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown preset {name:?}; available: {}",
+            dws_uts::presets::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
+}
+
+fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
+    let workload = workload_flag(flags, "t3wl")?
+        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let n_nodes: u32 = flags.parse_or("nodes", 128)?;
+    let mut cfg = ExperimentConfig::new(workload, n_nodes);
+    cfg.mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
+    let alpha: f64 = flags.parse_or("alpha", 1.0)?;
+    let local_tries: u32 = flags.parse_or("local-tries", 4)?;
+    cfg.victim = parse_victim(flags.get("victim").unwrap_or("reference"), alpha, local_tries)?;
+    cfg.steal = parse_steal(flags.get("steal").unwrap_or("one"))?;
+    cfg.lifeline_threshold = flags.parse_opt("lifelines")?;
+    cfg.seed = flags.parse_or("seed", cfg.seed)?;
+    cfg.chunk_size = flags.parse_or("chunk", cfg.chunk_size)?;
+    cfg.poll_interval = flags.parse_or("poll", cfg.poll_interval)?;
+    cfg.jitter = flags.parse_or("jitter", 0.0)?;
+    cfg.clock_skew_max_ns = flags.parse_or("skew-ns", 0u64)?;
+    Ok(cfg)
+}
+
+/// `dws run`
+pub fn run(rest: &[String]) -> Result<(), String> {
+    let flags = parse(
+        rest,
+        &[
+            "tree", "nodes", "mapping", "victim", "alpha", "local-tries", "steal", "lifelines",
+            "seed", "chunk", "poll", "gen-rounds", "jitter", "skew-ns", "csv",
+        ],
+        &["lifestory"],
+    )?;
+    let cfg = config_from(&flags)?;
+    eprintln!(
+        "running {} on {} nodes ({} ranks), tree {}...",
+        cfg.label(),
+        cfg.n_nodes,
+        cfg.mapping.rank_count(cfg.n_nodes),
+        cfg.workload.name
+    );
+    let r = run_experiment(&cfg);
+    println!("configuration : {}", r.label);
+    println!("tree nodes    : {}", r.total_nodes);
+    println!("makespan      : {}", r.makespan);
+    println!("T1 (exact)    : {:.3}s", r.t1_ns as f64 / 1e9);
+    println!("speedup       : {:.1}", r.perf.speedup());
+    println!("efficiency    : {:.3}", r.perf.efficiency());
+    let t = r.stats.total();
+    println!("steals        : {} ok, {} failed", t.steals_ok, t.steals_failed);
+    println!(
+        "sessions      : {:.0} per rank, avg {:.1} us",
+        r.stats.avg_sessions_per_rank(),
+        r.stats.avg_session_ns() / 1e3
+    );
+    println!(
+        "search time   : avg {:.2} ms per rank",
+        r.stats.avg_search_ns() / 1e6
+    );
+    if t.lifeline_pushes > 0 || t.lifeline_dormancies > 0 {
+        println!(
+            "lifelines     : {} dormancies, {} pushed chunks",
+            t.lifeline_dormancies, t.lifeline_pushes
+        );
+    }
+    if let Some(occ) = r.occupancy() {
+        println!(
+            "occupancy     : Wmax {}/{} ({:.0}%), average {:.1}%",
+            occ.w_max(),
+            occ.n_ranks(),
+            100.0 * occ.w_max() as f64 / occ.n_ranks() as f64,
+            100.0 * occ.average_occupancy()
+        );
+        for pct in [25u32, 50, 90] {
+            let x = pct as f64 / 100.0;
+            if let (Some(sl), Some(el)) = (occ.starting_latency(x), occ.ending_latency(x)) {
+                println!(
+                    "  SL({pct:2}%) = {:5.2}%   EL({pct:2}%) = {:5.2}%",
+                    sl * 100.0,
+                    el * 100.0
+                );
+            }
+        }
+    }
+    if flags.has("lifestory") {
+        if let Some(trace) = &r.trace {
+            println!("\n{}", lifestory::render(trace, r.makespan.ns(), 72, 24));
+        }
+    }
+    if let Some(path) = flags.get("csv") {
+        let header = [
+            "rank", "nodes", "steals_ok", "steals_failed", "nodes_given", "nodes_received",
+            "search_ns", "sessions",
+        ];
+        let rows: Vec<Vec<String>> = r
+            .stats
+            .per_rank
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                vec![
+                    i.to_string(),
+                    s.nodes_processed.to_string(),
+                    s.steals_ok.to_string(),
+                    s.steals_failed.to_string(),
+                    s.nodes_given.to_string(),
+                    s.nodes_received.to_string(),
+                    s.search_ns.to_string(),
+                    s.sessions.to_string(),
+                ]
+            })
+            .collect();
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        write_csv(std::io::BufWriter::new(file), &header, &rows)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("[per-rank stats written to {path}]");
+    }
+    Ok(())
+}
+
+/// `dws sweep`
+pub fn sweep(rest: &[String]) -> Result<(), String> {
+    let flags = parse(
+        rest,
+        &["tree", "ranks", "seeds", "mapping", "steal", "gen-rounds"],
+        &[],
+    )?;
+    let ranks: Vec<u32> = flags
+        .get("ranks")
+        .unwrap_or("64,128,256")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad rank count {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let seeds: u64 = flags.parse_or("seeds", 3u64)?;
+    let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
+    let steal = parse_steal(flags.get("steal").unwrap_or("half"))?;
+    let workload = workload_flag(&flags, "t3wl")?
+        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let sweep = dws_core::Sweep {
+        workload,
+        ranks,
+        strategies: vec![
+            (
+                "Reference".into(),
+                dws_core::VictimPolicy::RoundRobin,
+                steal,
+            ),
+            ("Rand".into(), dws_core::VictimPolicy::Uniform, steal),
+            (
+                "Tofu".into(),
+                dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 },
+                steal,
+            ),
+        ],
+        mapping,
+        seeds,
+        base_seed: 0xBA5E,
+    };
+    let cells = sweep.run(|cfg| {
+        eprint!(
+            "  {} ranks={} seed={}...        \r",
+            cfg.label(),
+            cfg.mapping.rank_count(cfg.n_nodes),
+            cfg.seed
+        );
+    });
+    eprintln!();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                c.ranks.to_string(),
+                c.speedup.display(1),
+                format!("{:.0}", c.failed_steals.mean()),
+                format!("{:.0}", c.session_us.mean()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "strategy",
+                "ranks",
+                "speedup (mean ± sd)",
+                "failed steals",
+                "session (us)"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+/// `dws tree`
+pub fn tree(rest: &[String]) -> Result<(), String> {
+    let flags = parse(rest, &["tree", "limit", "gen-rounds"], &[])?;
+    let w = workload_flag(&flags, "t3sim-l")?
+        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let limit: u64 = flags.parse_or("limit", 60_000_000u64)?;
+    eprintln!("measuring {}...", w.name);
+    let shape = dws_uts::measure_shape(&w, limit)
+        .ok_or_else(|| format!("tree exceeds --limit {limit} nodes"))?;
+    println!("preset          : {}", w.name);
+    println!("spec            : {:?}", w.spec);
+    println!("nodes           : {}", shape.nodes);
+    println!("max depth       : {}", shape.max_depth);
+    println!("root subtrees   : {}", shape.root_subtree_sizes.len());
+    println!(
+        "largest subtree : {} nodes ({:.1}% of tree)",
+        shape.root_subtree_sizes.first().copied().unwrap_or(0),
+        100.0 * shape.largest_subtree_fraction()
+    );
+    println!("subtree gini    : {:.3}", shape.subtree_gini());
+    println!("peak frontier   : {} nodes", shape.peak_frontier);
+    println!(
+        "feedable ranks  : ~{} (at 2 chunks of 20 per rank)",
+        shape.feedable_ranks(40)
+    );
+    Ok(())
+}
+
+/// `dws topo`
+pub fn topo(rest: &[String]) -> Result<(), String> {
+    let flags = parse(rest, &["nodes", "mapping", "rank"], &[])?;
+    let n_nodes: u32 = flags.parse_or("nodes", 1024)?;
+    let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
+    let job = Job::place(
+        dws_topology::Machine::k_computer(),
+        n_nodes,
+        dws_topology::AllocationPolicy::CompactRectangle,
+        mapping,
+        LatencyParams::default(),
+    );
+    let me: u32 = flags.parse_or("rank", 0u32)?;
+    if me >= job.n_ranks() {
+        return Err(format!("--rank {me} out of range ({} ranks)", job.n_ranks()));
+    }
+    println!(
+        "job: {} nodes, {} ranks ({}), machine {:?} cubes",
+        n_nodes,
+        job.n_ranks(),
+        mapping.label(),
+        job.machine().dims()
+    );
+    println!("rank {me} at {:?}", job.coord_of(me));
+    let mut dist = Summary::new();
+    let mut lat = Summary::new();
+    for j in 0..job.n_ranks() {
+        if j == me {
+            continue;
+        }
+        dist.add(job.euclidean(me, j));
+        lat.add(job.latency_ns(me, j, 16) as f64 / 1000.0);
+    }
+    println!(
+        "distance e({me},*) : mean {:.2}, max {:.2}",
+        dist.mean(),
+        dist.max()
+    );
+    println!(
+        "latency  (us)     : mean {:.2}, min {:.2}, max {:.2}",
+        lat.mean(),
+        lat.min(),
+        lat.max()
+    );
+    // Nearest and farthest ranks.
+    let mut by_dist: Vec<(u32, f64)> = (0..job.n_ranks())
+        .filter(|&j| j != me)
+        .map(|j| (j, job.euclidean(me, j)))
+        .collect();
+    by_dist.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let near: Vec<String> = by_dist.iter().take(5).map(|(j, d)| format!("{j}({d:.1})")).collect();
+    let far: Vec<String> = by_dist.iter().rev().take(5).map(|(j, d)| format!("{j}({d:.1})")).collect();
+    println!("nearest ranks     : {}", near.join(" "));
+    println!("farthest ranks    : {}", far.join(" "));
+    Ok(())
+}
+
+/// `dws shmem`
+pub fn shmem(rest: &[String]) -> Result<(), String> {
+    let flags = parse(rest, &["tree", "workers", "gen-rounds"], &[])?;
+    let w = workload_flag(&flags, "t3sim-l")?
+        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let workers: usize = flags.parse_or("workers", 4usize)?;
+    eprintln!("searching {} with {workers} threads...", w.name);
+    let result = dws_shmem::parallel_search(&w, workers);
+    println!("nodes      : {}", result.stats.nodes);
+    println!("leaves     : {}", result.stats.leaves);
+    println!("max depth  : {}", result.stats.max_depth);
+    println!("elapsed    : {:?}", result.elapsed);
+    let rows: Vec<Vec<String>> = result
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                i.to_string(),
+                s.nodes.to_string(),
+                s.steals.to_string(),
+                s.failed_steals.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["worker", "nodes", "steals", "failed"], &rows)
+    );
+    Ok(())
+}

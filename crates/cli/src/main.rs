@@ -1,0 +1,71 @@
+//! `dws` — the command-line interface to the reproduction.
+//!
+//! ```text
+//! dws run    --tree t3wl --nodes 256 --victim tofu --steal half [--lifestory]
+//! dws sweep  --tree t3wl --ranks 64,128,256 --seeds 3
+//! dws tree   --tree t3sim-l
+//! dws topo   --nodes 1024 [--rank 0]
+//! dws shmem  --tree t3sim-l --workers 8
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match argv.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd {
+        "run" => commands::run(rest),
+        "sweep" => commands::sweep(rest),
+        "tree" => commands::tree(rest),
+        "topo" | "topology" => commands::topo(rest),
+        "shmem" => commands::shmem(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> &'static str {
+    "dws — distributed work stealing with latency-aware victim selection
+
+commands:
+  run     run one simulated experiment and report the paper's metrics
+          --tree <preset>      workload (default t3wl; see `dws tree`)
+          --nodes <n>          physical nodes (default 128)
+          --mapping <m>        1/N | 8RR | 8G | <k>RR | <k>G (default 1/N)
+          --victim <v>         reference | rand | tofu | latskew | hier
+          --alpha <f>          skew exponent (default 1.0)
+          --local-tries <n>    hier: local burst length (default 4)
+          --steal <s>          one | half (default one)
+          --lifelines <n>      enable lifelines after n failed steals
+          --seed <n>           master seed
+          --chunk <n>          chunk size (default 20)
+          --poll <n>           poll interval in node expansions
+          --gen-rounds <n>     SHA rounds per node creation (default 1)
+          --jitter <f>         latency jitter fraction
+          --skew-ns <n>        max per-rank clock skew
+          --lifestory          print the per-rank activity chart
+          --csv <path>         write per-rank statistics as CSV
+  sweep   sweep rank counts x strategies, multiple seeds, mean +/- sd
+          --tree --seeds <k> --ranks <a,b,c> --mapping as above
+  tree    measure a workload preset (size, depth, imbalance, frontier)
+          --tree <preset> [--limit <nodes>]
+  topo    inspect a placed job's distances and latencies
+          --nodes <n> [--mapping <m>] [--rank <r>]
+  shmem   run the threaded shared-memory executor
+          --tree <preset> --workers <n>
+  help    this text"
+}

@@ -1,0 +1,60 @@
+//! # dws-core
+//!
+//! Distributed work stealing with pluggable victim selection — the
+//! primary contribution of Perarnau & Sato, *Victim Selection and
+//! Distributed Work Stealing Performance: A Case Study* (IPDPS 2014),
+//! rebuilt as a library.
+//!
+//! The scheduler mirrors the public MPI implementation of UTS the paper
+//! studies: chunked work stacks with a private working chunk, steal
+//! requests serviced at polling points (no work-first principle), and
+//! token-ring termination detection. On top of that substrate sit the
+//! paper's three victim-selection strategies and two steal
+//! granularities:
+//!
+//! | paper name       | this crate |
+//! |------------------|-----------|
+//! | Reference        | [`VictimPolicy::RoundRobin`] |
+//! | Rand             | [`VictimPolicy::Uniform`] |
+//! | Tofu             | [`VictimPolicy::DistanceSkewed`] |
+//! | (one chunk)      | [`StealAmount::OneChunk`] |
+//! | … Half           | [`StealAmount::Half`] |
+//!
+//! ## Example: the paper's headline comparison, in miniature
+//!
+//! ```
+//! use dws_core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+//! use dws_uts::presets;
+//!
+//! let tree = presets::t3sim_xs();
+//! let reference = run_experiment(&ExperimentConfig::new(tree.clone(), 16));
+//! let tofu_half = run_experiment(
+//!     &ExperimentConfig::new(tree, 16)
+//!         .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+//!         .with_steal(StealAmount::Half),
+//! );
+//! // Both count the same tree...
+//! assert_eq!(reference.total_nodes, tofu_half.total_nodes);
+//! // ...and report comparable metrics.
+//! assert!(tofu_half.perf.speedup() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod network;
+pub mod runner;
+pub mod scheduler;
+pub mod stack;
+pub mod sweep;
+pub mod termination;
+pub mod victim;
+
+pub use alias::AliasTable;
+pub use network::{LinkContendedNetwork, NicContendedNetwork};
+pub use runner::{run_experiment, sequential_baseline, ExperimentConfig, ExperimentResult};
+pub use scheduler::{Msg, SchedulerCfg, StealAmount, Worker};
+pub use stack::{Chunk, ChunkedStack};
+pub use sweep::{Cell, Sweep};
+pub use termination::{Colour, TerminationState, Token, TokenAction};
+pub use victim::{skew_weight, VictimPolicy, VictimSelector};

@@ -1,0 +1,260 @@
+//! NIC-contended network model.
+//!
+//! Each compute node has **one** network interface, shared by every
+//! rank placed on it. When several MPI processes per node generate
+//! steal traffic, their messages serialize through that NIC — the
+//! paper's motivating observation that "allocating several MPI
+//! processes by compute node results in a worse performance than using
+//! a single process per node" (§I) hinges on exactly this contention,
+//! which a pure point-to-point latency function cannot express.
+//!
+//! The model keeps, per node, the time its NIC becomes free in each
+//! direction. A message departing at `t` from a node whose transmit
+//! NIC is busy until `t' > t` waits `t' − t`, then occupies the NIC for
+//! an `occupancy` window (fixed overhead plus serialization of its
+//! bytes); reception mirrors this on the destination node. With one
+//! rank per node the queues are almost always empty and the model
+//! degrades to the plain topology latency.
+//!
+//! State is interior-mutable ([`RefCell`]) because the simulator calls
+//! the latency oracle through `&self`; the simulation is
+//! single-threaded and calls in send order, which is what the
+//! first-come-first-served bookkeeping assumes.
+
+use dws_simnet::LatencyFn;
+use dws_topology::Job;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Per-direction NIC occupancy bookkeeping for every node of a job.
+pub struct NicContendedNetwork {
+    job: Arc<Job>,
+    /// Fixed NIC occupancy per message, nanoseconds.
+    occupancy_ns: u64,
+    /// NIC serialization bandwidth, bytes per nanosecond.
+    bytes_per_ns: f64,
+    /// Transmit-side free time per *node* (indexed by node id).
+    tx_free: RefCell<Vec<u64>>,
+    /// Receive-side free time per *node*.
+    rx_free: RefCell<Vec<u64>>,
+}
+
+impl NicContendedNetwork {
+    /// Wrap a placed job with NIC contention.
+    pub fn new(job: Arc<Job>, occupancy_ns: u64, bytes_per_ns: f64) -> Self {
+        assert!(bytes_per_ns > 0.0, "NIC bandwidth must be positive");
+        let n_nodes = job.machine().node_count() as usize;
+        Self {
+            job,
+            occupancy_ns,
+            bytes_per_ns,
+            tx_free: RefCell::new(vec![0u64; n_nodes]),
+            rx_free: RefCell::new(vec![0u64; n_nodes]),
+        }
+    }
+
+    fn occupancy(&self, bytes: usize) -> u64 {
+        self.occupancy_ns + (bytes as f64 / self.bytes_per_ns) as u64
+    }
+}
+
+impl LatencyFn for NicContendedNetwork {
+    fn latency_ns(&self, from: u32, to: u32, bytes: usize, now_ns: u64) -> u64 {
+        // Server-occupancy queueing: an uncontended message pays only
+        // the wire latency (whose software/NIC overhead the topology
+        // model already includes), but every message reserves both
+        // NICs for an occupancy window, delaying whoever comes next.
+        let occ = self.occupancy(bytes);
+        let src = self.job.node_of(from).index();
+        let dst = self.job.node_of(to).index();
+        let depart = {
+            let mut tx = self.tx_free.borrow_mut();
+            let start = tx[src].max(now_ns);
+            tx[src] = start + occ;
+            start
+        };
+        let wire = self.job.latency_ns(from, to, bytes);
+        let arrival = depart + wire;
+        let delivered = {
+            let mut rx = self.rx_free.borrow_mut();
+            let start = rx[dst].max(arrival);
+            rx[dst] = start + occ;
+            start
+        };
+        delivered - now_ns
+    }
+}
+
+/// Link-level contended network: every message walks its
+/// dimension-ordered route and queues at each link.
+///
+/// Where [`NicContendedNetwork`] folds path contention into a per-hop
+/// constant, this model keeps a free-time register per directed link
+/// and serializes traffic through it: a message arriving at a busy link
+/// waits, then occupies the link for its transmission time. Hotspots
+/// emerge naturally — many long routes crossing the same bisection link
+/// queue up behind each other, which is precisely the effect that makes
+/// distant steals expensive on a loaded torus.
+///
+/// Costs O(hops) per message plus a hash lookup per link, so it is the
+/// high-fidelity/slow option; `ablation_network_model` compares it to
+/// the mean-field default.
+pub struct LinkContendedNetwork {
+    job: Arc<Job>,
+    /// Per-link wire time for one message of `bytes`:
+    /// `link_latency_ns + bytes / bytes_per_ns`.
+    link_latency_ns: u64,
+    bytes_per_ns: f64,
+    /// Software/NIC overhead per message (sender + receiver halves).
+    overhead_ns: u64,
+    /// Free time per directed link.
+    free: RefCell<std::collections::HashMap<dws_topology::Link, u64>>,
+}
+
+impl LinkContendedNetwork {
+    /// Wrap a placed job with per-link queueing.
+    pub fn new(job: Arc<Job>, link_latency_ns: u64, bytes_per_ns: f64, overhead_ns: u64) -> Self {
+        assert!(bytes_per_ns > 0.0, "link bandwidth must be positive");
+        Self {
+            job,
+            link_latency_ns,
+            bytes_per_ns,
+            overhead_ns,
+            free: RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+impl LatencyFn for LinkContendedNetwork {
+    fn latency_ns(&self, from: u32, to: u32, bytes: usize, now_ns: u64) -> u64 {
+        let src = self.job.coord_of(from);
+        let dst = self.job.coord_of(to);
+        let occupancy = (bytes as f64 / self.bytes_per_ns) as u64;
+        if src == dst {
+            // Same node: shared-memory transport, no links involved.
+            return self.overhead_ns + occupancy;
+        }
+        let mut cursor = now_ns + self.overhead_ns / 2;
+        let mut free = self.free.borrow_mut();
+        for link in dws_topology::route(self.job.machine(), src, dst) {
+            let link_free = free.entry(link).or_insert(0);
+            // Wait for the link, then traverse it.
+            let start = cursor.max(*link_free);
+            *link_free = start + occupancy;
+            cursor = start + self.link_latency_ns + occupancy;
+        }
+        cursor + self.overhead_ns / 2 - now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_topology::RankMapping;
+
+    fn grouped_job() -> Arc<Job> {
+        Arc::new(Job::compact(2, RankMapping::Grouped { ppn: 8 }))
+    }
+
+    #[test]
+    fn uncontended_message_pays_only_wire_latency() {
+        let job = grouped_job();
+        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let wire = job.latency_ns(0, 8, 64);
+        assert_eq!(net.latency_ns(0, 8, 64, 0), wire);
+    }
+
+    #[test]
+    fn simultaneous_sends_from_one_node_serialize() {
+        let job = grouped_job();
+        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        // Ranks 0..8 share node 0; all send to node 1 at t=0.
+        let delays: Vec<u64> = (0..8).map(|r| net.latency_ns(r, 8, 64, 0)).collect();
+        for pair in delays.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "messages through one NIC must queue: {delays:?}"
+            );
+        }
+        // The 8th message waits ~7 occupancy windows on tx and rx.
+        assert!(delays[7] >= delays[0] + 7 * 500);
+    }
+
+    #[test]
+    fn sends_from_distinct_nodes_do_not_tx_queue() {
+        let job = Arc::new(Job::compact(4, RankMapping::OneToOne));
+        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        // Ranks 1, 2, 3 each on their own node, all sending to rank 0:
+        // they share only the destination NIC.
+        let d1 = net.latency_ns(1, 0, 64, 0);
+        let d2 = net.latency_ns(2, 0, 64, 0);
+        let _ = d1;
+        // Second message queues at most one rx occupancy behind the
+        // first (plus any wire-time difference).
+        let wire1 = job.latency_ns(1, 0, 64);
+        let wire2 = job.latency_ns(2, 0, 64);
+        let occ = 500 + 12;
+        assert!(d2 <= wire2.max(wire1) + 2 * occ, "unexpected queueing: {d2}");
+    }
+
+    #[test]
+    fn nic_frees_up_over_time() {
+        let job = grouped_job();
+        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let first = net.latency_ns(0, 8, 64, 0);
+        // Long after the burst, a new message sees an idle NIC again.
+        let later = net.latency_ns(0, 8, 64, 1_000_000);
+        assert_eq!(first, later);
+    }
+
+    #[test]
+    fn link_model_scales_with_hops() {
+        let job = Arc::new(Job::compact(512, RankMapping::OneToOne));
+        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
+        // A farther destination crosses more links, each adding its
+        // latency.
+        let mut best: Option<(u32, u32)> = None;
+        for j in 1..512u32 {
+            let h = job.hops(0, j);
+            best = Some(match best {
+                None => (j, h),
+                Some((_, bh)) if h > bh => (j, h),
+                Some(b) => b,
+            });
+        }
+        let (far, far_hops) = best.expect("some rank");
+        let near = (1..512u32).min_by_key(|&j| job.hops(0, j)).expect("near");
+        let near_lat = net.latency_ns(0, near, 64, 0);
+        let far_lat = net.latency_ns(0, far, 64, 0);
+        assert!(
+            far_lat > near_lat,
+            "{far_hops}-hop path {far_lat} must beat {near_lat}"
+        );
+    }
+
+    #[test]
+    fn link_model_queues_shared_links() {
+        let job = Arc::new(Job::compact(512, RankMapping::OneToOne));
+        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 0.005, 0);
+        // Two big messages from rank 0 to the same destination at the
+        // same instant share every link: the second queues.
+        let first = net.latency_ns(0, 100, 10_000, 0);
+        let second = net.latency_ns(0, 100, 10_000, 0);
+        assert!(
+            second > first,
+            "second message must queue ({second} vs {first})"
+        );
+        // After a long quiet period links are free again.
+        let later = net.latency_ns(0, 100, 10_000, u64::MAX / 2);
+        assert_eq!(later, first);
+    }
+
+    #[test]
+    fn link_model_same_node_is_cheap() {
+        let job = grouped_job(); // ranks 0..8 share node 0
+        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
+        let intra = net.latency_ns(0, 1, 64, 0);
+        let inter = net.latency_ns(0, 8, 64, 0);
+        assert!(intra < inter);
+    }
+}

@@ -1,0 +1,389 @@
+//! Experiment orchestration: place a job, run the distributed search in
+//! the simulator, verify it, and compute the paper's metrics.
+//!
+//! [`ExperimentConfig`] captures one cell of the paper's experimental
+//! grid — workload × node count × rank mapping × victim selection ×
+//! steal amount — and [`run_experiment`] produces an
+//! [`ExperimentResult`] carrying everything the figures plot.
+//!
+//! Every run is verified before results are returned:
+//!
+//! - the sum of nodes processed across ranks must equal the sequential
+//!   tree size (when known),
+//! - nodes and chunks are conserved across steals,
+//! - the activity trace must be well-formed,
+//! - every rank must have observed termination with an empty stack.
+
+use crate::scheduler::{Counters, SchedulerCfg, StealAmount, Worker};
+use crate::victim::VictimPolicy;
+use dws_metrics::{ActivityTrace, OccupancyCurve, Perf, RunStats, StealStats};
+use dws_simnet::{RunReport, SimConfig, SimTime, Simulation};
+use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
+use dws_uts::Workload;
+use std::sync::Arc;
+
+/// Full description of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Tree to search.
+    pub workload: Workload,
+    /// Physical nodes to allocate.
+    pub n_nodes: u32,
+    /// Rank placement (1/N, 8RR, 8G, …).
+    pub mapping: RankMapping,
+    /// Node allocation policy (the K scheduler default is compact).
+    pub alloc: AllocationPolicy,
+    /// Network latency parameters.
+    pub latency: LatencyParams,
+    /// Victim-selection strategy.
+    pub victim: VictimPolicy,
+    /// Steal granularity.
+    pub steal: StealAmount,
+    /// Nodes per chunk (paper: 20).
+    pub chunk_size: usize,
+    /// Node expansions between message polls.
+    pub poll_interval: u32,
+    /// Pause before retrying after a failed steal (0 = immediate).
+    pub retry_delay_ns: u64,
+    /// Delay before rank 0 reissues a termination probe.
+    pub probe_backoff_ns: u64,
+    /// Victim-side CPU cost per message serviced while working.
+    pub msg_handle_ns: u64,
+    /// Victim-side CPU cost per chunk packaged into a reply.
+    pub package_chunk_ns: u64,
+    /// Extension: lifeline-based load balancing — after this many
+    /// consecutive failed steals a thief goes dormant and waits for
+    /// pushed work from its hypercube buddies. `None` = paper protocol.
+    pub lifeline_threshold: Option<u32>,
+    /// Per-message NIC occupancy for the shared per-node interface
+    /// (0 disables NIC contention — the `ablation_nic` experiment).
+    /// This is what makes 8 ranks per node pay for sharing a link.
+    pub nic_occupancy_ns: u64,
+    /// NIC serialization bandwidth in bytes per nanosecond.
+    pub nic_bytes_per_ns: f64,
+    /// High-fidelity alternative to the mean-field contention model:
+    /// route every message over its dimension-ordered path and queue at
+    /// each link. `Some((link_latency_ns, overhead_ns))` enables it and
+    /// replaces both the class-based latency model and the NIC model.
+    pub link_level_network: Option<(u64, u64)>,
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Latency jitter fraction (0 disables).
+    pub jitter: f64,
+    /// Maximum per-rank clock skew in ns (0 = synchronized).
+    pub clock_skew_max_ns: u64,
+    /// Rank count up to which the skewed selector may precompute alias
+    /// tables; above it, rejection sampling bounds memory.
+    pub alias_threshold: u32,
+    /// Record the activity trace (cheap; disable for huge sweeps).
+    pub collect_trace: bool,
+    /// Abort the simulation beyond this simulated time.
+    pub max_sim_time_ns: Option<u64>,
+    /// Abort beyond this many events.
+    pub max_events: Option<u64>,
+    /// If known, the tree size to verify against.
+    pub expect_nodes: Option<u64>,
+}
+
+impl ExperimentConfig {
+    /// Paper-faithful defaults: compact allocation, K latencies,
+    /// 20-node chunks, reference victim selection and one-chunk steals.
+    pub fn new(workload: Workload, n_nodes: u32) -> Self {
+        Self {
+            workload,
+            n_nodes,
+            mapping: RankMapping::OneToOne,
+            alloc: AllocationPolicy::CompactRectangle,
+            latency: LatencyParams::default(),
+            victim: VictimPolicy::RoundRobin,
+            steal: StealAmount::OneChunk,
+            chunk_size: 20,
+            poll_interval: 4,
+            retry_delay_ns: 2_000,
+            probe_backoff_ns: 10_000,
+            msg_handle_ns: 600,
+            package_chunk_ns: 200,
+            lifeline_threshold: None,
+            nic_occupancy_ns: 2_000,
+            nic_bytes_per_ns: 5.0,
+            link_level_network: None,
+            seed: 0xD15_7EA1,
+            jitter: 0.0,
+            clock_skew_max_ns: 0,
+            alias_threshold: 1024,
+            collect_trace: true,
+            max_sim_time_ns: None,
+            max_events: None,
+            expect_nodes: None,
+        }
+    }
+
+    /// Figure-legend label, e.g. `"Tofu Half 8RR"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{}{} {}",
+            self.victim.label(),
+            self.steal.label(),
+            if self.lifeline_threshold.is_some() {
+                " LL"
+            } else {
+                ""
+            },
+            self.mapping.label()
+        )
+    }
+
+    /// Set the victim policy (builder style).
+    pub fn with_victim(mut self, victim: VictimPolicy) -> Self {
+        self.victim = victim;
+        self
+    }
+
+    /// Set the steal amount (builder style).
+    pub fn with_steal(mut self, steal: StealAmount) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Set the rank mapping (builder style).
+    pub fn with_mapping(mut self, mapping: RankMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Validate the configuration, returning a human-readable error for
+    /// every inconsistency a user could plausibly construct.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_nodes == 0 {
+            return Err("n_nodes must be positive".into());
+        }
+        if self.mapping.ppn() == 0 {
+            return Err("mapping must place at least one rank per node".into());
+        }
+        if self.mapping.rank_count(self.n_nodes) < 2 {
+            return Err(format!(
+                "distributed work stealing needs at least 2 ranks, got {}; \
+                 use dws_uts::search for the sequential baseline",
+                self.mapping.rank_count(self.n_nodes)
+            ));
+        }
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        if self.poll_interval == 0 {
+            return Err("poll_interval must be positive".into());
+        }
+        if self.nic_bytes_per_ns <= 0.0 {
+            return Err("nic_bytes_per_ns must be positive".into());
+        }
+        if !(0.0..10.0).contains(&self.jitter) {
+            return Err(format!("jitter {} outside [0, 10)", self.jitter));
+        }
+        if self.lifeline_threshold == Some(0) {
+            return Err("lifeline_threshold of 0 would never steal at all".into());
+        }
+        self.workload.spec.check()?;
+        self.latency.check()?;
+        Ok(())
+    }
+}
+
+/// Everything a figure needs from one run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Legend label of the configuration.
+    pub label: String,
+    /// Number of ranks that ran.
+    pub n_ranks: u32,
+    /// Simulated makespan.
+    pub makespan: SimTime,
+    /// Exact single-process time: tree size × per-node cost.
+    pub t1_ns: u64,
+    /// Tree size actually searched.
+    pub total_nodes: u64,
+    /// Speedup/efficiency summary.
+    pub perf: Perf,
+    /// Per-rank steal statistics.
+    pub stats: RunStats,
+    /// Skew-corrected activity trace, when collected.
+    pub trace: Option<ActivityTrace>,
+    /// Engine-level counts (events, messages).
+    pub report: RunReport,
+    /// False when a limit aborted the run before termination.
+    pub completed: bool,
+}
+
+impl ExperimentResult {
+    /// Build the occupancy curve (requires a collected trace).
+    pub fn occupancy(&self) -> Option<OccupancyCurve> {
+        self.trace
+            .as_ref()
+            .map(|t| OccupancyCurve::from_trace(t, self.makespan.ns()))
+    }
+}
+
+fn to_steal_stats(c: &Counters) -> StealStats {
+    StealStats {
+        steal_attempts: c.steal_attempts,
+        steals_ok: c.steals_ok,
+        steals_failed: c.steals_failed,
+        chunks_received: c.chunks_received,
+        nodes_received: c.nodes_received,
+        chunks_given: c.chunks_given,
+        nodes_given: c.nodes_given,
+        search_ns: c.search_ns,
+        sessions: c.sessions,
+        session_ns: c.session_ns,
+        nodes_processed: c.nodes_processed,
+        lifeline_dormancies: c.lifeline_dormancies,
+        lifeline_pushes: c.lifeline_pushes,
+    }
+}
+
+/// Run one experiment to completion (or to its limits) and verify it.
+///
+/// # Panics
+/// Panics on any integrity violation: lost work, malformed traces,
+/// mismatched tree size, or a rank that never observed termination in a
+/// completed run.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
+    let n_ranks = cfg.mapping.rank_count(cfg.n_nodes);
+    let machine = if cfg.n_nodes <= dws_topology::Machine::k_computer().node_count() {
+        dws_topology::Machine::k_computer()
+    } else {
+        dws_topology::Machine::with_capacity(cfg.n_nodes)
+    };
+    let job = Arc::new(Job::place(
+        machine,
+        cfg.n_nodes,
+        cfg.alloc,
+        cfg.mapping,
+        cfg.latency.clone(),
+    ));
+    let sched = Arc::new(SchedulerCfg {
+        workload: cfg.workload.clone(),
+        chunk_size: cfg.chunk_size,
+        poll_interval: cfg.poll_interval,
+        steal: cfg.steal,
+        probe_backoff_ns: cfg.probe_backoff_ns,
+        retry_delay_ns: cfg.retry_delay_ns,
+        msg_handle_ns: cfg.msg_handle_ns,
+        package_chunk_ns: cfg.package_chunk_ns,
+        lifeline_threshold: cfg.lifeline_threshold,
+    });
+    let workers: Vec<Worker> = (0..n_ranks)
+        .map(|me| {
+            let selector = cfg.victim.build(&job, me, cfg.alias_threshold);
+            Worker::new(Arc::clone(&sched), me, n_ranks, selector)
+        })
+        .collect();
+    let sim_cfg = SimConfig {
+        seed: cfg.seed,
+        latency_jitter: cfg.jitter,
+        clock_skew_max_ns: cfg.clock_skew_max_ns,
+    };
+    let mut sim: Simulation<Worker> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network
+    {
+        Simulation::new(
+            workers,
+            crate::network::LinkContendedNetwork::new(
+                Arc::clone(&job),
+                link_ns,
+                cfg.nic_bytes_per_ns,
+                overhead_ns,
+            ),
+            sim_cfg,
+        )
+    } else if cfg.nic_occupancy_ns > 0 {
+        Simulation::new(
+            workers,
+            crate::network::NicContendedNetwork::new(
+                Arc::clone(&job),
+                cfg.nic_occupancy_ns,
+                cfg.nic_bytes_per_ns,
+            ),
+            sim_cfg,
+        )
+    } else {
+        Simulation::new(workers, JobLatency(job), sim_cfg)
+    };
+    let report = sim.run_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
+    let completed = sim.actors().iter().all(|w| w.is_done());
+    if !completed {
+        assert!(
+            report.halted,
+            "simulation drained its event queue but some rank never \
+             observed termination — protocol bug"
+        );
+    }
+
+    let makespan = report.end_time;
+    let per_rank: Vec<StealStats> = sim.actors().iter().map(|w| to_steal_stats(&w.counters)).collect();
+    let stats = RunStats::new(per_rank);
+    let total_nodes = stats.nodes_processed();
+    if completed {
+        stats
+            .check_conservation()
+            .expect("steal accounting must conserve work");
+        if let Some(expect) = cfg.expect_nodes {
+            assert_eq!(
+                total_nodes, expect,
+                "distributed search found {total_nodes} nodes, expected {expect}"
+            );
+        }
+        for (r, w) in sim.actors().iter().enumerate() {
+            assert_eq!(w.backlog(), 0, "rank {r} left work behind");
+        }
+    }
+
+    let trace = if cfg.collect_trace {
+        let mut t = ActivityTrace::new(n_ranks);
+        for (r, w) in sim.actors().iter().enumerate() {
+            for &(at, active) in w.trace() {
+                t.record(r as u32, at, active);
+            }
+        }
+        t.correct_skew(sim.skews_ns());
+        t.check().unwrap_or_else(|e| panic!("scheduler produced a malformed trace: {e}"));
+        Some(t)
+    } else {
+        None
+    };
+
+    let t1_ns = total_nodes * cfg.workload.node_ns();
+    let perf = Perf {
+        n_ranks,
+        makespan_ns: makespan.ns().max(1),
+        t1_ns,
+    };
+    ExperimentResult {
+        label: cfg.label(),
+        n_ranks,
+        makespan,
+        t1_ns,
+        total_nodes,
+        perf,
+        stats,
+        trace,
+        report,
+        completed,
+    }
+}
+
+/// Newtype forwarding latency queries to the placed job (orphan-rule
+/// helper so `Simulation` can own it).
+struct JobLatency(Arc<Job>);
+
+impl dws_simnet::LatencyFn for JobLatency {
+    fn latency_ns(&self, from: u32, to: u32, bytes: usize, _now_ns: u64) -> u64 {
+        self.0.latency_ns(from, to, bytes)
+    }
+}
+
+/// Measure the sequential baseline: tree size and exact `T₁`.
+pub fn sequential_baseline(workload: &Workload) -> (u64, u64) {
+    let stats = dws_uts::search(workload);
+    (stats.nodes, stats.nodes * workload.node_ns())
+}

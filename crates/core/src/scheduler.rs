@@ -1,0 +1,669 @@
+//! The per-rank work-stealing scheduler, mirroring the reference UTS
+//! `mpi_workstealing.c` (paper §II-A, Algorithm 1).
+//!
+//! Each rank runs this state machine inside the discrete-event
+//! simulator:
+//!
+//! ```text
+//! while not finished:
+//!     while node <- GET(stack):          # Working
+//!         for child in NEXTCHILD(node):
+//!             PUSH(stack, child)
+//!     while stack is empty:              # Searching
+//!         v <- SELECTVICTIM
+//!         STEAL(v)
+//! ```
+//!
+//! Fidelity notes, matching the paper's description of the reference
+//! implementation:
+//!
+//! - **No work-first principle**: a thief *posts a request*; the victim
+//!   answers between node expansions. We model the victim's polling
+//!   cadence with `poll_interval`: a working rank services buffered
+//!   messages every `poll_interval` node expansions. An idle rank
+//!   answers immediately.
+//! - **Chunked steals**: only whole chunks move; the newest chunk is
+//!   private ([`ChunkedStack`]).
+//! - **Steal amount**: one chunk (reference) or half the stealable
+//!   chunks (§IV-C).
+//! - **Work accounting**: expanding a node costs
+//!   [`Workload::node_ns`](dws_uts::Workload::node_ns) simulated
+//!   nanoseconds; message handling is free for the handler (its cost
+//!   lives in the sender-to-receiver latency), which matches the
+//!   lightweight-polling assumption of the reference code.
+//! - **Batching**: each batch expands up to `poll_interval` nodes
+//!   *then* advances the clock by their cost. Thieves arriving
+//!   mid-batch see the post-batch stack — a half-batch skew that is
+//!   far below the latency scale the paper studies.
+//! - **Tracing**: active ⇄ idle transitions are recorded with the
+//!   rank's *local* (possibly skewed) clock, as a real tracer would.
+
+use crate::stack::{Chunk, ChunkedStack};
+use crate::termination::{TerminationState, Token, TokenAction};
+use crate::victim::VictimSelector;
+use dws_simnet::{Actor, Ctx, Rank};
+use dws_uts::{Node, TreeSpec, Workload, NODE_WIRE_BYTES};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How much of a victim's stealable work one steal transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealAmount {
+    /// A single chunk (the reference implementation).
+    OneChunk,
+    /// Half the stealable chunks, rounded up (§IV-C "Half").
+    Half,
+}
+
+impl StealAmount {
+    /// Chunks to take from a victim exposing `stealable` chunks.
+    #[inline]
+    pub fn want(&self, stealable: usize) -> usize {
+        match self {
+            StealAmount::OneChunk => stealable.min(1),
+            StealAmount::Half => stealable.div_ceil(2),
+        }
+    }
+
+    /// Suffix the paper appends to strategy names ("Reference Half").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StealAmount::OneChunk => "",
+            StealAmount::Half => " Half",
+        }
+    }
+}
+
+/// Scheduler parameters shared by all ranks.
+#[derive(Debug, Clone)]
+pub struct SchedulerCfg {
+    /// The tree to search.
+    pub workload: Workload,
+    /// Nodes per chunk (paper default: 20).
+    pub chunk_size: usize,
+    /// Node expansions between message polls while working.
+    pub poll_interval: u32,
+    /// Steal granularity.
+    pub steal: StealAmount,
+    /// Delay before rank 0 relaunches a failed termination probe.
+    pub probe_backoff_ns: u64,
+    /// Pause between a failed steal reply and the next attempt
+    /// (0 = immediate retry, as the reference implementation does).
+    pub retry_delay_ns: u64,
+    /// CPU cost a *working* rank pays to service one incoming message
+    /// at a poll point (MPI probe/recv/reply processing). This is the
+    /// mechanism by which failed-steal convoys slow down the very ranks
+    /// that hold work — the paper's link between failed-steal counts
+    /// (Figures 7, 15) and performance. Idle ranks answer for free:
+    /// they have nothing better to do.
+    pub msg_handle_ns: u64,
+    /// Additional victim-side cost per chunk packaged into a steal
+    /// reply (copying nodes out of the stack into the message).
+    pub package_chunk_ns: u64,
+    /// Extension (Saraswat et al., the paper's §VI comparison point):
+    /// lifeline-based load balancing. After this many *consecutive*
+    /// failed steals a thief registers with its lifeline buddies
+    /// (hypercube neighbours) and goes dormant instead of spamming
+    /// steal requests; ranks with surplus work push chunks to their
+    /// registered dormant buddies at polling points. `None` disables
+    /// lifelines (the paper's protocol).
+    pub lifeline_threshold: Option<u32>,
+}
+
+impl SchedulerCfg {
+    /// Defaults: 20-node chunks as in the paper; polling every 4
+    /// expansions (the reference implementation polls every iteration —
+    /// 4 keeps the victim-service wait below the network latency scale
+    /// while bounding simulator event counts); a 2 µs retry pause
+    /// modelling the thief-side bookkeeping between attempts.
+    pub fn new(workload: Workload, steal: StealAmount) -> Self {
+        Self {
+            workload,
+            chunk_size: 20,
+            poll_interval: 4,
+            steal,
+            probe_backoff_ns: 10_000,
+            retry_delay_ns: 2_000,
+            msg_handle_ns: 600,
+            package_chunk_ns: 200,
+            lifeline_threshold: None,
+        }
+    }
+}
+
+/// Messages of the steal protocol.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// "Give me work."
+    StealRequest,
+    /// Reply: the stolen chunks; empty means the steal failed.
+    StealReply {
+        /// Chunks transferred to the thief (empty on failure).
+        chunks: Vec<Chunk>,
+    },
+    /// Lifeline extension: "I am dormant; push me work when you have
+    /// some." Registers the sender with the receiver.
+    LifelineRequest,
+    /// Lifeline extension: unsolicited work pushed to a dormant buddy.
+    LifelinePush {
+        /// Chunks donated to the dormant rank (never empty).
+        chunks: Vec<Chunk>,
+    },
+    /// Termination-detection token.
+    Token(Token),
+    /// Global termination announcement (broadcast by rank 0).
+    Done,
+}
+
+impl Msg {
+    /// Bytes on the wire, for latency accounting.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::StealRequest | Msg::LifelineRequest => 16,
+            Msg::StealReply { chunks } | Msg::LifelinePush { chunks } => {
+                16 + chunks.iter().map(|c| c.len()).sum::<usize>() * NODE_WIRE_BYTES
+            }
+            Msg::Token(_) => 24,
+            Msg::Done => 8,
+        }
+    }
+}
+
+/// Timer tokens.
+const TIMER_WORK: u64 = 1;
+const TIMER_PROBE: u64 = 2;
+const TIMER_RETRY: u64 = 3;
+
+/// Per-rank counters mirrored into `dws_metrics::StealStats` after the
+/// run (kept local to avoid a hard dependency in the hot path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Steal requests issued.
+    pub steal_attempts: u64,
+    /// Requests answered with work.
+    pub steals_ok: u64,
+    /// Requests answered empty.
+    pub steals_failed: u64,
+    /// Chunks received.
+    pub chunks_received: u64,
+    /// Nodes received.
+    pub nodes_received: u64,
+    /// Chunks given to thieves.
+    pub chunks_given: u64,
+    /// Nodes given to thieves.
+    pub nodes_given: u64,
+    /// Time spent waiting for steal answers.
+    pub search_ns: u64,
+    /// Completed work-discovery sessions.
+    pub sessions: u64,
+    /// Total session duration.
+    pub session_ns: u64,
+    /// Nodes expanded locally.
+    pub nodes_processed: u64,
+    /// Lifeline extension: times this rank went dormant.
+    pub lifeline_dormancies: u64,
+    /// Lifeline extension: chunks pushed to dormant buddies.
+    pub lifeline_pushes: u64,
+}
+
+/// One rank of the distributed work-stealing computation.
+pub struct Worker {
+    cfg: Arc<SchedulerCfg>,
+    stack: ChunkedStack,
+    selector: VictimSelector,
+    term: TerminationState,
+    /// True while a WORK timer is outstanding (the rank is "computing"
+    /// and only polls messages at batch boundaries).
+    computing: bool,
+    /// Messages that arrived while computing, handled at the next poll.
+    pending: VecDeque<(Rank, Msg)>,
+    /// Victim of the outstanding steal request, if any.
+    outstanding: Option<Rank>,
+    /// Global time the outstanding steal request was sent (search-time
+    /// accounting: "the portion of the execution time a process was
+    /// waiting for a steal answer").
+    wait_since_ns: Option<u64>,
+    /// Local time at which the current work-discovery session began.
+    search_since_ns: Option<u64>,
+    /// Global termination flag.
+    done: bool,
+    /// Accumulated message-service CPU time to charge to the next
+    /// batch (see [`SchedulerCfg::msg_handle_ns`]).
+    service_debt_ns: u64,
+    /// While draining the poll queue: this message's position in the
+    /// service order, as a delay applied to any reply it generates. A
+    /// deep queue of steal requests is answered serially — the convoy
+    /// cost that makes deterministic victim selection collapse at
+    /// scale.
+    service_offset_ns: u64,
+    /// Reusable child buffer.
+    scratch: Vec<Node>,
+    /// Activity trace: (local time, became-active) pairs.
+    trace: Vec<(u64, bool)>,
+    /// Last state written to the trace; keeps transitions alternating
+    /// even when work arrives in the window between a stack running dry
+    /// and the idle transition being recorded.
+    traced_active: bool,
+    /// Lifeline buddies this rank registers with (hypercube neighbours).
+    lifelines: Vec<Rank>,
+    /// Dormant buddies waiting for a push from this rank.
+    lifeline_waiters: Vec<Rank>,
+    /// Consecutive failed steals since the last success.
+    consecutive_fails: u32,
+    /// Dormant: registered with lifelines, no active steal requests.
+    dormant: bool,
+    /// Statistics counters.
+    pub counters: Counters,
+}
+
+/// Hypercube lifeline graph: rank `me`'s buddies are `me XOR 2^k` for
+/// every bit position below `n`; always non-empty and connected, so
+/// pushed work can reach any dormant rank transitively.
+fn hypercube_lifelines(me: Rank, n: u32) -> Vec<Rank> {
+    let mut out = Vec::new();
+    let mut bit = 1u32;
+    while bit < n {
+        let buddy = me ^ bit;
+        if buddy < n {
+            out.push(buddy);
+        }
+        bit <<= 1;
+    }
+    if out.is_empty() && n > 1 {
+        out.push((me + 1) % n);
+    }
+    out
+}
+
+impl Worker {
+    /// Build the worker for `me`; rank 0 will seed itself with the root.
+    pub fn new(cfg: Arc<SchedulerCfg>, me: Rank, n_ranks: u32, selector: VictimSelector) -> Self {
+        Self {
+            stack: ChunkedStack::new(cfg.chunk_size),
+            selector,
+            term: TerminationState::new(me, n_ranks),
+            computing: false,
+            pending: VecDeque::new(),
+            outstanding: None,
+            wait_since_ns: None,
+            search_since_ns: None,
+            done: false,
+            service_debt_ns: 0,
+            service_offset_ns: 0,
+            scratch: Vec::new(),
+            trace: Vec::new(),
+            traced_active: false,
+            lifelines: if cfg.lifeline_threshold.is_some() {
+                hypercube_lifelines(me, n_ranks)
+            } else {
+                Vec::new()
+            },
+            lifeline_waiters: Vec::new(),
+            consecutive_fails: 0,
+            dormant: false,
+            counters: Counters::default(),
+            cfg,
+        }
+    }
+
+    /// The recorded activity trace (local clock).
+    pub fn trace(&self) -> &[(u64, bool)] {
+        &self.trace
+    }
+
+    /// True once this rank has observed global termination.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Nodes remaining in the local stack (0 after a clean run).
+    pub fn backlog(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Passive in the termination-detection sense: holds no work.
+    /// A rank mid-batch is not passive — its expansions may still
+    /// produce stealable chunks.
+    fn passive(&self) -> bool {
+        self.stack.is_empty() && !self.computing
+    }
+
+    /// Receive work-carrying chunks while already active: count them
+    /// and fold them into the stack, with no phase transition.
+    fn absorb_chunks(&mut self, chunks: Vec<Chunk>) {
+        let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+        self.counters.chunks_received += chunks.len() as u64;
+        self.counters.nodes_received += nodes as u64;
+        self.term.on_work_received();
+        self.stack.receive_chunks(chunks);
+    }
+
+    /// Lifeline extension: donate one chunk to each registered dormant
+    /// buddy, as far as stealable work allows.
+    fn serve_lifeline_waiters(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        while !self.lifeline_waiters.is_empty() && self.stack.stealable_chunks() > 0 && !self.done
+        {
+            let waiter = self.lifeline_waiters.remove(0);
+            let chunks = self.stack.steal_chunks(1);
+            debug_assert_eq!(chunks.len(), 1);
+            let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+            self.counters.chunks_given += chunks.len() as u64;
+            self.counters.nodes_given += nodes as u64;
+            self.counters.lifeline_pushes += chunks.len() as u64;
+            let package = chunks.len() as u64 * self.cfg.package_chunk_ns;
+            self.service_debt_ns += package;
+            self.term.on_work_sent();
+            let msg = Msg::LifelinePush { chunks };
+            ctx.send_delayed(waiter, msg.wire_bytes(), self.service_offset_ns, msg);
+        }
+    }
+
+    /// Expand up to `poll_interval` nodes and charge their cost;
+    /// transitions to searching when the stack runs dry.
+    fn start_batch(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        debug_assert!(!self.computing);
+        self.serve_lifeline_waiters(ctx);
+        let mut expanded = 0u32;
+        while expanded < self.cfg.poll_interval {
+            let Some(node) = self.stack.pop() else { break };
+            self.cfg
+                .workload
+                .spec
+                .children_into(&node, self.cfg.workload.gen_rounds, &mut self.scratch);
+            for child in self.scratch.drain(..) {
+                self.stack.push(child);
+            }
+            expanded += 1;
+        }
+        if expanded > 0 {
+            self.counters.nodes_processed += expanded as u64;
+            self.computing = true;
+            let cost = expanded as u64 * self.cfg.workload.node_ns()
+                + std::mem::take(&mut self.service_debt_ns);
+            ctx.set_timer(cost, TIMER_WORK);
+        } else {
+            self.service_debt_ns = 0;
+            self.go_idle(ctx);
+        }
+    }
+
+    /// The stack ran dry: record the transition, release any parked
+    /// token, and begin searching for work.
+    fn go_idle(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        debug_assert!(self.stack.is_empty() && !self.computing);
+        if self.traced_active {
+            self.trace.push((ctx.local_now().ns(), false));
+            self.traced_active = false;
+        }
+        self.search_since_ns = Some(ctx.now().ns());
+        if let Some(action) = self.term.on_became_passive() {
+            self.apply_token_action(ctx, action);
+        }
+        if self.done {
+            return;
+        }
+        if ctx.me() == 0 && self.term.should_launch_probe(true) {
+            let token = self.term.launch_probe();
+            let next = self.term.next_in_ring();
+            ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+        }
+        self.send_steal_request(ctx);
+    }
+
+    /// Work arrived: book the session, record the transition, resume.
+    fn go_active(&mut self, ctx: &mut Ctx<'_, Msg>, chunks: Vec<Chunk>) {
+        let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+        self.counters.chunks_received += chunks.len() as u64;
+        self.counters.nodes_received += nodes as u64;
+        self.consecutive_fails = 0;
+        self.dormant = false;
+        self.term.on_work_received();
+        self.stack.receive_chunks(chunks);
+        if let Some(since) = self.search_since_ns.take() {
+            let dur = ctx.now().ns().saturating_sub(since);
+            self.counters.sessions += 1;
+            self.counters.session_ns += dur;
+        }
+        if !self.traced_active {
+            self.trace.push((ctx.local_now().ns(), true));
+            self.traced_active = true;
+        }
+        self.start_batch(ctx);
+    }
+
+    fn send_steal_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        debug_assert!(self.outstanding.is_none());
+        let victim = self.selector.next_victim(ctx.rng());
+        debug_assert_ne!(victim, ctx.me());
+        self.outstanding = Some(victim);
+        self.wait_since_ns = Some(ctx.now().ns());
+        self.counters.steal_attempts += 1;
+        ctx.send(victim, Msg::StealRequest.wire_bytes(), Msg::StealRequest);
+    }
+
+    /// Service one message (either immediately when idle, or from the
+    /// pending queue at a poll boundary).
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg) {
+        match msg {
+            Msg::StealRequest => {
+                let want = self.cfg.steal.want(self.stack.stealable_chunks());
+                let chunks = if self.done { Vec::new() } else { self.stack.steal_chunks(want) };
+                if !chunks.is_empty() {
+                    let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                    self.counters.chunks_given += chunks.len() as u64;
+                    self.counters.nodes_given += nodes as u64;
+                    let package = chunks.len() as u64 * self.cfg.package_chunk_ns;
+                    self.service_debt_ns += package;
+                    self.service_offset_ns += package;
+                    self.term.on_work_sent();
+                }
+                let reply = Msg::StealReply { chunks };
+                ctx.send_delayed(from, reply.wire_bytes(), self.service_offset_ns, reply);
+            }
+            Msg::StealReply { chunks } => {
+                debug_assert_eq!(self.outstanding, Some(from), "unexpected steal reply");
+                self.outstanding = None;
+                if let Some(sent) = self.wait_since_ns.take() {
+                    self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+                }
+                if chunks.is_empty() {
+                    self.counters.steals_failed += 1;
+                    self.consecutive_fails += 1;
+                    // Only keep hunting if we are still actually idle —
+                    // a lifeline push may have reactivated us while
+                    // this reply was in flight.
+                    if !self.done && self.stack.is_empty() && !self.computing {
+                        if let Some(threshold) = self.cfg.lifeline_threshold {
+                            if self.consecutive_fails >= threshold && !self.dormant {
+                                // Lifeline extension: stop spamming —
+                                // register with the buddies and wait to
+                                // be pushed work.
+                                self.dormant = true;
+                                self.counters.lifeline_dormancies += 1;
+                                for buddy in self.lifelines.clone() {
+                                    ctx.send(
+                                        buddy,
+                                        Msg::LifelineRequest.wire_bytes(),
+                                        Msg::LifelineRequest,
+                                    );
+                                }
+                                return;
+                            }
+                        }
+                        if self.cfg.retry_delay_ns > 0 {
+                            ctx.set_timer(self.cfg.retry_delay_ns, TIMER_RETRY);
+                        } else {
+                            self.send_steal_request(ctx);
+                        }
+                    }
+                } else {
+                    self.counters.steals_ok += 1;
+                    if self.done {
+                        // Termination was announced while work was in
+                        // flight toward us — cannot happen with a sound
+                        // detector; surface loudly.
+                        panic!("rank {} received work after Done", ctx.me());
+                    }
+                    if self.stack.is_empty() && !self.computing {
+                        self.go_active(ctx, chunks);
+                    } else {
+                        // A lifeline push beat this reply to the punch;
+                        // we are already active — just absorb.
+                        self.absorb_chunks(chunks);
+                    }
+                }
+            }
+            Msg::LifelineRequest => {
+                if !self.lifeline_waiters.contains(&from) {
+                    self.lifeline_waiters.push(from);
+                }
+                // An idle or freshly-polled rank with surplus serves
+                // immediately; otherwise the next batch boundary will.
+                if !self.computing && self.stack.stealable_chunks() > 0 {
+                    self.serve_lifeline_waiters(ctx);
+                }
+            }
+            Msg::LifelinePush { chunks } => {
+                debug_assert!(!chunks.is_empty(), "lifeline pushes always carry work");
+                if self.done {
+                    panic!("rank {} received lifeline work after Done", ctx.me());
+                }
+                if self.stack.is_empty() && !self.computing {
+                    // Dormant (or idle mid-search): this is our wake-up.
+                    self.go_active(ctx, chunks);
+                } else {
+                    // Already busy again (e.g. a steal landed first):
+                    // just absorb the donation.
+                    self.absorb_chunks(chunks);
+                }
+            }
+            Msg::Token(token) => {
+                let passive = self.passive();
+                if let Some(action) = self.term.try_handle_token(token, passive) {
+                    self.apply_token_action(ctx, action);
+                }
+            }
+            Msg::Done => {
+                self.finish(ctx);
+            }
+        }
+    }
+
+    fn apply_token_action(&mut self, ctx: &mut Ctx<'_, Msg>, action: TokenAction) {
+        match action {
+            TokenAction::Forward(token) => {
+                let next = self.term.next_in_ring();
+                ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+            }
+            TokenAction::Terminate => {
+                for r in 0..ctx.n_ranks() {
+                    if r != ctx.me() {
+                        ctx.send(r, Msg::Done.wire_bytes(), Msg::Done);
+                    }
+                }
+                self.finish(ctx);
+            }
+            TokenAction::Restart => {
+                ctx.set_timer(self.cfg.probe_backoff_ns, TIMER_PROBE);
+            }
+        }
+    }
+
+    /// Observe global termination: close the open session and stop.
+    fn finish(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some(since) = self.search_since_ns.take() {
+            let dur = ctx.now().ns().saturating_sub(since);
+            self.counters.sessions += 1;
+            self.counters.session_ns += dur;
+        }
+        assert!(
+            self.stack.is_empty(),
+            "rank {} terminated with {} nodes unprocessed",
+            ctx.me(),
+            self.stack.len()
+        );
+    }
+}
+
+impl Actor for Worker {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if ctx.me() == 0 {
+            self.stack.push(self.cfg.workload.spec.root(self.cfg.workload.seed));
+            self.trace.push((ctx.local_now().ns(), true));
+            self.traced_active = true;
+            self.start_batch(ctx);
+        } else {
+            // Everyone else starts idle and hunts immediately. The
+            // initial no-work period counts as a work-discovery session
+            // from t = 0.
+            self.search_since_ns = Some(ctx.now().ns());
+            self.send_steal_request(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg) {
+        if self.computing {
+            // Arrival is not handling: a working process only answers
+            // at its polling points (paper §II-A).
+            self.pending.push_back((from, msg));
+        } else {
+            // Idle ranks answer immediately, with no queueing delay.
+            self.service_offset_ns = 0;
+            self.handle(ctx, from, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        match token {
+            TIMER_WORK => {
+                self.computing = false;
+                while let Some((from, msg)) = self.pending.pop_front() {
+                    // Servicing a message at a poll point costs the
+                    // working rank CPU time, billed to the next batch;
+                    // replies leave serially, in service order.
+                    self.service_debt_ns += self.cfg.msg_handle_ns;
+                    self.service_offset_ns += self.cfg.msg_handle_ns;
+                    self.handle(ctx, from, msg);
+                }
+                self.service_offset_ns = 0;
+                // A message handled above may already have resumed work
+                // (a lifeline push calls go_active -> start_batch), in
+                // which case a batch timer is armed and we must not
+                // start another.
+                if self.done || self.computing {
+                    return;
+                }
+                if self.stack.is_empty() {
+                    self.go_idle(ctx);
+                } else {
+                    self.start_batch(ctx);
+                }
+            }
+            TIMER_PROBE => {
+                if !self.done && self.term.should_launch_probe(self.passive()) {
+                    let token = self.term.launch_probe();
+                    let next = self.term.next_in_ring();
+                    ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+                }
+            }
+            TIMER_RETRY => {
+                if !self.done && self.outstanding.is_none() && self.stack.is_empty() {
+                    self.send_steal_request(ctx);
+                }
+            }
+            other => unreachable!("unknown timer token {other}"),
+        }
+    }
+}
+
+/// Convenience: the tree specification this worker expands (used by
+/// tests).
+pub fn spec_of(worker: &Worker) -> &TreeSpec {
+    &worker.cfg.workload.spec
+}

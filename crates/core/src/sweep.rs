@@ -1,0 +1,169 @@
+//! Multi-configuration, multi-seed experiment sweeps.
+//!
+//! The paper reports single runs per configuration; a simulator can
+//! afford replication. [`Sweep`] runs a grid of configurations across
+//! seeds and aggregates each cell into mean ± deviation summaries, so
+//! reports can state which strategy gaps are robust to scheduling
+//! noise.
+
+use crate::runner::{run_experiment, ExperimentConfig};
+use crate::scheduler::StealAmount;
+use crate::victim::VictimPolicy;
+use dws_metrics::Summary;
+use dws_topology::RankMapping;
+use dws_uts::Workload;
+
+/// One cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Legend label.
+    pub label: String,
+    /// Rank count of the cell.
+    pub ranks: u32,
+    /// Speedup across seeds.
+    pub speedup: Summary,
+    /// Efficiency across seeds.
+    pub efficiency: Summary,
+    /// Failed steals across seeds.
+    pub failed_steals: Summary,
+    /// Average work-discovery session duration (µs) across seeds.
+    pub session_us: Summary,
+}
+
+/// Sweep specification: a grid of (ranks × strategies), replicated over
+/// seeds.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Workload to search in every cell.
+    pub workload: Workload,
+    /// Rank counts to sweep.
+    pub ranks: Vec<u32>,
+    /// Strategies: (label, victim, steal).
+    pub strategies: Vec<(String, VictimPolicy, StealAmount)>,
+    /// Rank mapping for every cell.
+    pub mapping: RankMapping,
+    /// Seeds per cell.
+    pub seeds: u64,
+    /// Base seed; cell runs use `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Sweep {
+    /// A sweep over the paper's three strategies with steal-half.
+    pub fn paper_strategies(workload: Workload, ranks: Vec<u32>) -> Self {
+        Self {
+            workload,
+            ranks,
+            strategies: vec![
+                ("Reference".into(), VictimPolicy::RoundRobin, StealAmount::OneChunk),
+                ("Rand".into(), VictimPolicy::Uniform, StealAmount::OneChunk),
+                (
+                    "Tofu Half".into(),
+                    VictimPolicy::DistanceSkewed { alpha: 1.0 },
+                    StealAmount::Half,
+                ),
+            ],
+            mapping: RankMapping::OneToOne,
+            seeds: 3,
+            base_seed: 0xBA5E,
+        }
+    }
+
+    /// Execute the sweep, invoking `progress` before each run (for
+    /// logging; pass `|_| {}` to stay quiet).
+    pub fn run<F: FnMut(&ExperimentConfig)>(&self, mut progress: F) -> Vec<Cell> {
+        assert!(self.seeds > 0, "a sweep needs at least one seed");
+        assert!(!self.ranks.is_empty() && !self.strategies.is_empty());
+        let mut cells = Vec::new();
+        for &ranks in &self.ranks {
+            for (label, victim, steal) in &self.strategies {
+                let mut cell = Cell {
+                    label: label.clone(),
+                    ranks,
+                    speedup: Summary::new(),
+                    efficiency: Summary::new(),
+                    failed_steals: Summary::new(),
+                    session_us: Summary::new(),
+                };
+                for s in 0..self.seeds {
+                    let mut cfg =
+                        ExperimentConfig::new(self.workload.clone(), ranks / self.mapping.ppn())
+                            .with_victim(*victim)
+                            .with_steal(*steal)
+                            .with_mapping(self.mapping);
+                    cfg.seed = self.base_seed + s;
+                    cfg.collect_trace = false;
+                    progress(&cfg);
+                    let r = run_experiment(&cfg);
+                    cell.speedup.add(r.perf.speedup());
+                    cell.efficiency.add(r.perf.efficiency());
+                    cell.failed_steals.add(r.stats.failed_steals() as f64);
+                    cell.session_us.add(r.stats.avg_session_ns() / 1e3);
+                }
+                cells.push(cell);
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_uts::TreeSpec;
+
+    fn tiny() -> Workload {
+        Workload {
+            name: "tiny",
+            spec: TreeSpec::Binomial {
+                b0: 60,
+                m: 2,
+                q: 0.40,
+            },
+            seed: 5,
+            gen_rounds: 1,
+            base_node_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn sweep_fills_every_cell_with_every_seed() {
+        let sweep = Sweep {
+            workload: tiny(),
+            ranks: vec![4, 8],
+            strategies: vec![
+                ("A".into(), VictimPolicy::Uniform, StealAmount::OneChunk),
+                ("B".into(), VictimPolicy::RoundRobin, StealAmount::Half),
+            ],
+            mapping: RankMapping::OneToOne,
+            seeds: 2,
+            base_seed: 1,
+        };
+        let mut runs = 0;
+        let cells = sweep.run(|_| runs += 1);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(runs, 8);
+        for cell in &cells {
+            assert_eq!(cell.speedup.count(), 2);
+            assert!(cell.speedup.mean() > 0.0);
+            assert!(cell.efficiency.mean() <= 1.05);
+        }
+    }
+
+    #[test]
+    fn paper_strategy_preset() {
+        let sweep = Sweep::paper_strategies(tiny(), vec![4]);
+        assert_eq!(sweep.strategies.len(), 3);
+        let cells = sweep.run(|_| {});
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].label, "Reference");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let mut sweep = Sweep::paper_strategies(tiny(), vec![4]);
+        sweep.seeds = 0;
+        sweep.run(|_| {});
+    }
+}

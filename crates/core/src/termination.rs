@@ -1,0 +1,331 @@
+//! Distributed termination detection: a token ring.
+//!
+//! UTS detects global exhaustion "by a token-ring distributed
+//! termination algorithm" (paper §II-A). We implement Safra's variant
+//! of the Dijkstra token ring, specialized to the steal protocol:
+//!
+//! Only **work-carrying** messages (steal replies with chunks) can turn
+//! a passive process active, so only those are counted. Steal requests
+//! and empty replies are invisible to the detector — a crucial
+//! specialization, because thieves keep issuing requests right up to
+//! termination and counting them would keep the system "non-quiet"
+//! forever.
+//!
+//! Protocol (ring descending from rank 0 through N−1, N−2, … back
+//! to 0):
+//!
+//! - every rank keeps a message-count balance `c_i` (work messages sent
+//!   − received) and a colour (black after receiving work);
+//! - rank 0, when passive, launches a white token with accumulator 0;
+//! - a passive rank forwards the token after adding `c_i`, blackening
+//!   the token if the rank is black, then turns white; an active rank
+//!   holds the token until it next goes passive;
+//! - when the token returns to rank 0: if the token is white, rank 0 is
+//!   white and passive, and `q + c_0 == 0`, the system has terminated —
+//!   otherwise rank 0 reissues a probe.
+//!
+//! The struct here is pure protocol state — no I/O — so it can be
+//! driven both by the simulator scheduler and by the property tests at
+//! the bottom of this file, which hammer it with random schedules and
+//! assert it never announces termination while work is in flight.
+
+/// Colour of a rank or token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Colour {
+    /// No work message received since last token pass.
+    White,
+    /// Received work since last token pass (or token passed a black rank).
+    Black,
+}
+
+/// The circulating token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Colour accumulated along the ring.
+    pub colour: Colour,
+    /// Sum of `c_i` along the ring so far.
+    pub count: i64,
+}
+
+/// What to do with a token after [`TerminationState::try_handle_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenAction {
+    /// Forward this token to the next rank down the ring.
+    Forward(Token),
+    /// Rank 0 only: the probe proves global termination.
+    Terminate,
+    /// Rank 0 only: probe failed; reissue a fresh probe when passive.
+    Restart,
+}
+
+/// Per-rank Safra state.
+#[derive(Debug, Clone)]
+pub struct TerminationState {
+    me: u32,
+    n: u32,
+    colour: Colour,
+    /// Work messages sent minus received.
+    balance: i64,
+    /// Token parked here while this rank is active.
+    held: Option<Token>,
+    /// Rank 0 only: a probe is circulating.
+    probing: bool,
+}
+
+impl TerminationState {
+    /// Fresh state for `me` of `n` ranks.
+    pub fn new(me: u32, n: u32) -> Self {
+        assert!(n > 0 && me < n, "rank {me} outside 0..{n}");
+        Self {
+            me,
+            n,
+            colour: Colour::White,
+            balance: 0,
+            held: None,
+            probing: false,
+        }
+    }
+
+    /// The next rank down the ring (0 → N−1 → N−2 → … → 0).
+    pub fn next_in_ring(&self) -> u32 {
+        if self.me == 0 {
+            self.n - 1
+        } else {
+            self.me - 1
+        }
+    }
+
+    /// Record that this rank sent a work-carrying message.
+    pub fn on_work_sent(&mut self) {
+        self.balance += 1;
+    }
+
+    /// Record that this rank received a work-carrying message. The
+    /// receiver turns black: it may now activate ranks the token has
+    /// already passed.
+    pub fn on_work_received(&mut self) {
+        self.balance -= 1;
+        self.colour = Colour::Black;
+    }
+
+    /// Rank 0: should a fresh probe be launched? True when passive, no
+    /// probe outstanding and no parked token.
+    pub fn should_launch_probe(&self, passive: bool) -> bool {
+        self.me == 0 && passive && !self.probing && self.held.is_none()
+    }
+
+    /// Rank 0: launch a probe. Returns the token to send to rank N−1.
+    ///
+    /// # Panics
+    /// Panics if called on a non-zero rank or while a probe circulates.
+    pub fn launch_probe(&mut self) -> Token {
+        assert_eq!(self.me, 0, "only rank 0 launches probes");
+        assert!(!self.probing, "probe already outstanding");
+        self.probing = true;
+        // Rank 0 whitens at launch; its own balance is examined at
+        // return time.
+        self.colour = Colour::White;
+        Token {
+            colour: Colour::White,
+            count: 0,
+        }
+    }
+
+    /// A token arrived (or this rank just went passive while holding
+    /// one). If the rank is active the token parks and `None` is
+    /// returned; call again via [`on_became_passive`](Self::on_became_passive)
+    /// when work runs out.
+    pub fn try_handle_token(&mut self, token: Token, passive: bool) -> Option<TokenAction> {
+        if !passive {
+            assert!(self.held.is_none(), "two tokens in flight at rank {}", self.me);
+            self.held = Some(token);
+            return None;
+        }
+        Some(self.process_token(token))
+    }
+
+    /// The rank just transitioned to passive; release a parked token if
+    /// any.
+    pub fn on_became_passive(&mut self) -> Option<TokenAction> {
+        self.held.take().map(|t| self.process_token(t))
+    }
+
+    fn process_token(&mut self, token: Token) -> TokenAction {
+        if self.me == 0 {
+            self.probing = false;
+            let quiet = token.colour == Colour::White
+                && self.colour == Colour::White
+                && token.count + self.balance == 0;
+            if quiet {
+                TokenAction::Terminate
+            } else {
+                // Next probe starts clean.
+                self.colour = Colour::White;
+                TokenAction::Restart
+            }
+        } else {
+            let out = Token {
+                colour: if self.colour == Colour::Black {
+                    Colour::Black
+                } else {
+                    token.colour
+                },
+                count: token.count + self.balance,
+            };
+            self.colour = Colour::White;
+            TokenAction::Forward(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a full ring of states through one probe, given each rank's
+    /// passivity. Returns the final action at rank 0.
+    fn one_probe(states: &mut [TerminationState]) -> TokenAction {
+        let n = states.len() as u32;
+        let mut token = states[0].launch_probe();
+        let mut at = n - 1;
+        loop {
+            let action = states[at as usize]
+                .try_handle_token(token, true)
+                .expect("all passive in this helper");
+            match action {
+                TokenAction::Forward(t) => {
+                    token = t;
+                    at = states[at as usize].next_in_ring();
+                    if at == 0 {
+                        return states[0]
+                            .try_handle_token(token, true)
+                            .expect("rank 0 passive");
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn ring(n: u32) -> Vec<TerminationState> {
+        (0..n).map(|i| TerminationState::new(i, n)).collect()
+    }
+
+    #[test]
+    fn quiet_ring_terminates() {
+        let mut states = ring(5);
+        assert_eq!(one_probe(&mut states), TokenAction::Terminate);
+    }
+
+    #[test]
+    fn in_flight_work_blocks_termination() {
+        let mut states = ring(5);
+        // Rank 2 sent work that nobody has received yet.
+        states[2].on_work_sent();
+        assert_eq!(one_probe(&mut states), TokenAction::Restart);
+        // Work arrives at rank 4: balances cancel but the receiver is
+        // black, so the *next* probe must still fail...
+        states[4].on_work_received();
+        assert_eq!(one_probe(&mut states), TokenAction::Restart);
+        // ...and the one after that succeeds (everyone whitened).
+        assert_eq!(one_probe(&mut states), TokenAction::Terminate);
+    }
+
+    #[test]
+    fn active_rank_parks_token_until_passive() {
+        let mut s = TerminationState::new(3, 8);
+        let token = Token {
+            colour: Colour::White,
+            count: 0,
+        };
+        assert_eq!(s.try_handle_token(token, false), None);
+        // Going passive releases it.
+        match s.on_became_passive() {
+            Some(TokenAction::Forward(t)) => {
+                assert_eq!(t.colour, Colour::White);
+                assert_eq!(t.count, 0);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert!(s.on_became_passive().is_none(), "token released only once");
+    }
+
+    #[test]
+    fn ring_ordering_descends() {
+        let s0 = TerminationState::new(0, 4);
+        let s3 = TerminationState::new(3, 4);
+        let s1 = TerminationState::new(1, 4);
+        assert_eq!(s0.next_in_ring(), 3);
+        assert_eq!(s3.next_in_ring(), 2);
+        assert_eq!(s1.next_in_ring(), 0);
+    }
+
+    #[test]
+    fn should_launch_probe_gating() {
+        let mut s = TerminationState::new(0, 4);
+        assert!(s.should_launch_probe(true));
+        assert!(!s.should_launch_probe(false));
+        let _ = s.launch_probe();
+        assert!(!s.should_launch_probe(true), "probe already out");
+    }
+
+    #[test]
+    #[should_panic(expected = "only rank 0")]
+    fn non_zero_rank_cannot_probe() {
+        TerminationState::new(1, 4).launch_probe();
+    }
+
+    /// Randomized schedule safety: simulate work transfers with random
+    /// interleavings of probes; termination must never be announced
+    /// while any transfer is unreceived, and must eventually be
+    /// announced once the system quiets.
+    #[test]
+    fn random_schedules_never_terminate_early() {
+        use dws_simnet::DetRng;
+        for seed in 0..30u64 {
+            let mut rng = DetRng::new(seed);
+            let n = 2 + rng.next_below(6) as u32;
+            let mut states = ring(n);
+            let mut in_flight: Vec<u32> = Vec::new(); // destination ranks
+            // Random activity phase.
+            for _ in 0..rng.next_below(40) {
+                match rng.next_below(3) {
+                    0 => {
+                        let from = rng.next_below(n as u64) as usize;
+                        let to = rng.next_below(n as u64) as u32;
+                        states[from].on_work_sent();
+                        in_flight.push(to);
+                    }
+                    1 => {
+                        if let Some(to) = in_flight.pop() {
+                            states[to as usize].on_work_received();
+                        }
+                    }
+                    _ => {
+                        let result = one_probe(&mut states);
+                        if !in_flight.is_empty() {
+                            assert_eq!(
+                                result,
+                                TokenAction::Restart,
+                                "seed {seed}: terminated with {} messages in flight",
+                                in_flight.len()
+                            );
+                        }
+                    }
+                }
+            }
+            // Drain and verify liveness: at most two more probes.
+            while let Some(to) = in_flight.pop() {
+                states[to as usize].on_work_received();
+            }
+            let first = one_probe(&mut states);
+            if first != TokenAction::Terminate {
+                assert_eq!(
+                    one_probe(&mut states),
+                    TokenAction::Terminate,
+                    "seed {seed}: quiet ring failed to terminate in two probes"
+                );
+            }
+        }
+    }
+}

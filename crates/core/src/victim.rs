@@ -1,0 +1,524 @@
+//! Victim selection strategies — the heart of the paper.
+//!
+//! Three strategies, matching §II-A and §IV:
+//!
+//! - [`VictimPolicy::RoundRobin`] — the reference UTS scheme: "a
+//!   process with rank i will choose as its first victim its neighbor
+//!   (rank i+1 mod N). Subsequent steals will choose the next neighbor
+//!   in a round-robin fashion. Notice that a successful steal does not
+//!   impact this choice: the next search for work will start at the
+//!   neighbor of the last victim."
+//! - [`VictimPolicy::Uniform`] — "choosing with a uniform random
+//!   distribution over the ranks of all other MPI processes one victim
+//!   to steal. The process is repeated as long as needed, without
+//!   modification, until work is found."
+//! - [`VictimPolicy::DistanceSkewed`] — "while preserving the ability
+//!   to steal any process, weight the probability of one process
+//!   stealing another by the distance between those two":
+//!   `w(i,j) = 1/e(i,j)` (1 when `e = 0`), normalized over `j ≠ i`.
+//!   The exponent `α` generalizes the paper's `α = 1` for the
+//!   skew-exponent ablation (`w = 1/e^α`).
+//!
+//! Two interchangeable samplers implement the skewed draw: a Walker
+//! alias table (exact, `O(N)` memory per rank — what GSL does) and a
+//! rejection sampler (`O(1)` memory, needed at 8,192 ranks where
+//! per-rank alias tables would cost gigabytes). Both realize the same
+//! distribution; a statistical test in this module and the
+//! `ablation_skew_impl` bench hold them to that.
+
+use crate::alias::AliasTable;
+use dws_simnet::DetRng;
+use dws_topology::{Job, Rank};
+use std::sync::Arc;
+
+/// How a thief picks its next victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VictimPolicy {
+    /// Deterministic next-neighbour round robin (reference UTS).
+    RoundRobin,
+    /// Uniform random over all other ranks ("Rand").
+    Uniform,
+    /// Distance-skewed random ("Tofu"): `w(i,j) = 1/e(i,j)^alpha`.
+    DistanceSkewed {
+        /// Skew exponent; the paper uses 1.0.
+        alpha: f64,
+    },
+    /// Extension (paper §VII, "alternative victim selection
+    /// strategies"): weight victims by the *inverse modelled message
+    /// latency* instead of the Euclidean coordinate distance —
+    /// `w(i,j) = 1/latency(i,j)^alpha`. Unlike the coordinate skew,
+    /// this sees the full latency structure (blade/cube/rack classes
+    /// and same-node transport), not just geometry.
+    LatencySkewed {
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// Extension (related work §VI, hierarchical work stealing): try
+    /// uniformly among *same-node* ranks for `local_tries` consecutive
+    /// attempts, then fall back to uniform over everyone. Degenerates
+    /// to [`VictimPolicy::Uniform`] under 1/N mappings (no node mates).
+    Hierarchical {
+        /// Consecutive local attempts before widening the search.
+        local_tries: u32,
+    },
+}
+
+impl VictimPolicy {
+    /// The paper's name for the strategy (used in figure legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            VictimPolicy::RoundRobin => "Reference",
+            VictimPolicy::Uniform => "Rand",
+            VictimPolicy::DistanceSkewed { .. } => "Tofu",
+            VictimPolicy::LatencySkewed { .. } => "LatSkew",
+            VictimPolicy::Hierarchical { .. } => "Hier",
+        }
+    }
+
+    /// Build the per-rank selector state.
+    ///
+    /// `alias_threshold` bounds the rank count up to which the skewed
+    /// strategy precomputes an exact alias table; beyond it, rejection
+    /// sampling keeps memory flat. Both draw from the same
+    /// distribution.
+    pub fn build(&self, job: &Arc<Job>, me: Rank, alias_threshold: u32) -> VictimSelector {
+        let n = job.n_ranks();
+        assert!(n >= 2, "victim selection needs at least two ranks");
+        match *self {
+            VictimPolicy::RoundRobin => VictimSelector::RoundRobin {
+                n,
+                cursor: (me + 1) % n,
+                me,
+            },
+            VictimPolicy::Uniform => VictimSelector::Uniform { n, me },
+            VictimPolicy::DistanceSkewed { alpha } => {
+                if n <= alias_threshold {
+                    let weights: Vec<f64> = (0..n)
+                        .filter(|&j| j != me)
+                        .map(|j| skew_weight(job, me, j, alpha))
+                        .collect();
+                    VictimSelector::SkewedAlias {
+                        table: AliasTable::new(&weights),
+                        me,
+                    }
+                } else {
+                    VictimSelector::SkewedRejection {
+                        job: Arc::clone(job),
+                        me,
+                        alpha,
+                    }
+                }
+            }
+            VictimPolicy::LatencySkewed { alpha } => {
+                // Latency weights are bounded but not by 1, so the O(1)
+                // rejection trick does not apply directly; use an alias
+                // table at any scale (memory documented in DESIGN.md).
+                let weights: Vec<f64> = (0..n)
+                    .filter(|&j| j != me)
+                    .map(|j| latency_weight(job, me, j, alpha))
+                    .collect();
+                VictimSelector::SkewedAlias {
+                    table: AliasTable::new(&weights),
+                    me,
+                }
+            }
+            VictimPolicy::Hierarchical { local_tries } => {
+                let mates: Vec<Rank> = (0..n)
+                    .filter(|&j| j != me && job.same_node(me, j))
+                    .collect();
+                VictimSelector::Hierarchical {
+                    mates,
+                    n,
+                    me,
+                    local_tries,
+                    tries_left: local_tries,
+                }
+            }
+        }
+    }
+
+    /// The normalized probability `p(i, j)` this policy assigns — the
+    /// quantity plotted in Figure 8. Uniform over others for the
+    /// non-skewed random policy; `None` for the deterministic one.
+    pub fn probability(&self, job: &Job, i: Rank, j: Rank) -> Option<f64> {
+        if i == j {
+            return Some(0.0);
+        }
+        match *self {
+            VictimPolicy::RoundRobin => None,
+            VictimPolicy::Uniform => Some(1.0 / (job.n_ranks() - 1) as f64),
+            VictimPolicy::DistanceSkewed { alpha } => {
+                let total: f64 = (0..job.n_ranks())
+                    .filter(|&k| k != i)
+                    .map(|k| skew_weight(job, i, k, alpha))
+                    .sum();
+                Some(skew_weight(job, i, j, alpha) / total)
+            }
+            VictimPolicy::LatencySkewed { alpha } => {
+                let total: f64 = (0..job.n_ranks())
+                    .filter(|&k| k != i)
+                    .map(|k| latency_weight(job, i, k, alpha))
+                    .sum();
+                Some(latency_weight(job, i, j, alpha) / total)
+            }
+            // The hierarchical scheme's draw distribution depends on
+            // its retry state, so a static PDF is not defined.
+            VictimPolicy::Hierarchical { .. } => None,
+        }
+    }
+}
+
+/// Extension weight: inverse modelled one-way latency (for a
+/// steal-request-sized message), raised to `alpha`.
+#[inline]
+pub fn latency_weight(job: &Job, i: Rank, j: Rank, alpha: f64) -> f64 {
+    let lat = job.latency_ns(i, j, 16) as f64;
+    lat.powf(alpha).recip()
+}
+
+/// The paper's weight: `1/e(i,j)^alpha`, with `w = 1` when the ranks
+/// share a node (`e = 0`).
+#[inline]
+pub fn skew_weight(job: &Job, i: Rank, j: Rank, alpha: f64) -> f64 {
+    let e = job.euclidean(i, j);
+    if e == 0.0 {
+        1.0
+    } else {
+        e.powf(alpha).recip()
+    }
+}
+
+/// Per-rank victim-selection state.
+pub enum VictimSelector {
+    /// Deterministic round robin with a persistent cursor.
+    RoundRobin {
+        /// Rank count.
+        n: u32,
+        /// Next victim to try.
+        cursor: Rank,
+        /// Owning rank (skipped by the cursor).
+        me: Rank,
+    },
+    /// Uniform over the other ranks.
+    Uniform {
+        /// Rank count.
+        n: u32,
+        /// Owning rank.
+        me: Rank,
+    },
+    /// Distance-skewed via a precomputed alias table (small N).
+    SkewedAlias {
+        /// Table over the `n − 1` other ranks, in rank order.
+        table: AliasTable,
+        /// Owning rank.
+        me: Rank,
+    },
+    /// Distance-skewed via rejection sampling (large N, O(1) memory).
+    SkewedRejection {
+        /// Topology handle for distance queries.
+        job: Arc<Job>,
+        /// Owning rank.
+        me: Rank,
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// Two-level hierarchical selection: node mates first, then global.
+    Hierarchical {
+        /// Ranks sharing this rank's node.
+        mates: Vec<Rank>,
+        /// Total rank count.
+        n: u32,
+        /// Owning rank.
+        me: Rank,
+        /// Local attempts per burst.
+        local_tries: u32,
+        /// Local attempts remaining before widening.
+        tries_left: u32,
+    },
+}
+
+impl VictimSelector {
+    /// Pick the next victim to try. Never returns the owning rank.
+    pub fn next_victim(&mut self, rng: &mut DetRng) -> Rank {
+        match self {
+            VictimSelector::RoundRobin { n, cursor, me } => {
+                let mut v = *cursor;
+                if v == *me {
+                    v = (v + 1) % *n;
+                }
+                *cursor = (v + 1) % *n;
+                v
+            }
+            VictimSelector::Uniform { n, me } => {
+                let draw = rng.next_below(*n as u64 - 1) as u32;
+                if draw >= *me {
+                    draw + 1
+                } else {
+                    draw
+                }
+            }
+            VictimSelector::SkewedAlias { table, me } => {
+                let idx = table.sample(rng) as u32;
+                if idx >= *me {
+                    idx + 1
+                } else {
+                    idx
+                }
+            }
+            VictimSelector::SkewedRejection { job, me, alpha } => {
+                // Proposal: uniform over others. Accept with w/1.0 —
+                // valid because e >= 1 between distinct nodes, so
+                // w = 1/e^alpha <= 1 (and w = 1 for node mates).
+                let n = job.n_ranks();
+                loop {
+                    let draw = rng.next_below(n as u64 - 1) as u32;
+                    let j = if draw >= *me { draw + 1 } else { draw };
+                    let w = skew_weight(job, *me, j, *alpha);
+                    if rng.next_f64() < w {
+                        return j;
+                    }
+                }
+            }
+            VictimSelector::Hierarchical {
+                mates,
+                n,
+                me,
+                local_tries,
+                tries_left,
+            } => {
+                if !mates.is_empty() && *tries_left > 0 {
+                    *tries_left -= 1;
+                    let idx = rng.next_below(mates.len() as u64) as usize;
+                    mates[idx]
+                } else {
+                    // One global draw, then restart the local burst.
+                    *tries_left = *local_tries;
+                    let draw = rng.next_below(*n as u64 - 1) as u32;
+                    if draw >= *me {
+                        draw + 1
+                    } else {
+                        draw
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_topology::RankMapping;
+
+    fn job(n: u32, mapping: RankMapping) -> Arc<Job> {
+        Arc::new(Job::compact(n, mapping))
+    }
+
+    #[test]
+    fn round_robin_walks_neighbours_and_skips_self() {
+        let job = job(4, RankMapping::OneToOne);
+        let mut sel = VictimPolicy::RoundRobin.build(&job, 2, 1024);
+        let mut rng = DetRng::new(0);
+        let picks: Vec<Rank> = (0..6).map(|_| sel.next_victim(&mut rng)).collect();
+        assert_eq!(picks, vec![3, 0, 1, 3, 0, 1], "cursor must skip rank 2");
+    }
+
+    #[test]
+    fn round_robin_cursor_persists_across_searches() {
+        // The paper: "a successful steal does not impact this choice" —
+        // our cursor simply continues; there is no reset API at all.
+        let job = job(8, RankMapping::OneToOne);
+        let mut sel = VictimPolicy::RoundRobin.build(&job, 0, 1024);
+        let mut rng = DetRng::new(0);
+        assert_eq!(sel.next_victim(&mut rng), 1);
+        assert_eq!(sel.next_victim(&mut rng), 2);
+        // ... steal succeeds here, search later resumes at 3 ...
+        assert_eq!(sel.next_victim(&mut rng), 3);
+    }
+
+    #[test]
+    fn uniform_covers_all_other_ranks() {
+        let job = job(8, RankMapping::OneToOne);
+        let mut sel = VictimPolicy::Uniform.build(&job, 3, 1024);
+        let mut rng = DetRng::new(7);
+        let mut seen = [0u32; 8];
+        for _ in 0..8_000 {
+            seen[sel.next_victim(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[3], 0, "must never pick self");
+        for (r, &c) in seen.iter().enumerate() {
+            if r != 3 {
+                assert!(
+                    (c as i64 - 1_143).abs() < 200,
+                    "rank {r} picked {c} times, expected ~1143"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_nearby_ranks() {
+        let job = job(64, RankMapping::OneToOne);
+        let mut sel = VictimPolicy::DistanceSkewed { alpha: 1.0 }.build(&job, 0, 1024);
+        let mut rng = DetRng::new(11);
+        let mut counts = vec![0u32; 64];
+        let draws = 60_000;
+        for _ in 0..draws {
+            counts[sel.next_victim(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        // Empirical frequencies must match the analytic distribution.
+        for j in 1..64u32 {
+            let p = VictimPolicy::DistanceSkewed { alpha: 1.0 }
+                .probability(&job, 0, j)
+                .expect("skewed policy has probabilities");
+            let expect = p * draws as f64;
+            if expect > 200.0 {
+                let err = (counts[j as usize] as f64 - expect).abs() / expect;
+                assert!(
+                    err < 0.15,
+                    "rank {j}: {} draws vs expected {expect:.0}",
+                    counts[j as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_and_rejection_samplers_agree() {
+        let job = job(48, RankMapping::OneToOne);
+        let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+        let draws = 50_000;
+        let histogram = |mut sel: VictimSelector, seed: u64| {
+            let mut rng = DetRng::new(seed);
+            let mut counts = vec![0f64; 48];
+            for _ in 0..draws {
+                counts[sel.next_victim(&mut rng) as usize] += 1.0;
+            }
+            counts
+        };
+        // threshold 1024 -> alias; threshold 0 -> rejection.
+        let a = histogram(policy.build(&job, 5, 1024), 3);
+        let r = histogram(policy.build(&job, 5, 0), 4);
+        for j in 0..48 {
+            let diff = (a[j] - r[j]).abs();
+            let scale = a[j].max(r[j]).max(50.0);
+            assert!(
+                diff / scale < 0.25,
+                "rank {j}: alias {} vs rejection {}",
+                a[j],
+                r[j]
+            );
+        }
+    }
+
+    #[test]
+    fn same_node_ranks_get_max_weight() {
+        let job = job(4, RankMapping::Grouped { ppn: 4 });
+        // All 16 ranks; ranks 0..4 share node 0 with rank 0.
+        let w_mate = skew_weight(&job, 0, 1, 1.0);
+        let w_far = skew_weight(&job, 0, 15, 1.0);
+        assert_eq!(w_mate, 1.0);
+        assert!(w_far < 1.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let job = job(32, RankMapping::OneToOne);
+        for policy in [
+            VictimPolicy::Uniform,
+            VictimPolicy::DistanceSkewed { alpha: 1.0 },
+            VictimPolicy::DistanceSkewed { alpha: 2.0 },
+        ] {
+            let sum: f64 = (0..32)
+                .map(|j| policy.probability(&job, 3, j).expect("randomized policy"))
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", policy.label());
+        }
+        assert!(VictimPolicy::RoundRobin.probability(&job, 0, 1).is_none());
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_uniform() {
+        let job = job(16, RankMapping::OneToOne);
+        let skew = VictimPolicy::DistanceSkewed { alpha: 0.0 };
+        for j in 1..16 {
+            let p = skew.probability(&job, 0, j).expect("probabilities exist");
+            assert!((p - 1.0 / 15.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(VictimPolicy::RoundRobin.label(), "Reference");
+        assert_eq!(VictimPolicy::Uniform.label(), "Rand");
+        assert_eq!(VictimPolicy::DistanceSkewed { alpha: 1.0 }.label(), "Tofu");
+        assert_eq!(VictimPolicy::LatencySkewed { alpha: 1.0 }.label(), "LatSkew");
+        assert_eq!(VictimPolicy::Hierarchical { local_tries: 3 }.label(), "Hier");
+    }
+
+    #[test]
+    fn latency_skew_prefers_node_mates_strongly() {
+        // Grouped mapping: ranks 0..8 share a node. Same-node latency
+        // (600ns) vs cross-machine latency (microseconds) gives the
+        // latency skew far more contrast than the coordinate skew.
+        let job = job(16, RankMapping::Grouped { ppn: 8 });
+        let policy = VictimPolicy::LatencySkewed { alpha: 1.0 };
+        let p_mate = policy.probability(&job, 0, 1).expect("probabilities");
+        // Rank 127 sits on the last allocated node — one cube over,
+        // same rack under the compact allocation (~2.1 us vs ~1.0 us).
+        let p_far = policy.probability(&job, 0, 127).expect("probabilities");
+        assert!(
+            p_mate > 1.8 * p_far,
+            "node mate {p_mate} should dominate same-rack rank {p_far}"
+        );
+        let sum: f64 = (0..128)
+            .map(|j| policy.probability(&job, 0, j).expect("probabilities"))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchical_bursts_locally_then_widens() {
+        let job = job(2, RankMapping::Grouped { ppn: 8 });
+        // Ranks 0..8 on node 0, ranks 8..16 on node 1.
+        let mut sel = VictimPolicy::Hierarchical { local_tries: 3 }.build(&job, 0, 1024);
+        let mut rng = DetRng::new(5);
+        let picks: Vec<Rank> = (0..8).map(|_| sel.next_victim(&mut rng)).collect();
+        // First 3 picks are node mates (ranks 1..8).
+        for (i, &p) in picks.iter().take(3).enumerate() {
+            assert!((1..8).contains(&p), "pick {i} = {p} should be a node mate");
+        }
+        // The 4th is the global draw; afterwards the local burst restarts.
+        for (i, &p) in picks.iter().enumerate().skip(4).take(3) {
+            assert!((1..8).contains(&p), "pick {i} = {p} should be a node mate");
+        }
+        // No pick is ever self.
+        assert!(picks.iter().all(|&p| p != 0));
+    }
+
+    #[test]
+    fn hierarchical_without_mates_is_global() {
+        let job = job(8, RankMapping::OneToOne);
+        let mut sel = VictimPolicy::Hierarchical { local_tries: 4 }.build(&job, 2, 1024);
+        let mut rng = DetRng::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            let v = sel.next_victim(&mut rng);
+            assert_ne!(v, 2);
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 7, "all others reachable");
+    }
+
+    #[test]
+    fn extension_policies_have_no_pdf_or_a_valid_one() {
+        let job = job(16, RankMapping::OneToOne);
+        assert!(VictimPolicy::Hierarchical { local_tries: 2 }
+            .probability(&job, 0, 1)
+            .is_none());
+        assert!(VictimPolicy::LatencySkewed { alpha: 2.0 }
+            .probability(&job, 0, 1)
+            .is_some());
+    }
+}

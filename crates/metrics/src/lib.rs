@@ -1,0 +1,44 @@
+//! # dws-metrics
+//!
+//! The measurement side of the reproduction: the paper's
+//! scheduling-latency metric and the per-run statistics its figures are
+//! drawn from.
+//!
+//! - [`trace`] — lightweight per-rank activity traces (active ⇄ idle
+//!   transitions) with clock-skew correction;
+//! - [`occupancy`] — `workers(t)`, `Wmax`, occupancy `O(t)`, and the
+//!   starting/ending latencies `SL(x)` / `EL(x)` of §III;
+//! - [`steal_stats`] — failed steals, search time, and work-discovery
+//!   sessions (§V-A);
+//! - [`report`] — efficiency/speedup math, text tables, CSV output and
+//!   terminal ASCII charts for regenerating the paper's figures.
+//!
+//! ## Example: computing a starting latency
+//!
+//! ```
+//! use dws_metrics::{ActivityTrace, OccupancyCurve};
+//!
+//! let mut trace = ActivityTrace::new(2);
+//! trace.record(0, 0, true);      // rank 0 active at t=0
+//! trace.record(1, 50, true);     // rank 1 gets work at t=50
+//! trace.record(0, 100, false);
+//! trace.record(1, 100, false);
+//! let curve = OccupancyCurve::from_trace(&trace, 100);
+//! // 100% occupancy is first reached at t=50 of a 100ns run: SL = 50%.
+//! assert_eq!(curve.starting_latency(1.0), Some(0.5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lifestory;
+pub mod occupancy;
+pub mod report;
+pub mod steal_stats;
+pub mod summary;
+pub mod trace;
+
+pub use occupancy::OccupancyCurve;
+pub use report::{ascii_chart, render_table, write_csv, Perf};
+pub use steal_stats::{RunStats, StealStats};
+pub use summary::Summary;
+pub use trace::{ActivityTrace, Transition};

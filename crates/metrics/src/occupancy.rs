@@ -1,0 +1,279 @@
+//! Occupancy curves and the paper's starting/ending latency metric.
+//!
+//! From an [`ActivityTrace`] we build the
+//! step function `workers(t)` — the number of active processes at time
+//! `t` — and derive (paper §III):
+//!
+//! - `Wmax`: the maximum number of simultaneously active workers;
+//! - the occupancy ratio `O(t) = workers(t) / N`;
+//! - the **starting latency** `SL(x) = min{t : O(t) ≥ x} / T`: how far
+//!   into the run the scheduler first drives occupancy up to `x`;
+//! - the **ending latency** `EL(x) = (T − max{t : O(t) ≥ x}) / T`: how
+//!   far before the end occupancy last was at least `x`.
+//!
+//! The paper's example: "an execution where the first time 10% of the
+//! processes have work happens 5% of the execution time after beginning
+//! has SL(10%) = 5%".
+
+use crate::trace::ActivityTrace;
+
+/// The `workers(t)` step function of one run.
+#[derive(Debug, Clone)]
+pub struct OccupancyCurve {
+    /// `(time_ns, workers)` steps, time-sorted, starting at `t = 0`
+    /// with 0 workers.
+    steps: Vec<(u64, u32)>,
+    n_ranks: u32,
+    /// Run length used to normalize latencies.
+    total_ns: u64,
+}
+
+impl OccupancyCurve {
+    /// Build the curve from a trace and the run's total duration.
+    ///
+    /// # Panics
+    /// Panics if the trace fails validation ([`ActivityTrace::check`]).
+    pub fn from_trace(trace: &ActivityTrace, total_ns: u64) -> Self {
+        trace
+            .check()
+            .unwrap_or_else(|e| panic!("invalid activity trace: {e}"));
+        let mut deltas: Vec<(u64, i32)> = trace
+            .transitions()
+            .iter()
+            .map(|t| (t.at_ns, if t.active { 1 } else { -1 }))
+            .collect();
+        deltas.sort_by_key(|&(t, d)| (t, -d));
+        let mut steps = Vec::with_capacity(deltas.len() + 1);
+        steps.push((0u64, 0u32));
+        let mut current: i64 = 0;
+        for (t, d) in deltas {
+            current += d as i64;
+            debug_assert!(current >= 0, "negative worker count at {t}");
+            let w = current.max(0) as u32;
+            match steps.last_mut() {
+                Some(last) if last.0 == t => last.1 = w,
+                _ => steps.push((t, w)),
+            }
+        }
+        Self {
+            steps,
+            n_ranks: trace.n_ranks(),
+            total_ns,
+        }
+    }
+
+    /// Number of processes in the run (the denominator of `O(t)`).
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    /// Run length in nanoseconds.
+    #[inline]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// `workers(t)`: active processes at time `t_ns`.
+    pub fn workers_at(&self, t_ns: u64) -> u32 {
+        match self.steps.binary_search_by_key(&t_ns, |&(t, _)| t) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => 0,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// Maximum simultaneous workers over the whole run (paper: `Wmax`).
+    pub fn w_max(&self) -> u32 {
+        self.steps.iter().map(|&(_, w)| w).max().unwrap_or(0)
+    }
+
+    /// First time occupancy reaches at least `x` (fraction of ranks),
+    /// in nanoseconds; `None` if it never does.
+    pub fn first_reach_ns(&self, x: f64) -> Option<u64> {
+        let need = self.required_workers(x);
+        self.steps.iter().find(|&&(_, w)| w >= need).map(|&(t, _)| t)
+    }
+
+    /// Last time occupancy is at least `x`, in nanoseconds; `None` if
+    /// it never reaches `x`.
+    pub fn last_reach_ns(&self, x: f64) -> Option<u64> {
+        let need = self.required_workers(x);
+        // The curve holds its value until the next step: the *last
+        // moment* occupancy >= x is the step where it drops below,
+        // or total_ns if it never drops after the final qualifying step.
+        let mut last: Option<u64> = None;
+        for window in self.steps.windows(2) {
+            let (t0, w0) = window[0];
+            let (t1, _) = window[1];
+            if w0 >= need {
+                let _ = t0;
+                last = Some(t1);
+            }
+        }
+        if let Some(&(t_end, w_end)) = self.steps.last() {
+            if w_end >= need {
+                let _ = t_end;
+                last = Some(self.total_ns);
+            }
+        }
+        last
+    }
+
+    /// Starting latency `SL(x)` as a fraction of the run, the paper's
+    /// headline metric. `None` if occupancy never reaches `x`.
+    pub fn starting_latency(&self, x: f64) -> Option<f64> {
+        self.first_reach_ns(x)
+            .map(|t| t as f64 / self.total_ns.max(1) as f64)
+    }
+
+    /// Ending latency `EL(x)` as a fraction of the run.
+    pub fn ending_latency(&self, x: f64) -> Option<f64> {
+        self.last_reach_ns(x)
+            .map(|t| (self.total_ns.saturating_sub(t)) as f64 / self.total_ns.max(1) as f64)
+    }
+
+    /// Sample `SL` and `EL` at every integer occupancy percentage in
+    /// `[1, upto_percent]`, yielding `(percent, SL, EL)` rows — the data
+    /// series of Figures 4, 5, 12 and 13.
+    pub fn latency_series(&self, upto_percent: u32) -> Vec<(u32, Option<f64>, Option<f64>)> {
+        (1..=upto_percent)
+            .map(|p| {
+                let x = p as f64 / 100.0;
+                (p, self.starting_latency(x), self.ending_latency(x))
+            })
+            .collect()
+    }
+
+    /// ∫ workers(t) dt over the run, in worker-nanoseconds: the total
+    /// busy time, a cross-check against per-rank accounting.
+    pub fn busy_integral_ns(&self) -> u128 {
+        let mut total: u128 = 0;
+        for window in self.steps.windows(2) {
+            let (t0, w0) = window[0];
+            let (t1, _) = window[1];
+            total += (t1 - t0) as u128 * w0 as u128;
+        }
+        if let Some(&(t, w)) = self.steps.last() {
+            total += self.total_ns.saturating_sub(t) as u128 * w as u128;
+        }
+        total
+    }
+
+    /// Average occupancy over the run, in `[0, 1]`.
+    pub fn average_occupancy(&self) -> f64 {
+        if self.total_ns == 0 || self.n_ranks == 0 {
+            return 0.0;
+        }
+        self.busy_integral_ns() as f64 / (self.total_ns as f64 * self.n_ranks as f64)
+    }
+
+    fn required_workers(&self, x: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&x), "occupancy fraction {x} outside [0,1]");
+        (x * self.n_ranks as f64).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 ranks: 0 starts at t=0, 1 at 10, 2 at 20, 3 at 30; all stop in
+    /// reverse order at 70, 80, 90, 100. Total = 100.
+    fn staircase() -> OccupancyCurve {
+        let mut tr = ActivityTrace::new(4);
+        for (r, t) in [(0u32, 0u64), (1, 10), (2, 20), (3, 30)] {
+            tr.record(r, t, true);
+        }
+        for (r, t) in [(3u32, 70u64), (2, 80), (1, 90), (0, 100)] {
+            tr.record(r, t, false);
+        }
+        OccupancyCurve::from_trace(&tr, 100)
+    }
+
+    #[test]
+    fn workers_step_function() {
+        let c = staircase();
+        assert_eq!(c.workers_at(0), 1);
+        assert_eq!(c.workers_at(5), 1);
+        assert_eq!(c.workers_at(10), 2);
+        assert_eq!(c.workers_at(35), 4);
+        assert_eq!(c.workers_at(75), 3);
+        assert_eq!(c.workers_at(100), 0);
+        assert_eq!(c.w_max(), 4);
+    }
+
+    #[test]
+    fn starting_latency_matches_paper_definition() {
+        let c = staircase();
+        // 25% of 4 ranks = 1 worker, first at t=0 -> SL = 0.
+        assert_eq!(c.starting_latency(0.25), Some(0.0));
+        // 50% = 2 workers at t=10 -> SL = 10%.
+        assert_eq!(c.starting_latency(0.5), Some(0.10));
+        // 100% = 4 workers at t=30 -> SL = 30%.
+        assert_eq!(c.starting_latency(1.0), Some(0.30));
+    }
+
+    #[test]
+    fn ending_latency_matches_paper_definition() {
+        let c = staircase();
+        // 4 workers last at t=70 -> EL = (100-70)/100.
+        assert_eq!(c.ending_latency(1.0), Some(0.30));
+        // 2 workers until t=90 -> EL = 10%.
+        assert_eq!(c.ending_latency(0.5), Some(0.10));
+        // >=1 worker until the very end -> EL = 0.
+        assert_eq!(c.ending_latency(0.25), Some(0.0));
+    }
+
+    #[test]
+    fn unreachable_occupancy_returns_none() {
+        let mut tr = ActivityTrace::new(4);
+        tr.record(0, 0, true);
+        tr.record(0, 50, false);
+        let c = OccupancyCurve::from_trace(&tr, 100);
+        assert_eq!(c.starting_latency(0.5), None);
+        assert_eq!(c.ending_latency(0.5), None);
+        assert_eq!(c.w_max(), 1);
+    }
+
+    #[test]
+    fn busy_integral_equals_trace_busy_time() {
+        let c = staircase();
+        // Busy: rank0 100, rank1 80, rank2 60, rank3 40 = 280.
+        assert_eq!(c.busy_integral_ns(), 280);
+        assert!((c.average_occupancy() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_series_is_monotone() {
+        let c = staircase();
+        let series = c.latency_series(100);
+        let mut prev_sl = 0.0;
+        for (_, sl, _) in &series {
+            let sl = sl.expect("staircase reaches all occupancies");
+            assert!(sl >= prev_sl, "SL must be non-decreasing in x");
+            prev_sl = sl;
+        }
+    }
+
+    #[test]
+    fn simultaneous_transitions_collapse_into_one_step() {
+        let mut tr = ActivityTrace::new(2);
+        tr.record(0, 10, true);
+        tr.record(1, 10, true);
+        tr.record(0, 20, false);
+        tr.record(1, 20, false);
+        let c = OccupancyCurve::from_trace(&tr, 30);
+        assert_eq!(c.workers_at(10), 2);
+        assert_eq!(c.workers_at(20), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid activity trace")]
+    fn from_trace_rejects_broken_traces() {
+        let mut tr = ActivityTrace::new(1);
+        // Every rank starts idle, so an initial idle record is invalid.
+        tr.record(0, 0, false);
+        OccupancyCurve::from_trace(&tr, 10);
+    }
+}

@@ -1,0 +1,246 @@
+//! Efficiency, speedup, and human-readable report rendering.
+//!
+//! The paper's headline charts report *efficiency* (Figure 2) and
+//! *speedup* (Figures 3, 6, 9, 11) against an extrapolated
+//! single-process time `T₁`. With a simulator we can compute `T₁`
+//! exactly: it is the tree size times the per-node cost, because a
+//! single process never communicates.
+
+use std::fmt::Write as _;
+
+/// Performance summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perf {
+    /// Number of ranks.
+    pub n_ranks: u32,
+    /// Simulated makespan in nanoseconds.
+    pub makespan_ns: u64,
+    /// Single-process reference time in nanoseconds.
+    pub t1_ns: u64,
+}
+
+impl Perf {
+    /// Speedup `T₁ / T_N`.
+    pub fn speedup(&self) -> f64 {
+        self.t1_ns as f64 / self.makespan_ns.max(1) as f64
+    }
+
+    /// Efficiency `T₁ / (N · T_N)`, the y-axis of Figure 2.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.n_ranks as f64
+    }
+}
+
+/// Render rows as an aligned text table with a header.
+///
+/// All rows must have the same arity as the header; numbers should be
+/// pre-formatted by the caller.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity differs from header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Write rows as CSV with minimal quoting (fields containing commas,
+/// quotes or newlines are double-quoted).
+pub fn write_csv<W: std::io::Write>(
+    mut w: W,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let quote = |field: &str| -> String {
+        if field.contains([',', '"', '\n']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    };
+    writeln!(
+        w,
+        "{}",
+        header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+    )?;
+    for row in rows {
+        writeln!(
+            w,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    Ok(())
+}
+
+/// Render an ASCII chart of one or more `(x, y)` series, normalized to
+/// the data range — enough to eyeball the shape of a latency curve or a
+/// speedup trend in a terminal. Each series gets a distinct glyph.
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 8 && height >= 2, "chart too small to draw");
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = format!("{title}\n");
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx.min(width - 1)] = glyph;
+        }
+    }
+    let _ = writeln!(out, "y: [{ymin:.3}, {ymax:.3}]  x: [{xmin:.3}, {xmax:.3}]");
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_math() {
+        let p = Perf {
+            n_ranks: 4,
+            makespan_ns: 250,
+            t1_ns: 1_000,
+        };
+        assert_eq!(p.speedup(), 4.0);
+        assert_eq!(p.efficiency(), 1.0);
+        let worse = Perf {
+            n_ranks: 4,
+            makespan_ns: 500,
+            t1_ns: 1_000,
+        };
+        assert_eq!(worse.efficiency(), 0.5);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("12345"));
+        // All data lines equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_ragged_rows() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["x", "note"],
+            &[vec!["1".into(), "hello, \"world\"".into()]],
+        )
+        .expect("write to Vec cannot fail");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        assert_eq!(s, "x,note\n1,\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = ascii_chart(
+            "test",
+            &[
+                ("up", vec![(0.0, 0.0), (1.0, 1.0)]),
+                ("down", vec![(0.0, 1.0), (1.0, 0.0)]),
+            ],
+            20,
+            5,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("up"));
+        assert!(s.contains("down"));
+    }
+
+    #[test]
+    fn chart_survives_degenerate_data() {
+        let s = ascii_chart("flat", &[("p", vec![(1.0, 2.0)])], 10, 3);
+        assert!(s.contains('*'));
+        let empty = ascii_chart("none", &[("p", vec![])], 10, 3);
+        assert!(empty.contains("no data"));
+        let nan = ascii_chart("nan", &[("p", vec![(f64::NAN, 1.0)])], 10, 3);
+        assert!(nan.contains("no data"));
+    }
+}

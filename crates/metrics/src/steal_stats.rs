@@ -1,0 +1,245 @@
+//! Per-rank steal statistics and work-discovery sessions.
+//!
+//! The paper reads three more numbers off each run (§V-A):
+//!
+//! - **failed steals** — steal requests "answered negatively"
+//!   (Figures 7 and 15);
+//! - **search time** — "the portion of the execution time a process was
+//!   waiting for a steal answer (work or no work)" (Figure 14);
+//! - **work-discovery sessions** — "a work discovery session starts
+//!   when a process exhausts its work and ends with either work in the
+//!   queue or application termination" (Figure 10).
+
+/// Counters kept by each rank's scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Steal requests this rank issued.
+    pub steal_attempts: u64,
+    /// Requests answered with work.
+    pub steals_ok: u64,
+    /// Requests answered negatively.
+    pub steals_failed: u64,
+    /// Chunks received via steals.
+    pub chunks_received: u64,
+    /// Tree nodes received via steals.
+    pub nodes_received: u64,
+    /// Chunks this rank gave away to thieves.
+    pub chunks_given: u64,
+    /// Tree nodes this rank gave away to thieves.
+    pub nodes_given: u64,
+    /// Nanoseconds spent waiting for steal answers (search time).
+    pub search_ns: u64,
+    /// Completed work-discovery sessions.
+    pub sessions: u64,
+    /// Total duration of completed work-discovery sessions.
+    pub session_ns: u64,
+    /// Tree nodes this rank expanded itself.
+    pub nodes_processed: u64,
+    /// Lifeline extension: times this rank went dormant.
+    pub lifeline_dormancies: u64,
+    /// Lifeline extension: chunks pushed to dormant buddies.
+    pub lifeline_pushes: u64,
+}
+
+impl StealStats {
+    /// Sum two ranks' counters.
+    pub fn merge(&self, o: &StealStats) -> StealStats {
+        StealStats {
+            steal_attempts: self.steal_attempts + o.steal_attempts,
+            steals_ok: self.steals_ok + o.steals_ok,
+            steals_failed: self.steals_failed + o.steals_failed,
+            chunks_received: self.chunks_received + o.chunks_received,
+            nodes_received: self.nodes_received + o.nodes_received,
+            chunks_given: self.chunks_given + o.chunks_given,
+            nodes_given: self.nodes_given + o.nodes_given,
+            search_ns: self.search_ns + o.search_ns,
+            sessions: self.sessions + o.sessions,
+            session_ns: self.session_ns + o.session_ns,
+            nodes_processed: self.nodes_processed + o.nodes_processed,
+            lifeline_dormancies: self.lifeline_dormancies + o.lifeline_dormancies,
+            lifeline_pushes: self.lifeline_pushes + o.lifeline_pushes,
+        }
+    }
+
+    /// Internal consistency: every attempt succeeded or failed.
+    pub fn check(&self) -> Result<(), String> {
+        if self.steals_ok + self.steals_failed != self.steal_attempts {
+            return Err(format!(
+                "attempts {} != ok {} + failed {}",
+                self.steal_attempts, self.steals_ok, self.steals_failed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated statistics over all ranks of a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-rank counters, indexed by rank.
+    pub per_rank: Vec<StealStats>,
+}
+
+impl RunStats {
+    /// Wrap per-rank counters.
+    pub fn new(per_rank: Vec<StealStats>) -> Self {
+        Self { per_rank }
+    }
+
+    /// Totals over all ranks.
+    pub fn total(&self) -> StealStats {
+        self.per_rank
+            .iter()
+            .fold(StealStats::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Total failed steals (the y-axis of Figures 7 and 15).
+    pub fn failed_steals(&self) -> u64 {
+        self.total().steals_failed
+    }
+
+    /// Mean per-rank search time in nanoseconds (Figure 14 reports
+    /// seconds; callers convert).
+    pub fn avg_search_ns(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.total().search_ns as f64 / self.per_rank.len() as f64
+    }
+
+    /// Mean duration of a work-discovery session in nanoseconds
+    /// (Figure 10 reports milliseconds; callers convert).
+    pub fn avg_session_ns(&self) -> f64 {
+        let t = self.total();
+        if t.sessions == 0 {
+            return 0.0;
+        }
+        t.session_ns as f64 / t.sessions as f64
+    }
+
+    /// Mean number of sessions per rank (the paper quotes "6800 work
+    /// discovery sessions" per rank for one configuration).
+    pub fn avg_sessions_per_rank(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            return 0.0;
+        }
+        self.total().sessions as f64 / self.per_rank.len() as f64
+    }
+
+    /// Work conservation: nodes given away must equal nodes received,
+    /// and every steal answered with work must appear on both sides.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let t = self.total();
+        if t.nodes_given != t.nodes_received {
+            return Err(format!(
+                "nodes given {} != nodes received {}",
+                t.nodes_given, t.nodes_received
+            ));
+        }
+        if t.chunks_given != t.chunks_received {
+            return Err(format!(
+                "chunks given {} != chunks received {}",
+                t.chunks_given, t.chunks_received
+            ));
+        }
+        for (rank, s) in self.per_rank.iter().enumerate() {
+            s.check().map_err(|e| format!("rank {rank}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total nodes expanded across all ranks — must equal the tree size.
+    pub fn nodes_processed(&self) -> u64 {
+        self.total().nodes_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(attempts: u64, ok: u64) -> StealStats {
+        StealStats {
+            steal_attempts: attempts,
+            steals_ok: ok,
+            steals_failed: attempts - ok,
+            ..StealStats::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = StealStats {
+            nodes_processed: 10,
+            search_ns: 5,
+            ..stats(4, 2)
+        };
+        let b = StealStats {
+            nodes_processed: 20,
+            search_ns: 7,
+            ..stats(6, 6)
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.steal_attempts, 10);
+        assert_eq!(m.steals_ok, 8);
+        assert_eq!(m.nodes_processed, 30);
+        assert_eq!(m.search_ns, 12);
+    }
+
+    #[test]
+    fn check_flags_inconsistent_attempts() {
+        let bad = StealStats {
+            steal_attempts: 5,
+            steals_ok: 1,
+            steals_failed: 1,
+            ..StealStats::default()
+        };
+        assert!(bad.check().is_err());
+        assert!(stats(5, 3).check().is_ok());
+    }
+
+    #[test]
+    fn conservation_detects_lost_nodes() {
+        let giver = StealStats {
+            nodes_given: 100,
+            chunks_given: 5,
+            ..StealStats::default()
+        };
+        let taker = StealStats {
+            nodes_received: 90,
+            chunks_received: 5,
+            ..StealStats::default()
+        };
+        let run = RunStats::new(vec![giver, taker]);
+        assert!(run.check_conservation().is_err());
+    }
+
+    #[test]
+    fn averages() {
+        let a = StealStats {
+            search_ns: 100,
+            sessions: 2,
+            session_ns: 60,
+            ..StealStats::default()
+        };
+        let b = StealStats {
+            search_ns: 300,
+            sessions: 2,
+            session_ns: 140,
+            ..StealStats::default()
+        };
+        let run = RunStats::new(vec![a, b]);
+        assert_eq!(run.avg_search_ns(), 200.0);
+        assert_eq!(run.avg_session_ns(), 50.0);
+        assert_eq!(run.avg_sessions_per_rank(), 2.0);
+    }
+
+    #[test]
+    fn empty_run_is_calm() {
+        let run = RunStats::default();
+        assert_eq!(run.avg_search_ns(), 0.0);
+        assert_eq!(run.avg_session_ns(), 0.0);
+        assert_eq!(run.failed_steals(), 0);
+        assert!(run.check_conservation().is_ok());
+    }
+}

@@ -1,0 +1,238 @@
+//! Activity traces: the raw material of the paper's scheduling-latency
+//! metric.
+//!
+//! Section III: "If one was to trace the active and idle phases of each
+//! process participating in the computation, it should be possible
+//! post-mortem to determine the number of active processes at any time
+//! during execution." A process is *active* while its stack contains
+//! work — including time spent answering steal requests — and *idle*
+//! otherwise.
+//!
+//! Each rank records its own transitions with its own (possibly skewed)
+//! clock; the paper notes that "the trace modified to account for clock
+//! skew". [`ActivityTrace::correct_skew`] applies exactly that
+//! correction.
+
+/// One recorded phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Rank that transitioned.
+    pub rank: u32,
+    /// Local timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// New state: `true` = became active (has work), `false` = idle.
+    pub active: bool,
+}
+
+/// A full activity trace of a run.
+///
+/// The trace is "lightweight" (paper: "as the trace only contains a
+/// time and the new state at each phase transition"): two words per
+/// transition.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityTrace {
+    transitions: Vec<Transition>,
+    n_ranks: u32,
+}
+
+impl ActivityTrace {
+    /// Create an empty trace for `n_ranks` processes.
+    pub fn new(n_ranks: u32) -> Self {
+        Self {
+            transitions: Vec::new(),
+            n_ranks,
+        }
+    }
+
+    /// Number of ranks this trace covers.
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    /// Record a transition. Ranks must alternate states; violations are
+    /// caught by [`check`](Self::check), not here, so recording stays
+    /// O(1) on the hot path.
+    #[inline]
+    pub fn record(&mut self, rank: u32, at_ns: u64, active: bool) {
+        debug_assert!(rank < self.n_ranks);
+        self.transitions.push(Transition { rank, at_ns, active });
+    }
+
+    /// All transitions, in recording order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Append another trace (e.g. per-rank buffers gathered after a
+    /// run).
+    pub fn extend(&mut self, other: &ActivityTrace) {
+        assert_eq!(self.n_ranks, other.n_ranks, "trace rank counts differ");
+        self.transitions.extend_from_slice(&other.transitions);
+    }
+
+    /// Subtract each rank's known clock offset, as the paper did before
+    /// computing latencies. Offsets are saturating-subtracted so a
+    /// transition recorded at local time earlier than the skew clamps
+    /// to zero rather than wrapping.
+    pub fn correct_skew(&mut self, skews_ns: &[u64]) {
+        assert_eq!(
+            skews_ns.len(),
+            self.n_ranks as usize,
+            "need one skew per rank"
+        );
+        for t in &mut self.transitions {
+            t.at_ns = t.at_ns.saturating_sub(skews_ns[t.rank as usize]);
+        }
+    }
+
+    /// Validate the trace: per rank, states must alternate and times
+    /// must be non-decreasing. Returns the number of transitions.
+    pub fn check(&self) -> Result<usize, String> {
+        let mut last: Vec<Option<(u64, bool)>> = vec![None; self.n_ranks as usize];
+        let mut per_rank: Vec<Vec<(u64, bool)>> = vec![Vec::new(); self.n_ranks as usize];
+        for t in &self.transitions {
+            per_rank[t.rank as usize].push((t.at_ns, t.active));
+        }
+        for (rank, events) in per_rank.iter().enumerate() {
+            for &(at, active) in events {
+                match last[rank] {
+                    Some((pat, pactive)) => {
+                        if at < pat {
+                            return Err(format!("rank {rank}: time went backwards at {at}"));
+                        }
+                        if pactive == active {
+                            return Err(format!(
+                                "rank {rank}: repeated {} transition at {at}",
+                                if active { "active" } else { "idle" }
+                            ));
+                        }
+                    }
+                    None => {
+                        // Convention: every rank starts idle, so its
+                        // first recorded transition must be to active.
+                        if !active {
+                            return Err(format!(
+                                "rank {rank}: first transition at {at} must be to active"
+                            ));
+                        }
+                    }
+                }
+                last[rank] = Some((at, active));
+            }
+        }
+        Ok(self.transitions.len())
+    }
+
+    /// Total busy time per rank, assuming the run ends at `end_ns` (an
+    /// active rank at the end is counted busy until then).
+    pub fn busy_ns_per_rank(&self, end_ns: u64) -> Vec<u64> {
+        let mut busy = vec![0u64; self.n_ranks as usize];
+        let mut since: Vec<Option<u64>> = vec![None; self.n_ranks as usize];
+        let mut sorted: Vec<&Transition> = self.transitions.iter().collect();
+        sorted.sort_by_key(|t| (t.at_ns, t.rank));
+        for t in sorted {
+            let r = t.rank as usize;
+            match (t.active, since[r]) {
+                (true, None) => since[r] = Some(t.at_ns),
+                (false, Some(s)) => {
+                    busy[r] += t.at_ns.saturating_sub(s);
+                    since[r] = None;
+                }
+                // Duplicate state changes are tolerated here (check()
+                // reports them); keep first activation, ignore repeats.
+                _ => {}
+            }
+        }
+        for (r, s) in since.iter().enumerate() {
+            if let Some(s) = s {
+                busy[r] += end_ns.saturating_sub(*s);
+            }
+        }
+        busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_trace() -> ActivityTrace {
+        let mut t = ActivityTrace::new(2);
+        t.record(0, 0, true);
+        t.record(1, 50, true);
+        t.record(0, 100, false);
+        t.record(1, 150, false);
+        t
+    }
+
+    #[test]
+    fn check_accepts_alternating_trace() {
+        assert_eq!(simple_trace().check(), Ok(4));
+    }
+
+    #[test]
+    fn check_rejects_repeated_state() {
+        let mut t = ActivityTrace::new(1);
+        t.record(0, 0, true);
+        t.record(0, 10, true);
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_time_travel() {
+        let mut t = ActivityTrace::new(1);
+        t.record(0, 10, true);
+        t.record(0, 5, false);
+        assert!(t.check().is_err());
+    }
+
+    #[test]
+    fn skew_correction_shifts_per_rank() {
+        let mut t = simple_trace();
+        t.correct_skew(&[0, 40]);
+        let times: Vec<(u32, u64)> = t
+            .transitions()
+            .iter()
+            .map(|tr| (tr.rank, tr.at_ns))
+            .collect();
+        assert_eq!(times, vec![(0, 0), (1, 10), (0, 100), (1, 110)]);
+    }
+
+    #[test]
+    fn skew_correction_saturates() {
+        let mut t = ActivityTrace::new(1);
+        t.record(0, 5, true);
+        t.correct_skew(&[10]);
+        assert_eq!(t.transitions()[0].at_ns, 0);
+    }
+
+    #[test]
+    fn busy_time_accounts_open_intervals() {
+        let t = simple_trace();
+        let busy = t.busy_ns_per_rank(200);
+        assert_eq!(busy, vec![100, 100]);
+        // A rank still active at the end is billed to end_ns.
+        let mut open = ActivityTrace::new(1);
+        open.record(0, 20, true);
+        assert_eq!(open.busy_ns_per_rank(120), vec![100]);
+    }
+
+    #[test]
+    fn extend_merges_traces() {
+        let mut a = ActivityTrace::new(2);
+        a.record(0, 0, true);
+        let mut b = ActivityTrace::new(2);
+        b.record(1, 5, true);
+        a.extend(&b);
+        assert_eq!(a.transitions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank counts differ")]
+    fn extend_rejects_mismatched_sizes() {
+        let mut a = ActivityTrace::new(2);
+        let b = ActivityTrace::new(3);
+        a.extend(&b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dws-shmem
+//!
+//! Shared-memory work stealing: a from-scratch Chase–Lev deque and a
+//! threaded UTS executor.
+//!
+//! The paper situates its distributed study against the shared-memory
+//! work-stealing tradition (Cilk, Chase–Lev, TBB). This crate provides
+//! that intra-node counterpart: real threads, real atomics, stealing
+//! from real deques — used to cross-validate the simulator (every
+//! execution style must count the same tree) and as the building block
+//! a hierarchical intra/inter-node scheduler would use.
+//!
+//! - [`deque`] — the Chase–Lev work-stealing deque (owner LIFO, thief
+//!   FIFO, CAS-arbitrated last element);
+//! - [`pool`] — a thread pool searching a UTS tree with uniform random
+//!   stealing and counter-based termination.
+//!
+//! ## Example
+//!
+//! ```
+//! use dws_shmem::pool::parallel_search;
+//! use dws_uts::presets;
+//!
+//! let workload = presets::t3sim_xs();
+//! let result = parallel_search(&workload, 4);
+//! assert_eq!(result.stats, dws_uts::search(&workload));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deque;
+pub mod pool;
+
+pub use deque::{deque as new_deque, Steal, Stealer, Worker};
+pub use pool::{parallel_search, ParallelSearch, WorkerStats};

@@ -1,0 +1,220 @@
+//! A threaded shared-memory UTS executor on Chase–Lev deques.
+//!
+//! This is the intra-node counterpart of the distributed scheduler: one
+//! OS thread per worker, each owning a deque of tree nodes, stealing
+//! uniformly at random when dry — the classic Cilk-style configuration
+//! the paper's related work builds on. It serves two purposes:
+//!
+//! 1. **Cross-validation**: a genuinely parallel traversal must count
+//!    exactly the same tree as the sequential searcher and the
+//!    simulated distributed runs.
+//! 2. **Intra-node modelling context**: the paper's 8-ranks-per-node
+//!    configurations effectively run something like this inside every
+//!    node, over MPI instead of shared memory.
+//!
+//! Termination uses an outstanding-work counter: it starts at 1 (the
+//! root); expanding a node adds `children − 1`. When it hits zero the
+//! tree is exhausted and all workers quit. The counter also guarantees
+//! no node is lost or double-counted: the final per-worker tallies must
+//! sum to the tree size.
+
+use crate::deque::{deque, Steal, Stealer, Worker};
+use dws_uts::{Node, SearchStats, Workload};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Statistics from one worker thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Nodes this worker expanded.
+    pub nodes: u64,
+    /// Leaves this worker observed.
+    pub leaves: u64,
+    /// Maximum depth this worker reached.
+    pub max_depth: u32,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts (empty or lost race).
+    pub failed_steals: u64,
+}
+
+/// Result of a parallel search.
+#[derive(Debug, Clone)]
+pub struct ParallelSearch {
+    /// Aggregated tree statistics (comparable to sequential search).
+    pub stats: SearchStats,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: std::time::Duration,
+}
+
+/// Search the workload's tree with `n_workers` threads.
+///
+/// # Panics
+/// Panics if `n_workers == 0`, or on any internal accounting violation.
+pub fn parallel_search(workload: &Workload, n_workers: usize) -> ParallelSearch {
+    assert!(n_workers > 0, "need at least one worker");
+    let mut owners: Vec<Worker<Node>> = Vec::with_capacity(n_workers);
+    let mut stealers: Vec<Stealer<Node>> = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let (w, s) = deque::<Node>(1024);
+        owners.push(w);
+        stealers.push(s);
+    }
+    // Outstanding-node counter: root seeds it with 1.
+    let outstanding = Arc::new(AtomicI64::new(1));
+    let seed_mix = Arc::new(AtomicU64::new(0x9E37_79B9));
+    owners[0].push(workload.spec.root(workload.seed));
+
+    let start = std::time::Instant::now();
+    let results: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for (id, owner) in owners.into_iter().enumerate() {
+            let stealers = stealers.clone();
+            let outstanding = Arc::clone(&outstanding);
+            let seed_mix = Arc::clone(&seed_mix);
+            let workload = workload.clone();
+            handles.push(scope.spawn(move || {
+                run_worker(id, owner, stealers, &workload, &outstanding, &seed_mix)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(
+        outstanding.load(Ordering::SeqCst),
+        0,
+        "outstanding-work counter must end at zero"
+    );
+    let stats = results.iter().fold(SearchStats::default(), |acc, w| {
+        acc.merge(&SearchStats {
+            nodes: w.nodes,
+            leaves: w.leaves,
+            max_depth: w.max_depth,
+        })
+    });
+    ParallelSearch {
+        stats,
+        workers: results,
+        elapsed,
+    }
+}
+
+fn run_worker(
+    id: usize,
+    owner: Worker<Node>,
+    stealers: Vec<Stealer<Node>>,
+    workload: &Workload,
+    outstanding: &AtomicI64,
+    seed_mix: &AtomicU64,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut children: Vec<Node> = Vec::new();
+    // Cheap xorshift per worker, seeded distinctly.
+    let mut rng_state =
+        (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed_mix.fetch_add(1, Ordering::Relaxed);
+    let mut next_rand = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let n = stealers.len();
+    loop {
+        // Drain local work depth-first.
+        while let Some(node) = owner.pop() {
+            let count = workload
+                .spec
+                .children_into(&node, workload.gen_rounds, &mut children);
+            stats.nodes += 1;
+            stats.max_depth = stats.max_depth.max(node.height);
+            if count == 0 {
+                stats.leaves += 1;
+            }
+            for child in children.drain(..) {
+                owner.push(child);
+            }
+            // The node is done; its children are now outstanding.
+            outstanding.fetch_add(count as i64 - 1, Ordering::SeqCst);
+        }
+        // Out of local work: steal or quit.
+        loop {
+            if outstanding.load(Ordering::SeqCst) == 0 {
+                return stats;
+            }
+            if n == 1 {
+                // Single worker with work outstanding but an empty
+                // deque would be a logic error; the outer loop re-polls.
+                std::hint::spin_loop();
+                break;
+            }
+            let victim = (next_rand() % n as u64) as usize;
+            if victim == id {
+                continue;
+            }
+            match stealers[victim].steal() {
+                Steal::Success(node) => {
+                    stats.steals += 1;
+                    owner.push(node);
+                    break;
+                }
+                Steal::Retry => {
+                    stats.failed_steals += 1;
+                }
+                Steal::Empty => {
+                    stats.failed_steals += 1;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dws_uts::presets;
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let w = presets::t3sim_xs();
+        let seq = dws_uts::search(&w);
+        for workers in [1usize, 2, 4, 8] {
+            let par = parallel_search(&w, workers);
+            assert_eq!(
+                par.stats.nodes, seq.nodes,
+                "{workers} workers: node count diverged"
+            );
+            assert_eq!(par.stats.leaves, seq.leaves);
+            assert_eq!(par.stats.max_depth, seq.max_depth);
+        }
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        let w = presets::t3sim_s();
+        let par = parallel_search(&w, 4);
+        let active = par.workers.iter().filter(|s| s.nodes > 0).count();
+        assert!(active >= 2, "only {active} workers did anything");
+        let total_steals: u64 = par.workers.iter().map(|s| s.steals).sum();
+        assert!(total_steals > 0, "no steals in an unbalanced tree?");
+    }
+
+    #[test]
+    fn repeated_runs_count_identically() {
+        let w = presets::t3sim_xs();
+        let a = parallel_search(&w, 4);
+        let b = parallel_search(&w, 4);
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        parallel_search(&presets::t3sim_xs(), 0);
+    }
+}

@@ -1,0 +1,831 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] hosts one [`Actor`] per rank and a single global
+//! event queue. Two event kinds exist: message deliveries and timers.
+//! Actors react to events through a [`Ctx`] handle that lets them send
+//! messages (delayed by the pluggable latency function), arm timers,
+//! query the clock, and draw deterministic random numbers.
+//!
+//! Design decisions that matter for fidelity:
+//!
+//! - **Determinism.** Events are ordered by `(time, sequence number)`;
+//!   ties break in creation order. All randomness flows from one seed.
+//!   Two runs of the same configuration produce identical results.
+//! - **MPI-like non-overtaking.** Deliveries between a given (source,
+//!   destination) pair never reorder, even when a small message follows
+//!   a large one — matching MPI's pairwise ordering guarantee that the
+//!   UTS implementation relies on.
+//! - **Arrival is not handling.** `on_message` fires when the message
+//!   *arrives*. A faithful MPI process polls: the work-stealing actor in
+//!   `dws-core` buffers arrivals and services them at its polling
+//!   points, exactly like the reference `mpi_workstealing.c`.
+//! - **Clock skew.** Each rank can be given a deterministic clock
+//!   offset; traces recorded with [`Ctx::local_now`] then need the same
+//!   skew correction the paper applied to its traces.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::observer::{EventKind as ObsKind, EventLog, EventRecord};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// Multiplicative hasher for the (source, destination) FIFO map: the
+/// keys are already well-mixed rank pairs, and this map sits on the
+/// per-message hot path, where SipHash overhead is measurable.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PairHasher only hashes u64 keys");
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci hashing: one multiply, strong high bits.
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29);
+    }
+}
+
+type PairMap<V> = HashMap<u64, V, BuildHasherDefault<PairHasher>>;
+
+/// Rank index of an actor (re-exported convention shared with
+/// `dws-topology`).
+pub type Rank = u32;
+
+/// Latency oracle: one-way delay in nanoseconds for a message.
+///
+/// `now_ns` is the send time: stateful models (e.g. per-node NIC
+/// serialization) need it to compute queueing waits. Pure models ignore
+/// it. Implementations may keep interior state (the simulation is
+/// single-threaded and calls in send order), which is how contention is
+/// modelled without per-link events.
+pub trait LatencyFn {
+    /// Delay for a `bytes`-sized message from `from` to `to` sent at
+    /// `now_ns`.
+    fn latency_ns(&self, from: Rank, to: Rank, bytes: usize, now_ns: u64) -> u64;
+}
+
+/// Flat latency: every message takes the same time. Useful in tests and
+/// in the flat-network ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency(pub u64);
+
+impl LatencyFn for ConstantLatency {
+    fn latency_ns(&self, _from: Rank, _to: Rank, _bytes: usize, _now_ns: u64) -> u64 {
+        self.0
+    }
+}
+
+impl LatencyFn for dws_topology::Job {
+    fn latency_ns(&self, from: Rank, to: Rank, bytes: usize, _now_ns: u64) -> u64 {
+        dws_topology::Job::latency_ns(self, from, to, bytes)
+    }
+}
+
+impl<F> LatencyFn for F
+where
+    F: Fn(Rank, Rank, usize) -> u64,
+{
+    fn latency_ns(&self, from: Rank, to: Rank, bytes: usize, _now_ns: u64) -> u64 {
+        self(from, to, bytes)
+    }
+}
+
+/// A simulated process.
+pub trait Actor {
+    /// Message type exchanged between actors.
+    type Msg;
+
+    /// Called once at time zero, before any event.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a message from `from` arrives at this actor.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: Rank, msg: Self::Msg);
+
+    /// Called when a timer armed with [`Ctx::set_timer`] fires; `token`
+    /// is the value passed when arming.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64);
+}
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; all per-rank and network randomness derives from it.
+    pub seed: u64,
+    /// Multiplicative latency jitter: each delivery is stretched by a
+    /// uniform factor in `[1, 1 + jitter)`. Zero disables jitter.
+    pub latency_jitter: f64,
+    /// Maximum per-rank clock offset in nanoseconds (uniform in
+    /// `[0, max)`), zero for perfectly synchronized clocks.
+    pub clock_skew_max_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xD157_1A11,
+            latency_jitter: 0.0,
+            clock_skew_max_ns: 0,
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// Total events processed (deliveries + timers).
+    pub events: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Timers fired.
+    pub timers: u64,
+    /// True if an actor called [`Ctx::halt`] or a limit was hit.
+    pub halted: bool,
+}
+
+enum EventKind<M> {
+    Deliver { from: Rank, to: Rank, msg: M },
+    Timer { rank: Rank, token: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Engine internals shared with actor handlers through [`Ctx`].
+struct Kernel<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    /// Last scheduled delivery per (from, to) pair, to enforce MPI
+    /// non-overtaking.
+    fifo: PairMap<SimTime>,
+    latency: Box<dyn Fn(Rank, Rank, usize, u64) -> u64>,
+    jitter: f64,
+    net_rng: DetRng,
+    halted: bool,
+    messages_sent: u64,
+    n_ranks: u32,
+    /// Optional event log for debugging/analysis.
+    log: Option<EventLog>,
+}
+
+impl<M> Kernel<M> {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn send(&mut self, from: Rank, to: Rank, bytes: usize, extra_delay_ns: u64, msg: M) {
+        let depart_ns = self.now.ns() + extra_delay_ns;
+        let mut delay = (self.latency)(from, to, bytes, depart_ns);
+        if self.jitter > 0.0 {
+            let stretch = 1.0 + self.jitter * self.net_rng.next_f64();
+            delay = (delay as f64 * stretch) as u64;
+        }
+        let key = ((from as u64) << 32) | to as u64;
+        let natural = self.now + extra_delay_ns + delay;
+        let at = match self.fifo.get(&key) {
+            Some(&last) if last >= natural => last + 1,
+            _ => natural,
+        };
+        self.fifo.insert(key, at);
+        self.messages_sent += 1;
+        if let Some(log) = &mut self.log {
+            log.record(EventRecord {
+                at: self.now,
+                kind: ObsKind::Sent {
+                    from,
+                    to,
+                    bytes: bytes as u32,
+                    deliver_at: at,
+                },
+            });
+        }
+        self.push(at, EventKind::Deliver { from, to, msg });
+    }
+}
+
+/// Handle passed to actor callbacks.
+pub struct Ctx<'a, M> {
+    kernel: &'a mut Kernel<M>,
+    me: Rank,
+    rng: &'a mut DetRng,
+    skew_ns: u64,
+}
+
+impl<M> Ctx<'_, M> {
+    /// This actor's rank.
+    #[inline]
+    pub fn me(&self) -> Rank {
+        self.me
+    }
+
+    /// Number of ranks in the simulation.
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.kernel.n_ranks
+    }
+
+    /// The global simulated clock.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// This rank's *local* clock: global time plus the rank's skew.
+    /// Use this when recording traces that should need skew correction.
+    #[inline]
+    pub fn local_now(&self) -> SimTime {
+        self.kernel.now + self.skew_ns
+    }
+
+    /// This rank's clock offset in nanoseconds.
+    #[inline]
+    pub fn skew_ns(&self) -> u64 {
+        self.skew_ns
+    }
+
+    /// Send `msg` (`bytes` long on the wire) to rank `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or is the sender itself: the UTS
+    /// protocol never self-sends, so a self-send is a scheduler bug.
+    pub fn send(&mut self, to: Rank, bytes: usize, msg: M) {
+        self.send_delayed(to, bytes, 0, msg);
+    }
+
+    /// Like [`send`](Self::send), but the message leaves the sender
+    /// `extra_delay_ns` from now — modelling local processing that must
+    /// complete before the message hits the wire (e.g. a victim working
+    /// through a queue of steal requests one at a time).
+    pub fn send_delayed(&mut self, to: Rank, bytes: usize, extra_delay_ns: u64, msg: M) {
+        assert!(to < self.kernel.n_ranks, "send to unknown rank {to}");
+        assert!(to != self.me, "rank {to} attempted to send to itself");
+        self.kernel.send(self.me, to, bytes, extra_delay_ns, msg);
+    }
+
+    /// Arm a timer to fire after `delay_ns`; `token` is returned to
+    /// [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        let at = self.kernel.now + delay_ns;
+        self.kernel.push(
+            at,
+            EventKind::Timer {
+                rank: self.me,
+                token,
+            },
+        );
+    }
+
+    /// This rank's deterministic random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Stop the whole simulation after the current event.
+    pub fn halt(&mut self) {
+        self.kernel.halted = true;
+    }
+}
+
+/// A discrete-event simulation over `n` actors.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    kernel: Kernel<A::Msg>,
+    rank_rngs: Vec<DetRng>,
+    skews: Vec<u64>,
+    timers_fired: u64,
+    messages_delivered: u64,
+    started: bool,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Build a simulation from per-rank actors, a latency oracle and a
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics if `actors` is empty.
+    pub fn new<L>(actors: Vec<A>, latency: L, config: SimConfig) -> Self
+    where
+        L: LatencyFn + 'static,
+    {
+        assert!(!actors.is_empty(), "simulation needs at least one actor");
+        let n = actors.len() as u32;
+        let mut seed_rng = DetRng::new(config.seed);
+        let skews: Vec<u64> = (0..n)
+            .map(|_| {
+                if config.clock_skew_max_ns == 0 {
+                    0
+                } else {
+                    seed_rng.next_below(config.clock_skew_max_ns)
+                }
+            })
+            .collect();
+        let rank_rngs = (0..n).map(|r| DetRng::for_rank(config.seed, r)).collect();
+        Self {
+            actors,
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                fifo: PairMap::default(),
+                latency: Box::new(move |f, t, b, now| latency.latency_ns(f, t, b, now)),
+                jitter: config.latency_jitter,
+                net_rng: DetRng::for_rank(config.seed, u32::MAX),
+                halted: false,
+                messages_sent: 0,
+                n_ranks: n,
+                log: None,
+            },
+            rank_rngs,
+            skews,
+            timers_fired: 0,
+            messages_delivered: 0,
+            started: false,
+        }
+    }
+
+    /// Run until the event queue drains, an actor halts, or a limit is
+    /// reached.
+    pub fn run(&mut self) -> RunReport {
+        self.run_with_limits(None, None)
+    }
+
+    /// [`run`](Self::run) with optional wall limits on simulated time
+    /// and event count.
+    pub fn run_with_limits(
+        &mut self,
+        max_time: Option<SimTime>,
+        max_events: Option<u64>,
+    ) -> RunReport {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.actors.len() {
+                self.dispatch_start(i as Rank);
+            }
+        }
+        let mut events = self.timers_fired + self.messages_delivered;
+        let mut limit_hit = false;
+        while let Some(Reverse(ev)) = self.kernel.queue.pop() {
+            if let Some(mt) = max_time {
+                if ev.time > mt {
+                    limit_hit = true;
+                    // Event not processed; put it back for a later resume.
+                    self.kernel.queue.push(Reverse(ev));
+                    break;
+                }
+            }
+            self.kernel.now = ev.time;
+            match ev.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    self.messages_delivered += 1;
+                    if let Some(log) = &mut self.kernel.log {
+                        log.record(EventRecord {
+                            at: ev.time,
+                            kind: ObsKind::Delivered { from, to },
+                        });
+                    }
+                    self.dispatch_message(to, from, msg);
+                }
+                EventKind::Timer { rank, token } => {
+                    self.timers_fired += 1;
+                    if let Some(log) = &mut self.kernel.log {
+                        log.record(EventRecord {
+                            at: ev.time,
+                            kind: ObsKind::Timer { rank, token },
+                        });
+                    }
+                    self.dispatch_timer(rank, token);
+                }
+            }
+            events += 1;
+            if self.kernel.halted {
+                break;
+            }
+            if let Some(me) = max_events {
+                if events >= me {
+                    limit_hit = true;
+                    break;
+                }
+            }
+        }
+        RunReport {
+            end_time: self.kernel.now,
+            events,
+            messages: self.messages_delivered,
+            timers: self.timers_fired,
+            halted: self.kernel.halted || limit_hit,
+        }
+    }
+
+    /// Access an actor after (or during) a run — e.g. to harvest per-rank
+    /// statistics.
+    pub fn actor(&self, rank: Rank) -> &A {
+        &self.actors[rank as usize]
+    }
+
+    /// All actors, in rank order.
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Per-rank clock skew applied in this simulation (for trace
+    /// correction).
+    pub fn skews_ns(&self) -> &[u64] {
+        &self.skews
+    }
+
+    /// Number of messages handed to the network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.kernel.messages_sent
+    }
+
+    /// Attach a bounded event log keeping the `cap` most recent engine
+    /// events (sends, deliveries, timers). Call before `run`.
+    pub fn attach_log(&mut self, cap: usize) {
+        self.kernel.log = Some(EventLog::new(cap));
+    }
+
+    /// The attached event log, if any.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.kernel.log.as_ref()
+    }
+
+    fn dispatch_start(&mut self, rank: Rank) {
+        let i = rank as usize;
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            me: rank,
+            rng: &mut self.rank_rngs[i],
+            skew_ns: self.skews[i],
+        };
+        self.actors[i].on_start(&mut ctx);
+    }
+
+    fn dispatch_message(&mut self, rank: Rank, from: Rank, msg: A::Msg) {
+        let i = rank as usize;
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            me: rank,
+            rng: &mut self.rank_rngs[i],
+            skew_ns: self.skews[i],
+        };
+        self.actors[i].on_message(&mut ctx, from, msg);
+    }
+
+    fn dispatch_timer(&mut self, rank: Rank, token: u64) {
+        let i = rank as usize;
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            me: rank,
+            rng: &mut self.rank_rngs[i],
+            skew_ns: self.skews[i],
+        };
+        self.actors[i].on_timer(&mut ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong actor: rank 0 sends `hops` pings; rank 1 echoes.
+    struct PingPong {
+        hops_left: u32,
+        received: Vec<(Rank, u32, SimTime)>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 && self.hops_left > 0 {
+                ctx.send(1, 8, self.hops_left);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: Rank, msg: u32) {
+            self.received.push((from, msg, ctx.now()));
+            if msg > 1 {
+                ctx.send(from, 8, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, _token: u64) {}
+    }
+
+    fn ping_pong(hops: u32, latency: u64) -> RunReport {
+        let actors = vec![
+            PingPong {
+                hops_left: hops,
+                received: vec![],
+            },
+            PingPong {
+                hops_left: 0,
+                received: vec![],
+            },
+        ];
+        let mut sim = Simulation::new(actors, ConstantLatency(latency), SimConfig::default());
+        sim.run()
+    }
+
+    #[test]
+    fn ping_pong_takes_hops_times_latency() {
+        let report = ping_pong(4, 1_000);
+        assert_eq!(report.messages, 4);
+        assert_eq!(report.end_time, SimTime(4_000));
+        assert!(!report.halted);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = ping_pong(10, 777);
+        let b = ping_pong(10, 777);
+        assert_eq!(a, b);
+    }
+
+    /// Sender emits a large then a small message; FIFO must hold.
+    struct FifoProbe {
+        got: Vec<u32>,
+    }
+    impl Actor for FifoProbe {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send(1, 1 << 20, 1); // slow: 1 MiB
+                ctx.send(1, 1, 2); // fast: 1 B
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: Rank, msg: u32) {
+            self.got.push(msg);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, _t: u64) {}
+    }
+
+    #[test]
+    fn pairwise_fifo_prevents_overtaking() {
+        // Size-dependent latency would reorder without the FIFO guard.
+        let lat = |_f: Rank, _t: Rank, bytes: usize| 100 + bytes as u64;
+        let actors = vec![FifoProbe { got: vec![] }, FifoProbe { got: vec![] }];
+        let mut sim = Simulation::new(actors, lat, SimConfig::default());
+        sim.run();
+        assert_eq!(sim.actor(1).got, vec![1, 2], "messages must not overtake");
+    }
+
+    /// Timer test actor: schedules three timers out of order.
+    struct TimerProbe {
+        fired: Vec<(u64, SimTime)>,
+    }
+    impl Actor for TimerProbe {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(300, 3);
+            ctx.set_timer(100, 1);
+            ctx.set_timer(200, 2);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _f: Rank, _m: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+            self.fired.push((token, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_time_order() {
+        let mut sim = Simulation::new(
+            vec![TimerProbe { fired: vec![] }],
+            ConstantLatency(1),
+            SimConfig::default(),
+        );
+        let report = sim.run();
+        assert_eq!(report.timers, 3);
+        assert_eq!(
+            sim.actor(0).fired,
+            vec![(1, SimTime(100)), (2, SimTime(200)), (3, SimTime(300))]
+        );
+    }
+
+    struct Halter;
+    impl Actor for Halter {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(10, 0);
+            ctx.set_timer(20, 1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _f: Rank, _m: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+            if token == 0 {
+                ctx.halt();
+            } else {
+                panic!("second timer must never fire after halt");
+            }
+        }
+    }
+
+    #[test]
+    fn halt_stops_processing() {
+        let mut sim = Simulation::new(vec![Halter], ConstantLatency(1), SimConfig::default());
+        let report = sim.run();
+        assert!(report.halted);
+        assert_eq!(report.timers, 1);
+    }
+
+    #[test]
+    fn max_time_limit_pauses_and_resumes() {
+        let mut sim = Simulation::new(
+            vec![TimerProbe { fired: vec![] }],
+            ConstantLatency(1),
+            SimConfig::default(),
+        );
+        let r1 = sim.run_with_limits(Some(SimTime(150)), None);
+        assert!(r1.halted);
+        assert_eq!(sim.actor(0).fired.len(), 1);
+        let r2 = sim.run_with_limits(None, None);
+        assert!(!r2.halted);
+        assert_eq!(sim.actor(0).fired.len(), 3);
+    }
+
+    #[test]
+    fn clock_skew_is_bounded_and_deterministic() {
+        let cfg = SimConfig {
+            clock_skew_max_ns: 5_000,
+            ..SimConfig::default()
+        };
+        let mk = || {
+            Simulation::new(
+                vec![Halter, Halter, Halter, Halter],
+                ConstantLatency(1),
+                cfg.clone(),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.skews_ns(), b.skews_ns());
+        assert!(a.skews_ns().iter().all(|&s| s < 5_000));
+        assert!(
+            a.skews_ns().iter().any(|&s| s > 0),
+            "with max 5000 some rank should be skewed: {:?}",
+            a.skews_ns()
+        );
+    }
+
+    #[test]
+    fn event_log_observes_sends_deliveries_and_timers() {
+        use crate::observer::EventKind as Obs;
+        let actors = vec![
+            PingPong {
+                hops_left: 3,
+                received: vec![],
+            },
+            PingPong {
+                hops_left: 0,
+                received: vec![],
+            },
+        ];
+        let mut sim = Simulation::new(actors, ConstantLatency(100), SimConfig::default());
+        sim.attach_log(64);
+        sim.run();
+        let log = sim.event_log().expect("attached");
+        assert_eq!(log.count_matching(|r| matches!(r.kind, Obs::Sent { .. })), 3);
+        assert_eq!(
+            log.count_matching(|r| matches!(r.kind, Obs::Delivered { .. })),
+            3
+        );
+        // Delivery times match the schedule recorded at send time.
+        for rec in log.window() {
+            if let Obs::Sent { deliver_at, .. } = rec.kind {
+                assert_eq!(deliver_at.ns(), rec.at.ns() + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_changes_latency_but_keeps_determinism() {
+        let cfg = SimConfig {
+            latency_jitter: 0.5,
+            ..SimConfig::default()
+        };
+        let run = |cfg: SimConfig| {
+            let actors = vec![
+                PingPong {
+                    hops_left: 4,
+                    received: vec![],
+                },
+                PingPong {
+                    hops_left: 0,
+                    received: vec![],
+                },
+            ];
+            let mut sim = Simulation::new(actors, ConstantLatency(1_000), cfg);
+            sim.run()
+        };
+        let jittered = run(cfg.clone());
+        let jittered2 = run(cfg);
+        let clean = run(SimConfig::default());
+        assert_eq!(jittered, jittered2, "jitter must stay deterministic");
+        assert!(jittered.end_time >= clean.end_time);
+    }
+
+    /// Sender emits three delayed messages in one handler; they must
+    /// arrive spaced by their extra delays, in order.
+    struct DelayedSender {
+        got: Vec<(u32, SimTime)>,
+    }
+    impl Actor for DelayedSender {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.me() == 0 {
+                ctx.send_delayed(1, 8, 0, 1);
+                ctx.send_delayed(1, 8, 500, 2);
+                ctx.send_delayed(1, 8, 1_500, 3);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _f: Rank, msg: u32) {
+            self.got.push((msg, ctx.now()));
+        }
+        fn on_timer(&mut self, _c: &mut Ctx<'_, u32>, _t: u64) {}
+    }
+
+    #[test]
+    fn delayed_sends_arrive_spaced_and_ordered() {
+        let actors = vec![
+            DelayedSender { got: vec![] },
+            DelayedSender { got: vec![] },
+        ];
+        let mut sim = Simulation::new(actors, ConstantLatency(1_000), SimConfig::default());
+        sim.run();
+        assert_eq!(
+            sim.actor(1).got,
+            vec![
+                (1, SimTime(1_000)),
+                (2, SimTime(1_500)),
+                (3, SimTime(2_500)),
+            ]
+        );
+    }
+
+    #[test]
+    fn stateful_latency_fn_sees_departure_time() {
+        // A latency oracle that records the now_ns it is given.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Probe(Rc<RefCell<Vec<u64>>>);
+        impl LatencyFn for Probe {
+            fn latency_ns(&self, _f: Rank, _t: Rank, _b: usize, now_ns: u64) -> u64 {
+                self.0.borrow_mut().push(now_ns);
+                100
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let actors = vec![
+            DelayedSender { got: vec![] },
+            DelayedSender { got: vec![] },
+        ];
+        let mut sim = Simulation::new(actors, Probe(Rc::clone(&seen)), SimConfig::default());
+        sim.run();
+        // Departure times include the extra delays.
+        assert_eq!(*seen.borrow(), vec![0, 500, 1_500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send to itself")]
+    fn self_send_is_rejected() {
+        struct SelfSender;
+        impl Actor for SelfSender {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(0, 1, ());
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _f: Rank, _m: ()) {}
+            fn on_timer(&mut self, _c: &mut Ctx<'_, ()>, _t: u64) {}
+        }
+        let mut sim = Simulation::new(vec![SelfSender], ConstantLatency(1), SimConfig::default());
+        sim.run();
+    }
+}

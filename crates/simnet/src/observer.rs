@@ -1,0 +1,152 @@
+//! Event observation: taps into the simulation for debugging and
+//! offline analysis (message logs, link-load studies, protocol
+//! visualizations) without touching actor code.
+//!
+//! An [`EventLog`] records a bounded window of engine events; the
+//! engine calls [`EventLog::record`] when attached via
+//! [`Simulation::attach_log`](crate::Simulation::attach_log).
+
+use crate::time::SimTime;
+
+/// One observed engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message was handed to the network.
+    Sent {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank.
+        to: u32,
+        /// Wire size.
+        bytes: u32,
+        /// Scheduled delivery time.
+        deliver_at: SimTime,
+    },
+    /// A message was delivered to its destination actor.
+    Delivered {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank.
+        to: u32,
+    },
+    /// A timer fired.
+    Timer {
+        /// Owning rank.
+        rank: u32,
+        /// Token passed at arming time.
+        token: u64,
+    },
+}
+
+/// A timestamped event record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// When the event happened (send time / delivery time / fire time).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Bounded in-memory event log (ring buffer: keeps the latest events).
+#[derive(Debug)]
+pub struct EventLog {
+    buf: Vec<EventRecord>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl EventLog {
+    /// Log keeping at most `cap` most-recent events.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "event log capacity must be positive");
+        Self {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, rec: EventRecord) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Events observed in total (including evicted ones).
+    pub fn total_observed(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained window, oldest first.
+    pub fn window(&self) -> Vec<EventRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Count retained events matching a predicate.
+    pub fn count_matching<F: Fn(&EventRecord) -> bool>(&self, f: F) -> usize {
+        self.buf.iter().filter(|r| f(r)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> EventRecord {
+        EventRecord {
+            at: SimTime(t),
+            kind: EventKind::Timer { rank: 0, token: t },
+        }
+    }
+
+    #[test]
+    fn keeps_latest_window() {
+        let mut log = EventLog::new(3);
+        for t in 0..5 {
+            log.record(rec(t));
+        }
+        assert_eq!(log.total_observed(), 5);
+        let window: Vec<u64> = log.window().iter().map(|r| r.at.ns()).collect();
+        assert_eq!(window, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn under_capacity_is_in_order() {
+        let mut log = EventLog::new(10);
+        for t in 0..4 {
+            log.record(rec(t));
+        }
+        let window: Vec<u64> = log.window().iter().map(|r| r.at.ns()).collect();
+        assert_eq!(window, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut log = EventLog::new(10);
+        log.record(EventRecord {
+            at: SimTime(1),
+            kind: EventKind::Delivered { from: 0, to: 1 },
+        });
+        log.record(rec(2));
+        assert_eq!(
+            log.count_matching(|r| matches!(r.kind, EventKind::Delivered { .. })),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        EventLog::new(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Six-dimensional Tofu coordinates and distance computations.
+//!
+//! The K Computer's interconnect, Tofu, addresses every compute node by a
+//! six-dimensional coordinate `(x, y, z, a, b, c)`. The `(x, y, z)` axes
+//! form a 3-D torus whose unit is a *cube* of 12 nodes; within a cube the
+//! `(a, b, c)` axes span a fixed 2×3×2 mesh. The paper's skewed victim
+//! selection weights steal probabilities by the *Euclidean* distance
+//! between these 6-D coordinates, so this module provides both Euclidean
+//! distance (used for victim weighting) and hop counts (used for the
+//! latency model).
+
+/// Extent of the intra-cube `a` axis (nodes per blade row).
+pub const CUBE_A: u16 = 2;
+/// Extent of the intra-cube `b` axis (blades per cube).
+pub const CUBE_B: u16 = 3;
+/// Extent of the intra-cube `c` axis.
+pub const CUBE_C: u16 = 2;
+/// Number of nodes in one Tofu cube (2 × 3 × 2).
+pub const NODES_PER_CUBE: u32 = (CUBE_A as u32) * (CUBE_B as u32) * (CUBE_C as u32);
+/// Number of nodes on one blade (the unit sharing a board-level transport).
+pub const NODES_PER_BLADE: u32 = (CUBE_A as u32) * (CUBE_C as u32);
+
+/// A 6-D Tofu coordinate.
+///
+/// `x`, `y`, `z` locate the cube inside the machine-wide 3-D torus;
+/// `a`, `b`, `c` locate the node inside its cube. Two nodes share a
+/// *blade* iff they share the cube and the `b` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TofuCoord {
+    /// Cube position along the torus X axis.
+    pub x: u16,
+    /// Cube position along the torus Y axis.
+    pub y: u16,
+    /// Cube position along the torus Z axis.
+    pub z: u16,
+    /// Intra-cube position, `0..2`.
+    pub a: u16,
+    /// Intra-cube position (blade index), `0..3`.
+    pub b: u16,
+    /// Intra-cube position, `0..2`.
+    pub c: u16,
+}
+
+impl TofuCoord {
+    /// Create a coordinate. Intra-cube components must respect the fixed
+    /// 2×3×2 cube shape.
+    ///
+    /// # Panics
+    /// Panics if `a >= 2`, `b >= 3` or `c >= 2` is violated.
+    pub fn new(x: u16, y: u16, z: u16, a: u16, b: u16, c: u16) -> Self {
+        assert!(a < CUBE_A, "intra-cube a coordinate out of range: {a}");
+        assert!(b < CUBE_B, "intra-cube b coordinate out of range: {b}");
+        assert!(c < CUBE_C, "intra-cube c coordinate out of range: {c}");
+        Self { x, y, z, a, b, c }
+    }
+
+    /// The cube this node belongs to, as a 3-D coordinate.
+    #[inline]
+    pub fn cube(&self) -> (u16, u16, u16) {
+        (self.x, self.y, self.z)
+    }
+
+    /// True iff `self` and `other` are the same physical node.
+    #[inline]
+    pub fn same_node(&self, other: &Self) -> bool {
+        self == other
+    }
+
+    /// True iff the two coordinates sit on the same blade (same cube and
+    /// same `b`): such nodes communicate over a dedicated board-level
+    /// transport.
+    #[inline]
+    pub fn same_blade(&self, other: &Self) -> bool {
+        self.cube() == other.cube() && self.b == other.b
+    }
+
+    /// True iff the two coordinates are in the same 2×3×2 cube.
+    #[inline]
+    pub fn same_cube(&self, other: &Self) -> bool {
+        self.cube() == other.cube()
+    }
+
+    /// Squared Euclidean distance in 6-D, with torus wrap-around applied
+    /// to the `x`, `y`, `z` axes (extents given by `torus`).
+    ///
+    /// The intra-cube axes are a mesh, not a torus, so they contribute
+    /// their plain differences.
+    pub fn euclidean_sq(&self, other: &Self, torus: (u16, u16, u16)) -> u64 {
+        let dx = torus_delta(self.x, other.x, torus.0) as u64;
+        let dy = torus_delta(self.y, other.y, torus.1) as u64;
+        let dz = torus_delta(self.z, other.z, torus.2) as u64;
+        let da = self.a.abs_diff(other.a) as u64;
+        let db = self.b.abs_diff(other.b) as u64;
+        let dc = self.c.abs_diff(other.c) as u64;
+        dx * dx + dy * dy + dz * dz + da * da + db * db + dc * dc
+    }
+
+    /// Euclidean distance in 6-D (see [`euclidean_sq`](Self::euclidean_sq)).
+    pub fn euclidean(&self, other: &Self, torus: (u16, u16, u16)) -> f64 {
+        (self.euclidean_sq(other, torus) as f64).sqrt()
+    }
+
+    /// Network hop count between the two nodes: Manhattan distance with
+    /// torus wrap-around on `x`, `y`, `z` and mesh distance inside the
+    /// cube. Zero for the same node.
+    pub fn hops(&self, other: &Self, torus: (u16, u16, u16)) -> u32 {
+        let dx = torus_delta(self.x, other.x, torus.0) as u32;
+        let dy = torus_delta(self.y, other.y, torus.1) as u32;
+        let dz = torus_delta(self.z, other.z, torus.2) as u32;
+        let da = self.a.abs_diff(other.a) as u32;
+        let db = self.b.abs_diff(other.b) as u32;
+        let dc = self.c.abs_diff(other.c) as u32;
+        dx + dy + dz + da + db + dc
+    }
+}
+
+/// Shortest signed distance between two positions on a ring of `extent`
+/// slots. `extent == 0` is treated as a degenerate 1-slot ring.
+#[inline]
+pub fn torus_delta(p: u16, q: u16, extent: u16) -> u16 {
+    if extent <= 1 {
+        return p.abs_diff(q);
+    }
+    let d = p.abs_diff(q) % extent;
+    d.min(extent - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: u16, y: u16, z: u16, a: u16, b: u16, c_: u16) -> TofuCoord {
+        TofuCoord::new(x, y, z, a, b, c_)
+    }
+
+    #[test]
+    fn torus_delta_wraps() {
+        assert_eq!(torus_delta(0, 9, 10), 1);
+        assert_eq!(torus_delta(9, 0, 10), 1);
+        assert_eq!(torus_delta(2, 7, 10), 5);
+        assert_eq!(torus_delta(0, 5, 10), 5);
+        assert_eq!(torus_delta(3, 3, 10), 0);
+    }
+
+    #[test]
+    fn torus_delta_degenerate_extent() {
+        assert_eq!(torus_delta(0, 0, 1), 0);
+        assert_eq!(torus_delta(0, 0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-cube b coordinate")]
+    fn rejects_bad_intra_cube_coord() {
+        TofuCoord::new(0, 0, 0, 0, 3, 0);
+    }
+
+    #[test]
+    fn same_node_blade_cube_predicates() {
+        let n = c(1, 2, 3, 0, 1, 0);
+        assert!(n.same_node(&n));
+        let blade_mate = c(1, 2, 3, 1, 1, 1);
+        assert!(!n.same_node(&blade_mate));
+        assert!(n.same_blade(&blade_mate));
+        assert!(n.same_cube(&blade_mate));
+        let cube_mate = c(1, 2, 3, 0, 2, 0);
+        assert!(!n.same_blade(&cube_mate));
+        assert!(n.same_cube(&cube_mate));
+        let stranger = c(1, 2, 4, 0, 1, 0);
+        assert!(!stranger.same_cube(&n));
+    }
+
+    #[test]
+    fn euclidean_distance_identity_and_symmetry() {
+        let t = (8, 8, 8);
+        let p = c(0, 1, 2, 0, 1, 1);
+        let q = c(7, 1, 2, 1, 0, 0);
+        assert_eq!(p.euclidean_sq(&p, t), 0);
+        assert_eq!(p.euclidean_sq(&q, t), q.euclidean_sq(&p, t));
+        // x wraps 0..7 on extent 8 -> 1; a,b,c deltas are 1,1,1.
+        assert_eq!(p.euclidean_sq(&q, t), 1 + 1 + 1 + 1);
+        assert!((p.euclidean(&q, t) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_accumulate_per_axis() {
+        let t = (10, 10, 10);
+        let p = c(0, 0, 0, 0, 0, 0);
+        let q = c(9, 2, 0, 1, 2, 1);
+        // x wraps to 1 hop; y is 2; a+b+c = 1+2+1.
+        assert_eq!(p.hops(&q, t), 1 + 2 + 4);
+        assert_eq!(p.hops(&p, t), 0);
+    }
+
+    #[test]
+    fn hops_triangle_inequality_on_samples() {
+        let t = (6, 5, 4);
+        let pts = [
+            c(0, 0, 0, 0, 0, 0),
+            c(5, 4, 3, 1, 2, 1),
+            c(2, 2, 2, 0, 1, 1),
+            c(3, 0, 1, 1, 0, 0),
+        ];
+        for p in &pts {
+            for q in &pts {
+                for r in &pts {
+                    assert!(p.hops(q, t) <= p.hops(r, t) + r.hops(q, t));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! A placed job: machine + allocation + rank mapping + latency model.
+//!
+//! [`Job`] is the interface the simulator and the work-stealing runtime
+//! consume: it answers "where does rank *i* live", "how far is rank *i*
+//! from rank *j*" (the paper's `e(i, j)`), and "how long does a
+//! `bytes`-sized message from *i* to *j* take".
+//!
+//! Per-rank coordinates are cached at construction so that the O(N²)
+//! weight computation of the distance-skewed victim selector stays
+//! cheap even at 8,192 ranks.
+
+use crate::allocation::{AllocationPolicy, JobAllocation};
+use crate::coord::TofuCoord;
+use crate::latency::{LatencyModel, LatencyParams};
+use crate::machine::{Machine, NodeId};
+use crate::mapping::{Rank, RankMapping};
+
+/// A job placed on a machine, ready to be simulated.
+#[derive(Debug, Clone)]
+pub struct Job {
+    machine: Machine,
+    mapping: RankMapping,
+    latency: LatencyModel,
+    /// Physical node of each rank.
+    rank_nodes: Vec<NodeId>,
+    /// Cached coordinate of each rank's node.
+    rank_coords: Vec<TofuCoord>,
+}
+
+impl Job {
+    /// Place a job: allocate `n_nodes` nodes under `alloc_policy`, then
+    /// map `mapping.rank_count(n_nodes)` ranks onto them.
+    pub fn place(
+        machine: Machine,
+        n_nodes: u32,
+        alloc_policy: AllocationPolicy,
+        mapping: RankMapping,
+        latency: LatencyParams,
+    ) -> Self {
+        let alloc = JobAllocation::allocate(&machine, n_nodes, alloc_policy);
+        mapping.check(&alloc).expect("invalid mapping");
+        let slots = mapping.slots(n_nodes);
+        let rank_nodes: Vec<NodeId> = slots.iter().map(|&s| alloc.node(s)).collect();
+        let rank_coords = rank_nodes.iter().map(|&n| machine.coord(n)).collect();
+        Self {
+            machine,
+            mapping,
+            latency: LatencyModel::new(latency),
+            rank_nodes,
+            rank_coords,
+        }
+    }
+
+    /// Convenience: a compact-rectangle job on a machine sized to fit,
+    /// with default latencies — the common case in examples and tests.
+    pub fn compact(n_nodes: u32, mapping: RankMapping) -> Self {
+        let machine = if n_nodes <= Machine::k_computer().node_count() {
+            Machine::k_computer()
+        } else {
+            Machine::with_capacity(n_nodes)
+        };
+        Self::place(
+            machine,
+            n_nodes,
+            AllocationPolicy::CompactRectangle,
+            mapping,
+            LatencyParams::default(),
+        )
+    }
+
+    /// Number of ranks in the job.
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.rank_nodes.len() as u32
+    }
+
+    /// Number of distinct physical nodes used.
+    pub fn n_nodes(&self) -> u32 {
+        let mut nodes = self.rank_nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        nodes.len() as u32
+    }
+
+    /// The machine this job runs on.
+    #[inline]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The rank mapping in force.
+    #[inline]
+    pub fn mapping(&self) -> RankMapping {
+        self.mapping
+    }
+
+    /// Physical node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> NodeId {
+        self.rank_nodes[rank as usize]
+    }
+
+    /// Tofu coordinate of `rank`'s node.
+    #[inline]
+    pub fn coord_of(&self, rank: Rank) -> TofuCoord {
+        self.rank_coords[rank as usize]
+    }
+
+    /// True iff the two ranks share a physical node.
+    #[inline]
+    pub fn same_node(&self, i: Rank, j: Rank) -> bool {
+        self.rank_nodes[i as usize] == self.rank_nodes[j as usize]
+    }
+
+    /// The paper's `e(i, j)`: Euclidean distance between the ranks'
+    /// nodes in 6-D Tofu space (0.0 when they share a node).
+    #[inline]
+    pub fn euclidean(&self, i: Rank, j: Rank) -> f64 {
+        self.rank_coords[i as usize]
+            .euclidean(&self.rank_coords[j as usize], self.machine.dims())
+    }
+
+    /// Network hops between the ranks' nodes.
+    #[inline]
+    pub fn hops(&self, i: Rank, j: Rank) -> u32 {
+        self.rank_coords[i as usize].hops(&self.rank_coords[j as usize], self.machine.dims())
+    }
+
+    /// One-way message latency in nanoseconds from rank `i` to rank `j`
+    /// for a `bytes`-sized payload.
+    #[inline]
+    pub fn latency_ns(&self, i: Rank, j: Rank, bytes: usize) -> u64 {
+        self.latency.latency_ns(
+            &self.machine,
+            self.rank_coords[i as usize],
+            self.rank_coords[j as usize],
+            bytes,
+        )
+    }
+
+    /// The latency model in force.
+    #[inline]
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_to_one_job_has_n_ranks_on_n_nodes() {
+        let job = Job::compact(128, RankMapping::OneToOne);
+        assert_eq!(job.n_ranks(), 128);
+        assert_eq!(job.n_nodes(), 128);
+        for i in 0..127 {
+            assert!(!job.same_node(i, i + 1));
+        }
+    }
+
+    #[test]
+    fn grouped_job_shares_nodes_in_blocks() {
+        let job = Job::compact(16, RankMapping::Grouped { ppn: 8 });
+        assert_eq!(job.n_ranks(), 128);
+        assert_eq!(job.n_nodes(), 16);
+        assert!(job.same_node(0, 7));
+        assert!(!job.same_node(7, 8));
+        assert_eq!(job.euclidean(0, 7), 0.0);
+    }
+
+    #[test]
+    fn round_robin_job_separates_neighbours() {
+        let job = Job::compact(16, RankMapping::RoundRobin { ppn: 8 });
+        assert_eq!(job.n_ranks(), 128);
+        // Rank i and i+16 share a node; i and i+1 never do.
+        assert!(job.same_node(0, 16));
+        for i in 0..127 {
+            assert!(!job.same_node(i, i + 1), "ranks {i},{} colocated", i + 1);
+        }
+    }
+
+    #[test]
+    fn latency_respects_colocation() {
+        let job = Job::compact(16, RankMapping::Grouped { ppn: 8 });
+        let close = job.latency_ns(0, 1, 64);
+        let far = job.latency_ns(0, 127, 64);
+        assert!(close < far, "same-node {close} should beat cross-node {far}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let job = Job::compact(64, RankMapping::OneToOne);
+        for i in (0..64).step_by(7) {
+            assert_eq!(job.euclidean(i, i), 0.0);
+            for j in (0..64).step_by(11) {
+                assert_eq!(job.euclidean(i, j), job.euclidean(j, i));
+                assert_eq!(job.hops(i, j), job.hops(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_falls_back_to_bigger_machine() {
+        // More nodes than the K Computer: must still place.
+        let job = Job::compact(90_000, RankMapping::OneToOne);
+        assert_eq!(job.n_ranks(), 90_000);
+    }
+}

@@ -1,0 +1,249 @@
+//! Machine-wide description of a Tofu-interconnected system.
+//!
+//! A [`Machine`] is a 3-D torus of 2×3×2 cubes. The K Computer instance
+//! ([`Machine::k_computer`]) uses the production torus extents
+//! 24 × 18 × 16, giving 82,944 nodes — "over 80,000" as the paper puts
+//! it. Smaller machines are useful for tests and CI-scale experiments.
+//!
+//! Nodes are identified by a dense [`NodeId`] so that other crates can
+//! index per-node state with plain vectors. The id layout enumerates the
+//! intra-cube axes fastest (`c`, then `a`, then `b`), so consecutive ids
+//! walk blade-by-blade through a cube before moving to the next cube —
+//! matching how the K job scheduler hands out physically adjacent nodes.
+
+use crate::coord::{TofuCoord, CUBE_A, CUBE_C, NODES_PER_CUBE};
+
+/// Dense identifier of a physical compute node within a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index, usable for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A Tofu machine: a 3-D torus of 12-node cubes plus a rack grouping.
+///
+/// Racks matter only for the latency model: the paper reports that a
+/// rack holds 96 nodes (8 cubes) and that intra-rack links are faster
+/// than inter-rack links. We group racks along the `z` axis: cubes
+/// `(x, y, 8k..8k+8)` share rack `(x, y, k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    /// Torus extents in cube units.
+    dims: (u16, u16, u16),
+    /// Number of cubes stacked into one rack along `z`.
+    cubes_per_rack: u16,
+}
+
+impl Machine {
+    /// Build a machine with the given torus extents (in cubes).
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn new(x: u16, y: u16, z: u16) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "torus extents must be non-zero");
+        Self {
+            dims: (x, y, z),
+            cubes_per_rack: 8,
+        }
+    }
+
+    /// The K Computer: 24 × 18 × 16 cubes of 12 nodes = 82,944 nodes.
+    pub fn k_computer() -> Self {
+        Self::new(24, 18, 16)
+    }
+
+    /// A small machine for tests: 4 × 3 × 4 cubes = 576 nodes.
+    pub fn small() -> Self {
+        Self::new(4, 3, 4)
+    }
+
+    /// A single-cube machine (12 nodes); every pair of nodes is at most
+    /// a cube apart, which makes latency classes easy to assert in tests.
+    pub fn one_cube() -> Self {
+        Self::new(1, 1, 1)
+    }
+
+    /// Smallest machine whose node count is at least `want` nodes,
+    /// grown in a balanced fashion (used by experiment configs that only
+    /// specify a rank count).
+    pub fn with_capacity(want: u32) -> Self {
+        let mut dims = [1u16, 1, 1];
+        let mut axis = 0;
+        while (dims[0] as u32) * (dims[1] as u32) * (dims[2] as u32) * NODES_PER_CUBE < want {
+            dims[axis] += 1;
+            axis = (axis + 1) % 3;
+        }
+        Self::new(dims[0], dims[1], dims[2])
+    }
+
+    /// Torus extents in cube units.
+    #[inline]
+    pub fn dims(&self) -> (u16, u16, u16) {
+        self.dims
+    }
+
+    /// Total number of compute nodes.
+    #[inline]
+    pub fn node_count(&self) -> u32 {
+        (self.dims.0 as u32) * (self.dims.1 as u32) * (self.dims.2 as u32) * NODES_PER_CUBE
+    }
+
+    /// Number of cubes grouped into one rack along the `z` axis.
+    #[inline]
+    pub fn cubes_per_rack(&self) -> u16 {
+        self.cubes_per_rack
+    }
+
+    /// Map a node id to its 6-D coordinate.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range for this machine.
+    pub fn coord(&self, node: NodeId) -> TofuCoord {
+        assert!(
+            node.0 < self.node_count(),
+            "node id {} out of range (machine has {} nodes)",
+            node.0,
+            self.node_count()
+        );
+        let per_cube = NODES_PER_CUBE;
+        let cube_idx = node.0 / per_cube;
+        let in_cube = node.0 % per_cube;
+        // Intra-cube: c fastest, then a, then b — walks one blade
+        // (fixed b) fully before moving to the next blade.
+        let c = (in_cube % CUBE_C as u32) as u16;
+        let a = ((in_cube / CUBE_C as u32) % CUBE_A as u32) as u16;
+        let b = (in_cube / (CUBE_C as u32 * CUBE_A as u32)) as u16;
+        // Cube layout: x fastest, then y, then z.
+        let (dx, dy, _dz) = self.dims;
+        let x = (cube_idx % dx as u32) as u16;
+        let y = ((cube_idx / dx as u32) % dy as u32) as u16;
+        let z = (cube_idx / (dx as u32 * dy as u32)) as u16;
+        TofuCoord::new(x, y, z, a, b, c)
+    }
+
+    /// Map a 6-D coordinate back to its dense node id.
+    ///
+    /// # Panics
+    /// Panics if the coordinate lies outside the machine.
+    pub fn node_id(&self, coord: TofuCoord) -> NodeId {
+        let (dx, dy, dz) = self.dims;
+        assert!(
+            coord.x < dx && coord.y < dy && coord.z < dz,
+            "coordinate {coord:?} outside machine dims {:?}",
+            self.dims
+        );
+        let cube_idx =
+            coord.x as u32 + dx as u32 * (coord.y as u32 + dy as u32 * coord.z as u32);
+        let in_cube =
+            coord.c as u32 + CUBE_C as u32 * (coord.a as u32 + CUBE_A as u32 * coord.b as u32);
+        NodeId(cube_idx * NODES_PER_CUBE + in_cube)
+    }
+
+    /// Rack identifier of a node; nodes in the same rack enjoy faster
+    /// links than nodes in different racks.
+    pub fn rack_of(&self, coord: TofuCoord) -> (u16, u16, u16) {
+        (coord.x, coord.y, coord.z / self.cubes_per_rack)
+    }
+
+    /// Euclidean distance between two nodes in the 6-D coordinate space,
+    /// honouring torus wrap-around (this is the paper's `e(i, j)`).
+    pub fn euclidean(&self, p: NodeId, q: NodeId) -> f64 {
+        self.coord(p).euclidean(&self.coord(q), self.dims)
+    }
+
+    /// Hop count between two nodes.
+    pub fn hops(&self, p: NodeId, q: NodeId) -> u32 {
+        self.coord(p).hops(&self.coord(q), self.dims)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_computer_node_count_matches_paper() {
+        let k = Machine::k_computer();
+        assert_eq!(k.node_count(), 82_944);
+        assert!(k.node_count() > 80_000, "paper: over 80,000 nodes");
+    }
+
+    #[test]
+    fn coord_roundtrip_small_machine() {
+        let m = Machine::small();
+        for node in m.nodes() {
+            let c = m.coord(node);
+            assert_eq!(m.node_id(c), node, "roundtrip failed for {node:?} -> {c:?}");
+        }
+    }
+
+    #[test]
+    fn consecutive_ids_share_blades_within_cube() {
+        let m = Machine::one_cube();
+        // Ids 0..4 should form blade b=0, 4..8 blade b=1, 8..12 blade b=2.
+        for blade in 0..3u32 {
+            let base = m.coord(NodeId(blade * 4));
+            for off in 1..4u32 {
+                let next = m.coord(NodeId(blade * 4 + off));
+                assert!(
+                    base.same_blade(&next),
+                    "ids {} and {} should share a blade",
+                    blade * 4,
+                    blade * 4 + off
+                );
+            }
+        }
+        assert!(!m.coord(NodeId(3)).same_blade(&m.coord(NodeId(4))));
+    }
+
+    #[test]
+    fn with_capacity_covers_request() {
+        for want in [1u32, 12, 13, 100, 1000, 9000] {
+            let m = Machine::with_capacity(want);
+            assert!(m.node_count() >= want);
+        }
+        // Growth is balanced: no axis should explode.
+        let m = Machine::with_capacity(8192);
+        let (x, y, z) = m.dims();
+        let max = x.max(y).max(z) as u32;
+        let min = x.min(y).min(z) as u32;
+        assert!(max <= 2 * min + 1, "unbalanced dims {:?}", m.dims());
+    }
+
+    #[test]
+    fn rack_grouping_is_eight_cubes_along_z() {
+        let m = Machine::new(2, 2, 16);
+        let a = m.node_id(TofuCoord::new(0, 0, 0, 0, 0, 0));
+        let b = m.node_id(TofuCoord::new(0, 0, 7, 0, 0, 0));
+        let c = m.node_id(TofuCoord::new(0, 0, 8, 0, 0, 0));
+        assert_eq!(m.rack_of(m.coord(a)), m.rack_of(m.coord(b)));
+        assert_ne!(m.rack_of(m.coord(a)), m.rack_of(m.coord(c)));
+    }
+
+    #[test]
+    fn euclidean_matches_manual_computation() {
+        let m = Machine::new(8, 8, 8);
+        let p = m.node_id(TofuCoord::new(0, 0, 0, 0, 0, 0));
+        let q = m.node_id(TofuCoord::new(7, 0, 0, 0, 0, 0));
+        // Torus: x distance is 1.
+        assert!((m.euclidean(p, q) - 1.0).abs() < 1e-12);
+        assert_eq!(m.hops(p, q), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_rejects_out_of_range_id() {
+        let m = Machine::one_cube();
+        m.coord(NodeId(12));
+    }
+}

@@ -1,0 +1,173 @@
+//! Rank-to-node mapping policies.
+//!
+//! The paper evaluates three ways of placing MPI processes on allocated
+//! nodes (Figure 2 and all speedup figures):
+//!
+//! - **1/N** — one process per node ([`RankMapping::OneToOne`]);
+//! - **8RR** — 8 processes per node, ranks assigned round-robin across
+//!   nodes, so ranks `i, i+8, i+16, …` share a node
+//!   ([`RankMapping::RoundRobin`] with `ppn = 8`);
+//! - **8G** — 8 processes per node, grouped: ranks `0..8` on the first
+//!   node, `8..16` on the second, … ([`RankMapping::Grouped`]).
+//!
+//! The interaction between this mapping and the victim-selection
+//! function is the crux of the paper: with 8RR, deterministic
+//! round-robin victim selection makes *every* steal attempt cross
+//! nodes, while with 8G seven out of eight round-robin steps stay
+//! inside the node.
+
+use crate::allocation::JobAllocation;
+
+/// Rank index of a process participating in a job.
+pub type Rank = u32;
+
+/// Policy assigning ranks to the nodes of a [`JobAllocation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankMapping {
+    /// One rank per node, rank `i` on allocation slot `i` (paper: 1/N).
+    OneToOne,
+    /// `ppn` ranks per node, ranks dealt round-robin across nodes:
+    /// rank `i` lives on node `i mod n_nodes` (paper: 8RR for `ppn=8`).
+    RoundRobin {
+        /// Processes per node.
+        ppn: u32,
+    },
+    /// `ppn` ranks per node, grouped: rank `i` lives on node
+    /// `i / ppn` (paper: 8G for `ppn=8`).
+    Grouped {
+        /// Processes per node.
+        ppn: u32,
+    },
+}
+
+impl RankMapping {
+    /// Paper's shorthand name for this mapping.
+    pub fn label(&self) -> String {
+        match self {
+            RankMapping::OneToOne => "1/N".to_string(),
+            RankMapping::RoundRobin { ppn } => format!("{ppn}RR"),
+            RankMapping::Grouped { ppn } => format!("{ppn}G"),
+        }
+    }
+
+    /// Processes per node under this mapping.
+    pub fn ppn(&self) -> u32 {
+        match self {
+            RankMapping::OneToOne => 1,
+            RankMapping::RoundRobin { ppn } | RankMapping::Grouped { ppn } => *ppn,
+        }
+    }
+
+    /// Number of ranks a job with `n_nodes` allocated nodes will run.
+    pub fn rank_count(&self, n_nodes: u32) -> u32 {
+        n_nodes * self.ppn()
+    }
+
+    /// Allocation slot (index into [`JobAllocation::nodes`]) hosting
+    /// `rank`, for a job over `n_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if the rank is out of range.
+    pub fn node_slot(&self, rank: Rank, n_nodes: u32) -> usize {
+        let n_ranks = self.rank_count(n_nodes);
+        assert!(rank < n_ranks, "rank {rank} out of range ({n_ranks} ranks)");
+        match self {
+            RankMapping::OneToOne => rank as usize,
+            RankMapping::RoundRobin { .. } => (rank % n_nodes) as usize,
+            RankMapping::Grouped { ppn } => (rank / ppn) as usize,
+        }
+    }
+
+    /// Build the full rank→allocation-slot table.
+    pub fn slots(&self, n_nodes: u32) -> Vec<usize> {
+        let n_ranks = self.rank_count(n_nodes);
+        (0..n_ranks).map(|r| self.node_slot(r, n_nodes)).collect()
+    }
+
+    /// Validate the mapping against an allocation.
+    pub fn check(&self, alloc: &JobAllocation) -> Result<(), String> {
+        if self.ppn() == 0 {
+            return Err("processes per node must be non-zero".into());
+        }
+        if alloc.is_empty() {
+            return Err("allocation is empty".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(RankMapping::OneToOne.label(), "1/N");
+        assert_eq!(RankMapping::RoundRobin { ppn: 8 }.label(), "8RR");
+        assert_eq!(RankMapping::Grouped { ppn: 8 }.label(), "8G");
+    }
+
+    #[test]
+    fn one_to_one_is_identity() {
+        let m = RankMapping::OneToOne;
+        for r in 0..16 {
+            assert_eq!(m.node_slot(r, 16), r as usize);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_consecutive_ranks() {
+        let m = RankMapping::RoundRobin { ppn: 8 };
+        let n_nodes = 4;
+        assert_eq!(m.rank_count(n_nodes), 32);
+        // Ranks i, i+4, i+8, ... share node i (with 4 nodes).
+        for r in 0..32u32 {
+            assert_eq!(m.node_slot(r, n_nodes), (r % 4) as usize);
+        }
+        // Consecutive ranks land on different nodes.
+        for r in 0..31u32 {
+            assert_ne!(m.node_slot(r, n_nodes), m.node_slot(r + 1, n_nodes));
+        }
+    }
+
+    #[test]
+    fn grouped_packs_consecutive_ranks() {
+        let m = RankMapping::Grouped { ppn: 8 };
+        let n_nodes = 4;
+        for r in 0..32u32 {
+            assert_eq!(m.node_slot(r, n_nodes), (r / 8) as usize);
+        }
+        // Ranks 0..8 share a node; rank 8 moves on.
+        assert_eq!(m.node_slot(0, n_nodes), m.node_slot(7, n_nodes));
+        assert_ne!(m.node_slot(7, n_nodes), m.node_slot(8, n_nodes));
+    }
+
+    #[test]
+    fn every_node_gets_exactly_ppn_ranks() {
+        for mapping in [
+            RankMapping::OneToOne,
+            RankMapping::RoundRobin { ppn: 8 },
+            RankMapping::Grouped { ppn: 8 },
+            RankMapping::RoundRobin { ppn: 3 },
+            RankMapping::Grouped { ppn: 5 },
+        ] {
+            let n_nodes = 6;
+            let slots = mapping.slots(n_nodes);
+            let mut counts = vec![0u32; n_nodes as usize];
+            for s in slots {
+                counts[s] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c == mapping.ppn()),
+                "{}: uneven rank distribution {counts:?}",
+                mapping.label()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_slot_rejects_bad_rank() {
+        RankMapping::OneToOne.node_slot(4, 4);
+    }
+}

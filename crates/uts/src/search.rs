@@ -1,0 +1,220 @@
+//! Sequential tree search: the ground truth every parallel execution
+//! must match.
+//!
+//! UTS counts the nodes of the implicit tree. The sequential searcher
+//! here is used (a) to verify distributed and shared-memory runs, and
+//! (b) to provide the single-process baseline `T₁` for efficiency and
+//! speedup numbers — the paper extrapolates its `T₁` for T3WL "from the
+//! speed, in node searched per second, of the previous input tree
+//! search" (§II-B); we can afford to measure ours directly on the
+//! scaled trees.
+
+use crate::presets::Workload;
+use crate::tree::Node;
+
+/// Statistics of a tree traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Total nodes in the tree (including the root).
+    pub nodes: u64,
+    /// Nodes with no children.
+    pub leaves: u64,
+    /// Maximum depth observed (root = 0).
+    pub max_depth: u32,
+}
+
+impl SearchStats {
+    /// Merge two partial traversals (used by parallel searchers).
+    pub fn merge(&self, other: &SearchStats) -> SearchStats {
+        SearchStats {
+            nodes: self.nodes + other.nodes,
+            leaves: self.leaves + other.leaves,
+            max_depth: self.max_depth.max(other.max_depth),
+        }
+    }
+}
+
+/// Depth-first sequential search of the whole tree.
+///
+/// Iterative with an explicit stack, so arbitrarily deep trees cannot
+/// overflow the call stack. Memory use is bounded by the widest
+/// ancestor sibling set plus the depth, not the tree size.
+pub fn search(workload: &Workload) -> SearchStats {
+    search_with_limit(workload, u64::MAX).expect("u64::MAX limit cannot be hit")
+}
+
+/// Like [`search`] but abandons with `None` once more than `max_nodes`
+/// nodes have been expanded — a guard for accidentally searching
+/// full-scale paper trees (T3WL would take days).
+pub fn search_with_limit(workload: &Workload, max_nodes: u64) -> Option<SearchStats> {
+    let mut stats = SearchStats::default();
+    let mut stack: Vec<Node> = Vec::with_capacity(4096);
+    let mut children: Vec<Node> = Vec::new();
+    stack.push(workload.spec.root(workload.seed));
+    while let Some(node) = stack.pop() {
+        stats.nodes += 1;
+        if stats.nodes > max_nodes {
+            return None;
+        }
+        stats.max_depth = stats.max_depth.max(node.height);
+        let n = workload
+            .spec
+            .children_into(&node, workload.gen_rounds, &mut children);
+        if n == 0 {
+            stats.leaves += 1;
+        } else {
+            stack.append(&mut children);
+        }
+    }
+    Some(stats)
+}
+
+/// Visit every node, calling `visit` with each; traversal order is
+/// right-to-left DFS (an implementation detail — counts are order
+/// independent). Stops early if `visit` returns `false`.
+pub fn visit<F: FnMut(&Node) -> bool>(workload: &Workload, mut visit: F) {
+    let mut stack: Vec<Node> = vec![workload.spec.root(workload.seed)];
+    let mut children: Vec<Node> = Vec::new();
+    while let Some(node) = stack.pop() {
+        if !visit(&node) {
+            return;
+        }
+        workload
+            .spec
+            .children_into(&node, workload.gen_rounds, &mut children);
+        stack.append(&mut children);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::tree::TreeSpec;
+
+    #[test]
+    fn tiny_binomial_tree_manual_count() {
+        // q = 0: only the root's b0 children exist.
+        let w = Workload {
+            name: "manual",
+            spec: TreeSpec::Binomial { b0: 5, m: 2, q: 0.0 },
+            seed: 1,
+            gen_rounds: 1,
+            base_node_ns: 1,
+        };
+        let s = search(&w);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.leaves, 5);
+        assert_eq!(s.max_depth, 1);
+    }
+
+    #[test]
+    fn preset_sizes_are_stable_golden_values() {
+        // Pin measured sizes: any change to SHA-1, the RNG, or the
+        // shape functions shows up here immediately. These values are
+        // also quoted in the preset documentation and EXPERIMENTS.md.
+        let xs = search(&presets::t3sim_xs());
+        assert_eq!(
+            (xs.nodes, xs.leaves, xs.max_depth),
+            (4_575, 2_387, 89),
+            "T3SIM-XS drifted"
+        );
+        let s = search(&presets::t3sim_s());
+        assert_eq!(
+            (s.nodes, s.leaves, s.max_depth),
+            (22_235, 11_367, 158),
+            "T3SIM-S drifted"
+        );
+        assert_eq!(s, search(&presets::t3sim_s()), "search must be deterministic");
+    }
+
+    #[test]
+    fn limit_guard_abandons_large_searches() {
+        let w = presets::t1();
+        // The T1 analogue is a few thousand nodes; a 100-node cap must
+        // trip, and the full search must agree with itself.
+        assert_eq!(search_with_limit(&w, 100), None);
+        let full = search(&w);
+        assert_eq!(
+            search_with_limit(&w, full.nodes),
+            Some(full),
+            "limit equal to the size must succeed"
+        );
+    }
+
+    #[test]
+    fn small_geometric_searches_completely() {
+        let w = Workload {
+            name: "geo-small",
+            spec: TreeSpec::Geometric {
+                b0: 3.0,
+                gen_mx: 6,
+                shape: crate::tree::GeoShape::Linear,
+            },
+            seed: 7,
+            gen_rounds: 1,
+            base_node_ns: 1,
+        };
+        let s = search(&w);
+        assert!(s.nodes > 1);
+        assert!(s.max_depth <= 6, "gen_mx must cap depth, got {}", s.max_depth);
+        assert!(s.leaves > 0 && s.leaves < s.nodes);
+    }
+
+    #[test]
+    fn visit_sees_every_node_once() {
+        let w = presets::t3sim_xs();
+        let expected = search(&w).nodes;
+        let mut seen = 0u64;
+        visit(&w, |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn visit_early_exit() {
+        let w = presets::t3sim_xs();
+        let mut seen = 0u64;
+        visit(&w, |_| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn granularity_changes_tree_but_keeps_order_of_magnitude() {
+        let base = search(&presets::t3sim_xs());
+        let coarse = search(&presets::t3sim_xs().with_gen_rounds(4));
+        // Different hashing -> different realized tree...
+        assert_ne!(base.nodes, coarse.nodes);
+        // ...but the same distribution, so sizes stay comparable.
+        let ratio = base.nodes as f64 / coarse.nodes as f64;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "sizes diverged wildly: {} vs {}",
+            base.nodes,
+            coarse.nodes
+        );
+    }
+
+    #[test]
+    fn merge_combines_partials() {
+        let a = SearchStats {
+            nodes: 10,
+            leaves: 4,
+            max_depth: 3,
+        };
+        let b = SearchStats {
+            nodes: 5,
+            leaves: 2,
+            max_depth: 7,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.nodes, 15);
+        assert_eq!(m.leaves, 6);
+        assert_eq!(m.max_depth, 7);
+    }
+}

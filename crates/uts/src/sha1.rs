@@ -1,0 +1,225 @@
+//! SHA-1 (RFC 3174), implemented from scratch.
+//!
+//! UTS builds its splittable random stream on SHA-1: the 20-byte digest
+//! of a parent's state and a child index *is* the child's state. The
+//! benchmark does not need SHA-1 to be cryptographically current — it
+//! needs a fixed, high-quality, platform-independent mixing function so
+//! that "for a set of parameters, the same tree will always be
+//! generated no matter the underlying hardware or language" (paper
+//! §II). This implementation is verified against the FIPS 180-1 / RFC
+//! 3174 test vectors.
+
+/// Length of a SHA-1 digest in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// A SHA-1 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Incremental SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes processed so far (for the length trailer).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Start a new hash.
+    pub fn new() -> Self {
+        Self {
+            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len * 8;
+        // Append 0x80 then zero padding to 56 mod 64, then the length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` counts the padding into `len`; the trailer must hold
+        // the original message length, captured in `bit_len`.
+        let mut trailer = [0u8; 8];
+        trailer.copy_from_slice(&bit_len.to_be_bytes());
+        // Write the trailer directly as a block completion.
+        self.buf[56..64].copy_from_slice(&trailer);
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut s = Sha1::new();
+        s.update(data);
+        s.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// Render a digest as lowercase hex (for tests and debugging).
+pub fn to_hex(d: &Digest) -> String {
+    let mut s = String::with_capacity(DIGEST_LEN * 2);
+    for b in d {
+        use std::fmt::Write;
+        write!(s, "{b:02x}").expect("writing to String cannot fail");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        // FIPS 180-1 appendix / RFC 3174 section 7.3 vectors.
+        assert_eq!(
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let mut s = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            s.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&s.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..255u8).collect();
+        for split in [0usize, 1, 17, 63, 64, 65, 128, 200, 255] {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Exercise the padding logic at every interesting length.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xABu8; len];
+            let mut s = Sha1::new();
+            for byte in &data {
+                s.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(
+                s.finalize(),
+                Sha1::digest(&data),
+                "byte-at-a-time mismatch at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn digests_differ_on_single_bit_flip() {
+        let a = Sha1::digest(b"unbalanced tree search");
+        let b = Sha1::digest(b"unbalanced tree searcI"); // last byte flipped
+        assert_ne!(a, b);
+        // Avalanche sanity: digests should differ in many bits.
+        let differing: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert!(differing > 40, "only {differing} differing bits");
+    }
+}

@@ -1,0 +1,206 @@
+//! Tree-shape statistics: quantifying the imbalance that makes UTS a
+//! load-balancing stress test.
+//!
+//! The paper (§II) attributes UTS's difficulty to "the relative short
+//! depth of generated trees compared to their size" and to binomial
+//! child generation, under which "subtrees will vary greatly in size,
+//! requiring frequent load balancing". This module measures exactly
+//! that: the distribution of root-subtree sizes, level widths, and the
+//! frontier profile (the size of the DFS stack over time — the quantity
+//! that bounds how many ranks a tree can feed, discussed in
+//! DESIGN.md §6).
+
+use crate::presets::Workload;
+use crate::tree::Node;
+
+/// Shape statistics of one tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeShape {
+    /// Total nodes.
+    pub nodes: u64,
+    /// Sizes of the subtrees hanging off each root child, sorted
+    /// descending.
+    pub root_subtree_sizes: Vec<u64>,
+    /// Maximum depth.
+    pub max_depth: u32,
+    /// Peak size of the DFS frontier (explicit stack) during a
+    /// sequential traversal.
+    pub peak_frontier: usize,
+    /// Frontier size sampled every `frontier_stride` expansions.
+    pub frontier_profile: Vec<usize>,
+    /// Expansions between frontier samples.
+    pub frontier_stride: u64,
+}
+
+impl TreeShape {
+    /// Fraction of all nodes contained in the largest root subtree —
+    /// a direct imbalance measure (1/b0 would be perfectly balanced).
+    pub fn largest_subtree_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        self.root_subtree_sizes.first().copied().unwrap_or(0) as f64 / self.nodes as f64
+    }
+
+    /// Gini coefficient of the root-subtree size distribution: 0 =
+    /// perfectly even, →1 = all mass in one subtree.
+    pub fn subtree_gini(&self) -> f64 {
+        let n = self.root_subtree_sizes.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self.root_subtree_sizes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        // Sizes are sorted descending; Gini over the ascending order.
+        let mut acc: f64 = 0.0;
+        for (i, &size) in self.root_subtree_sizes.iter().rev().enumerate() {
+            acc += (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * size as f64;
+        }
+        acc / (n as f64 * total as f64)
+    }
+
+    /// How many ranks this tree can plausibly keep busy: the peak
+    /// frontier divided by the given per-rank working set (chunk size
+    /// plus a private chunk's worth).
+    pub fn feedable_ranks(&self, nodes_per_rank: usize) -> usize {
+        self.peak_frontier / nodes_per_rank.max(1)
+    }
+}
+
+/// Measure the shape of a workload's tree by sequential traversal,
+/// attributing every node to its root subtree. `max_nodes` guards
+/// against accidentally measuring a full-scale tree; `None` is returned
+/// if it trips.
+pub fn measure(workload: &Workload, max_nodes: u64) -> Option<TreeShape> {
+    let root = workload.spec.root(workload.seed);
+    let mut children: Vec<Node> = Vec::new();
+    let b0 = workload
+        .spec
+        .children_into(&root, workload.gen_rounds, &mut children);
+    let mut subtree_sizes = vec![0u64; b0 as usize];
+    let mut nodes: u64 = 1;
+    let mut max_depth = 0u32;
+    let mut peak_frontier = children.len();
+    let stride = 1_000u64;
+    let mut profile = Vec::new();
+    // Stack of (node, root-child index it descends from).
+    let mut stack: Vec<(Node, u32)> = children
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u32))
+        .collect();
+    let mut buf: Vec<Node> = Vec::new();
+    while let Some((node, origin)) = stack.pop() {
+        nodes += 1;
+        if nodes > max_nodes {
+            return None;
+        }
+        subtree_sizes[origin as usize] += 1;
+        max_depth = max_depth.max(node.height);
+        workload
+            .spec
+            .children_into(&node, workload.gen_rounds, &mut buf);
+        for child in buf.drain(..) {
+            stack.push((child, origin));
+        }
+        peak_frontier = peak_frontier.max(stack.len());
+        if nodes.is_multiple_of(stride) {
+            profile.push(stack.len());
+        }
+    }
+    subtree_sizes.sort_unstable_by(|a, b| b.cmp(a));
+    Some(TreeShape {
+        nodes,
+        root_subtree_sizes: subtree_sizes,
+        max_depth,
+        peak_frontier,
+        frontier_profile: profile,
+        frontier_stride: stride,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::tree::TreeSpec;
+
+    #[test]
+    fn shape_of_xs_preset_matches_search() {
+        let w = presets::t3sim_xs();
+        let shape = measure(&w, u64::MAX).expect("within limit");
+        let s = crate::search::search(&w);
+        assert_eq!(shape.nodes, s.nodes);
+        assert_eq!(shape.max_depth, s.max_depth);
+        assert_eq!(
+            shape.root_subtree_sizes.iter().sum::<u64>(),
+            s.nodes - 1,
+            "subtree sizes partition the non-root nodes"
+        );
+    }
+
+    #[test]
+    fn binomial_trees_are_heavily_imbalanced() {
+        let w = presets::t3sim_s();
+        let shape = measure(&w, u64::MAX).expect("within limit");
+        // The paper's premise: near-critical binomial trees put most
+        // mass in few subtrees.
+        assert!(
+            shape.largest_subtree_fraction() > 0.05,
+            "largest subtree holds {:.3} of the tree",
+            shape.largest_subtree_fraction()
+        );
+        assert!(
+            shape.subtree_gini() > 0.5,
+            "gini {} too even for a near-critical binomial tree",
+            shape.subtree_gini()
+        );
+    }
+
+    #[test]
+    fn balanced_tree_has_low_gini() {
+        // q = 1 up to memory limits is unbounded; instead use q = 0:
+        // every root subtree is exactly one leaf -> perfectly even.
+        let w = Workload {
+            name: "even",
+            spec: TreeSpec::Binomial { b0: 50, m: 2, q: 0.0 },
+            seed: 3,
+            gen_rounds: 1,
+            base_node_ns: 1,
+        };
+        let shape = measure(&w, u64::MAX).expect("tiny");
+        assert_eq!(shape.nodes, 51);
+        assert!(shape.subtree_gini().abs() < 1e-12);
+        assert!((shape.largest_subtree_fraction() - 1.0 / 51.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frontier_bounds_feedable_ranks() {
+        let w = presets::t3sim_s();
+        let shape = measure(&w, u64::MAX).expect("within limit");
+        assert!(shape.peak_frontier > 0);
+        let feedable = shape.feedable_ranks(40);
+        assert!(feedable < 4096, "a 22k-node tree cannot feed 4096 ranks");
+        assert_eq!(shape.feedable_ranks(0), shape.peak_frontier);
+    }
+
+    #[test]
+    fn measure_respects_limit() {
+        assert_eq!(measure(&presets::t3sim_s(), 100), None);
+    }
+
+    #[test]
+    fn frontier_profile_sampled_at_stride() {
+        let w = presets::t3sim_s();
+        let shape = measure(&w, u64::MAX).expect("within limit");
+        let expected = (shape.nodes / shape.frontier_stride) as usize;
+        assert!(
+            (shape.frontier_profile.len() as i64 - expected as i64).abs() <= 1,
+            "profile length {} vs expected {expected}",
+            shape.frontier_profile.len()
+        );
+        assert!(shape.frontier_profile.iter().all(|&f| f <= shape.peak_frontier));
+    }
+}

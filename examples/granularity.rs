@@ -1,0 +1,47 @@
+//! Work granularity vs victim selection (§V-B): as each tree node costs
+//! more compute (more SHA rounds per node creation), a steal delivers
+//! more work relative to its latency, and the advantage of
+//! latency-aware victim selection shrinks.
+//!
+//! ```text
+//! cargo run --release --example granularity
+//! ```
+
+use dws::core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+use dws::metrics::render_table;
+use dws::uts::presets;
+
+fn main() {
+    let ranks = 128u32;
+    let mut rows = Vec::new();
+    for rounds in [1u32, 4, 16] {
+        let workload = presets::t3sim_l().with_gen_rounds(rounds);
+        let run = |victim: VictimPolicy| {
+            let mut cfg = ExperimentConfig::new(workload.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(StealAmount::Half);
+            cfg.collect_trace = false;
+            run_experiment(&cfg)
+        };
+        let reference = run(VictimPolicy::RoundRobin);
+        let tofu = run(VictimPolicy::DistanceSkewed { alpha: 1.0 });
+        let improvement = 100.0
+            * (reference.makespan.ns() as f64 - tofu.makespan.ns() as f64)
+            / reference.makespan.ns() as f64;
+        rows.push(vec![
+            rounds.to_string(),
+            format!("{}", reference.makespan),
+            format!("{}", tofu.makespan),
+            format!("{improvement:+.2}%"),
+        ]);
+    }
+    println!("Tofu-Half improvement over Reference-Half, {ranks} ranks:\n");
+    println!(
+        "{}",
+        render_table(
+            &["sha_rounds", "reference_half", "tofu_half", "improvement"],
+            &rows
+        )
+    );
+    println!("more compute per node -> steals amortize -> victim selection matters less");
+}

@@ -1,0 +1,53 @@
+//! Lifeline-based load balancing (extension): compare pure work
+//! stealing against the lifeline scheme of Saraswat et al., which the
+//! paper's related-work section positions as the other answer to
+//! steal-request contention — "idle workers wait for their lifelines to
+//! provide work, thus limiting the lock and network contention".
+//!
+//! ```text
+//! cargo run --release --example lifelines
+//! ```
+
+use dws::core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+use dws::metrics::render_table;
+use dws::uts::presets;
+
+fn main() {
+    let ranks = 256u32;
+    let workload = presets::t3wl();
+    println!("tree {} on {ranks} ranks (1/N), Rand-Half stealing\n", workload.name);
+    let mut rows = Vec::new();
+    for threshold in [None, Some(4u32), Some(16), Some(64)] {
+        let mut cfg = ExperimentConfig::new(workload.clone(), ranks)
+            .with_victim(VictimPolicy::Uniform)
+            .with_steal(StealAmount::Half);
+        cfg.lifeline_threshold = threshold;
+        cfg.collect_trace = false;
+        let r = run_experiment(&cfg);
+        let t = r.stats.total();
+        rows.push(vec![
+            threshold.map_or("off (paper)".into(), |t| format!("{t} fails")),
+            format!("{:.1}", r.perf.speedup()),
+            t.steals_failed.to_string(),
+            t.lifeline_dormancies.to_string(),
+            t.lifeline_pushes.to_string(),
+            format!("{}", r.report.messages),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dormancy threshold",
+                "speedup",
+                "failed steals",
+                "dormancies",
+                "pushed chunks",
+                "total messages"
+            ],
+            &rows
+        )
+    );
+    println!("lifelines trade steal spam (failed steals, messages) against");
+    println!("push latency; a moderate threshold keeps both in check");
+}

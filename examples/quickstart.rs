@@ -1,0 +1,55 @@
+//! Quickstart: search one unbalanced tree three ways and check that
+//! every execution style counts exactly the same tree.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dws::core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+use dws::shmem::parallel_search;
+use dws::uts::{presets, search};
+
+fn main() {
+    let workload = presets::t3sim_l();
+    println!("workload: {} (binomial, seed {})", workload.name, workload.seed);
+
+    // 1. Sequential ground truth.
+    let seq = search::search(&workload);
+    println!(
+        "sequential:  {} nodes, {} leaves, depth {}",
+        seq.nodes, seq.leaves, seq.max_depth
+    );
+
+    // 2. Shared-memory work stealing on real threads (Chase–Lev deques).
+    let par = parallel_search(&workload, 4);
+    println!(
+        "threads(4):  {} nodes in {:?}, {} steals",
+        par.stats.nodes,
+        par.elapsed,
+        par.workers.iter().map(|w| w.steals).sum::<u64>()
+    );
+    assert_eq!(par.stats, seq, "parallel search must count the same tree");
+
+    // 3. Distributed work stealing on 32 simulated K Computer nodes,
+    //    with the paper's best configuration: distance-skewed victim
+    //    selection and steal-half.
+    let mut cfg = ExperimentConfig::new(workload, 32)
+        .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+        .with_steal(StealAmount::Half);
+    cfg.expect_nodes = Some(seq.nodes);
+    let dist = run_experiment(&cfg);
+    println!(
+        "simulated(32 ranks): {} nodes, makespan {}, speedup {:.1}, efficiency {:.2}",
+        dist.total_nodes,
+        dist.makespan,
+        dist.perf.speedup(),
+        dist.perf.efficiency()
+    );
+    let occ = dist.occupancy().expect("trace collected by default");
+    println!(
+        "             peak occupancy {}/{} ranks, SL(50%) = {:.1}% of runtime",
+        occ.w_max(),
+        occ.n_ranks(),
+        occ.starting_latency(0.5).map_or(f64::NAN, |v| v * 100.0)
+    );
+}

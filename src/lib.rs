@@ -1,0 +1,39 @@
+//! # dws — distributed work stealing with latency-aware victim selection
+//!
+//! A from-scratch Rust reproduction of Perarnau & Sato, *Victim
+//! Selection and Distributed Work Stealing Performance: A Case Study*
+//! (IPDPS 2014): the UTS benchmark, an MPI-like discrete-event
+//! simulator of the K Computer's Tofu interconnect, the paper's
+//! work-stealing scheduler with pluggable victim selection, and the
+//! scheduling-latency metrics its analysis introduces.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`topology`] — the Tofu 6-D torus machine model;
+//! - [`simnet`] — the deterministic discrete-event simulator;
+//! - [`uts`] — the Unbalanced Tree Search workload;
+//! - [`core`] — the work-stealing scheduler and experiment runner;
+//! - [`metrics`] — activity traces, occupancy, SL/EL latencies;
+//! - [`shmem`] — a Chase–Lev deque and threaded intra-node executor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dws::core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+//! use dws::uts::presets;
+//!
+//! let result = run_experiment(
+//!     &ExperimentConfig::new(presets::t3sim_xs(), 16)
+//!         .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+//!         .with_steal(StealAmount::Half),
+//! );
+//! assert!(result.completed);
+//! println!("speedup {:.1} on {} ranks", result.perf.speedup(), result.n_ranks);
+//! ```
+
+pub use dws_core as core;
+pub use dws_metrics as metrics;
+pub use dws_shmem as shmem;
+pub use dws_simnet as simnet;
+pub use dws_topology as topology;
+pub use dws_uts as uts;

@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: the alias sampler, the chunked steal stack, torus
+//! distances, SHA-1 streaming, the occupancy metrics, and the
+//! termination protocol.
+
+use dws::core::{AliasTable, ChunkedStack, TerminationState, Token, TokenAction};
+use dws::metrics::{ActivityTrace, OccupancyCurve};
+use dws::simnet::DetRng;
+use dws::topology::{coord::torus_delta, Machine, NodeId};
+use dws::uts::{sha1::Sha1, Node, RngState};
+use proptest::prelude::*;
+
+proptest! {
+    /// The alias table's implied probabilities always normalize and are
+    /// proportional to the input weights.
+    #[test]
+    fn alias_probabilities_match_weights(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..40)
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+        let table = AliasTable::new(&weights);
+        let total: f64 = weights.iter().sum();
+        let mut sum = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            let p = table.probability(i);
+            sum += p;
+            prop_assert!((p - w / total).abs() < 1e-9, "outcome {i}: {p} vs {}", w / total);
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// Sampling never yields a zero-weight outcome and stays in range.
+    #[test]
+    fn alias_sampling_respects_support(
+        weights in proptest::collection::vec(0.0f64..10.0, 2..20),
+        seed in any::<u64>()
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+        let table = AliasTable::new(&weights);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..200 {
+            let s = table.sample(&mut rng);
+            prop_assert!(s < weights.len());
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    /// Model-based test of the chunked stack: a shadow count tracks
+    /// every push/pop/steal; the stack's bookkeeping must agree and its
+    /// internal invariants must hold after every operation.
+    #[test]
+    fn chunked_stack_model(
+        chunk_size in 1usize..40,
+        ops in proptest::collection::vec((0u8..4, 0u32..30), 1..200)
+    ) {
+        let mut stack = ChunkedStack::new(chunk_size);
+        let mut loot: Vec<Vec<Node>> = Vec::new();
+        let mut count = 0usize;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    for i in 0..arg {
+                        stack.push(Node { state: RngState::from_seed(i as i32), height: i });
+                        count += 1;
+                    }
+                }
+                1 => {
+                    if stack.pop().is_some() { count -= 1; }
+                }
+                2 => {
+                    let stolen = stack.steal_chunks(arg as usize % 4 + 1);
+                    for c in &stolen {
+                        prop_assert!(!c.is_empty());
+                        prop_assert!(c.len() <= chunk_size);
+                        count -= c.len();
+                    }
+                    loot.extend(stolen);
+                }
+                _ => {
+                    if let Some(c) = loot.pop() {
+                        count += c.len();
+                        stack.receive_chunks(vec![c]);
+                    }
+                }
+            }
+            prop_assert_eq!(stack.len(), count);
+            stack.check().map_err(TestCaseError::fail)?;
+        }
+        // Drain: every node must come back out.
+        let mut drained = 0usize;
+        while stack.pop().is_some() { drained += 1; }
+        prop_assert_eq!(drained, count);
+    }
+
+    /// Torus deltas are symmetric, bounded by half the extent, and zero
+    /// only on equal positions.
+    #[test]
+    fn torus_delta_properties(p in 0u16..500, q in 0u16..500, extent in 1u16..500) {
+        let p = p % extent;
+        let q = q % extent;
+        let d = torus_delta(p, q, extent);
+        prop_assert_eq!(d, torus_delta(q, p, extent));
+        prop_assert!(d <= extent / 2);
+        prop_assert_eq!(d == 0, p == q);
+    }
+
+    /// Machine node-id <-> coordinate mapping is a bijection and its
+    /// distances form a metric (identity, symmetry, triangle inequality
+    /// on hops).
+    #[test]
+    fn machine_metric_properties(
+        a in 0u32..576, b in 0u32..576, c in 0u32..576
+    ) {
+        let m = Machine::small();
+        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+        prop_assert_eq!(m.node_id(m.coord(a)), a);
+        prop_assert_eq!(m.hops(a, a), 0);
+        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+        prop_assert!(m.hops(a, b) <= m.hops(a, c) + m.hops(c, b));
+        prop_assert_eq!(m.euclidean(a, b) == 0.0, a == b);
+    }
+
+    /// SHA-1 streaming: any split of the input produces the digest of
+    /// the whole.
+    #[test]
+    fn sha1_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cut in any::<prop::sample::Index>()
+    ) {
+        let k = if data.is_empty() { 0 } else { cut.index(data.len()) };
+        let mut h = Sha1::new();
+        h.update(&data[..k]);
+        h.update(&data[k..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    /// UTS child states: distinct indices yield distinct states, and
+    /// the draw is always a valid 31-bit value.
+    #[test]
+    fn rng_spawn_properties(seed in any::<i32>(), i in 0u32..1000, j in 0u32..1000) {
+        let root = RngState::from_seed(seed);
+        let a = root.spawn(i, 1);
+        prop_assert!(a.rand() <= 0x7FFF_FFFF);
+        if i != j {
+            prop_assert_ne!(a, root.spawn(j, 1));
+        }
+    }
+
+    /// Occupancy curve invariants over random (but well-formed) traces:
+    /// workers never exceed rank count, SL is monotone, and the busy
+    /// integral matches per-rank accounting.
+    #[test]
+    fn occupancy_over_random_traces(
+        spans in proptest::collection::vec((0u32..8, 0u64..1000, 1u64..1000), 1..50)
+    ) {
+        let n_ranks = 8;
+        let mut per_rank_busy = vec![0u64; n_ranks as usize];
+        let mut cursor = vec![0u64; n_ranks as usize];
+        let mut trace = ActivityTrace::new(n_ranks);
+        let mut end = 0u64;
+        for (rank, gap, len) in spans {
+            let r = rank as usize;
+            let start = cursor[r] + gap;
+            let stop = start + len;
+            trace.record(rank, start, true);
+            trace.record(rank, stop, false);
+            per_rank_busy[r] += len;
+            cursor[r] = stop;
+            end = end.max(stop);
+        }
+        trace.check().map_err(TestCaseError::fail)?;
+        let curve = OccupancyCurve::from_trace(&trace, end);
+        prop_assert!(curve.w_max() <= n_ranks);
+        let expected: u128 = per_rank_busy.iter().map(|&b| b as u128).sum();
+        prop_assert_eq!(curve.busy_integral_ns(), expected);
+        let mut prev = 0.0;
+        for (_, sl, _) in curve.latency_series(100) {
+            if let Some(sl) = sl {
+                prop_assert!(sl >= prev);
+                prev = sl;
+            }
+        }
+    }
+
+    /// Safra termination: under arbitrary sequences of sends/receives,
+    /// a probe over a quiet ring (all messages received) terminates
+    /// within two rounds, and never terminates with messages in flight.
+    #[test]
+    fn termination_protocol_random_schedules(
+        n in 2u32..10,
+        script in proptest::collection::vec((0u8..2, 0u32..10, 0u32..10), 0..60)
+    ) {
+        let mut states: Vec<TerminationState> =
+            (0..n).map(|i| TerminationState::new(i, n)).collect();
+        let mut in_flight: Vec<u32> = Vec::new();
+        let probe = |states: &mut Vec<TerminationState>| -> TokenAction {
+            let mut token: Token = states[0].launch_probe();
+            let mut at = n - 1;
+            loop {
+                match states[at as usize].try_handle_token(token, true).expect("passive") {
+                    TokenAction::Forward(t) => {
+                        token = t;
+                        at = states[at as usize].next_in_ring();
+                        if at == 0 {
+                            return states[0].try_handle_token(token, true).expect("passive");
+                        }
+                    }
+                    other => return other,
+                }
+            }
+        };
+        for (op, from, to) in script {
+            if op == 0 {
+                states[(from % n) as usize].on_work_sent();
+                in_flight.push(to % n);
+            } else if let Some(dst) = in_flight.pop() {
+                states[dst as usize].on_work_received();
+            }
+        }
+        if !in_flight.is_empty() {
+            prop_assert_eq!(probe(&mut states), TokenAction::Restart);
+            while let Some(dst) = in_flight.pop() {
+                states[dst as usize].on_work_received();
+            }
+        }
+        let first = probe(&mut states);
+        if first != TokenAction::Terminate {
+            prop_assert_eq!(probe(&mut states), TokenAction::Terminate);
+        }
+    }
+}

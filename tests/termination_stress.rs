@@ -1,0 +1,115 @@
+//! Termination-detection stress: many odd configurations — tiny trees,
+//! awkward rank counts, degenerate chunk sizes, slow probes — must all
+//! reach global termination with every node accounted for. An event
+//! cap converts any liveness bug into a test failure instead of a hang.
+
+use dws::core::{run_experiment, ExperimentConfig, StealAmount, VictimPolicy};
+use dws::uts::{TreeSpec, Workload};
+
+fn tiny_tree(b0: u32, q: f64, seed: i32) -> Workload {
+    Workload {
+        name: "tiny",
+        spec: TreeSpec::Binomial { b0, m: 2, q },
+        seed,
+        gen_rounds: 1,
+        base_node_ns: 1_031,
+    }
+}
+
+fn run_bounded(cfg: ExperimentConfig) -> dws::core::ExperimentResult {
+    let mut cfg = cfg;
+    cfg.max_events = Some(20_000_000);
+    cfg.collect_trace = false;
+    let r = run_experiment(&cfg);
+    assert!(
+        r.completed,
+        "{}: hit the event cap without terminating (liveness bug)",
+        r.label
+    );
+    r
+}
+
+#[test]
+fn awkward_rank_counts_terminate() {
+    let tree = tiny_tree(50, 0.45, 7);
+    let expect = dws::uts::search(&tree).nodes;
+    for n_nodes in [2u32, 3, 5, 7, 13, 31] {
+        let mut cfg = ExperimentConfig::new(tree.clone(), n_nodes);
+        cfg.expect_nodes = Some(expect);
+        run_bounded(cfg);
+    }
+}
+
+#[test]
+fn near_empty_tree_terminates() {
+    // b0=1, q=0: two nodes total — almost every steal must fail, and
+    // the token ring has to conclude quickly anyway.
+    let tree = tiny_tree(1, 0.0, 3);
+    let mut cfg = ExperimentConfig::new(tree, 8);
+    cfg.expect_nodes = Some(2);
+    let r = run_bounded(cfg);
+    assert_eq!(r.total_nodes, 2);
+}
+
+#[test]
+fn chunk_size_one_terminates() {
+    let tree = tiny_tree(30, 0.45, 11);
+    let expect = dws::uts::search(&tree).nodes;
+    let mut cfg = ExperimentConfig::new(tree, 4);
+    cfg.chunk_size = 1;
+    cfg.poll_interval = 1;
+    cfg.expect_nodes = Some(expect);
+    run_bounded(cfg);
+}
+
+#[test]
+fn huge_chunks_starve_thieves_but_still_terminate() {
+    let tree = tiny_tree(100, 0.48, 5);
+    let expect = dws::uts::search(&tree).nodes;
+    let mut cfg = ExperimentConfig::new(tree, 8);
+    cfg.chunk_size = 10_000; // nothing is ever stealable
+    cfg.expect_nodes = Some(expect);
+    let r = run_bounded(cfg);
+    // All work happens at rank 0.
+    assert_eq!(r.stats.per_rank[0].nodes_processed, expect);
+    assert_eq!(r.stats.total().steals_ok, 0);
+}
+
+#[test]
+fn every_seed_terminates_under_every_policy() {
+    for seed in 0..10u64 {
+        for victim in [
+            VictimPolicy::RoundRobin,
+            VictimPolicy::Uniform,
+            VictimPolicy::DistanceSkewed { alpha: 1.0 },
+        ] {
+            let tree = tiny_tree(40, 0.46, 17);
+            let mut cfg = ExperimentConfig::new(tree, 6)
+                .with_victim(victim)
+                .with_steal(StealAmount::Half);
+            cfg.seed = seed;
+            run_bounded(cfg);
+        }
+    }
+}
+
+#[test]
+fn slow_probe_backoff_still_terminates() {
+    let tree = tiny_tree(30, 0.4, 9);
+    let mut cfg = ExperimentConfig::new(tree, 5);
+    cfg.probe_backoff_ns = 10_000_000; // 10 ms between probes
+    run_bounded(cfg);
+}
+
+#[test]
+fn supercritical_tree_respects_time_limit() {
+    // q > 1/m: the tree is (almost surely) infinite; the run must stop
+    // at the simulated-time cap, incomplete but sane.
+    let tree = tiny_tree(4, 0.6, 1);
+    let mut cfg = ExperimentConfig::new(tree, 4);
+    cfg.max_sim_time_ns = Some(3_000_000);
+    cfg.collect_trace = false;
+    let r = run_experiment(&cfg);
+    assert!(!r.completed);
+    assert!(r.total_nodes > 0);
+}
