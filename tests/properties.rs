@@ -1,77 +1,118 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: the alias sampler, the chunked steal stack, torus
-//! distances, SHA-1 streaming, the occupancy metrics, and the
-//! termination protocol.
+//! Property-based tests over the core data structures and invariants:
+//! the alias sampler, the chunked steal stack, torus distances, SHA-1
+//! streaming, the occupancy metrics, and the termination protocol.
+//!
+//! Implemented as deterministic randomized loops driven by [`DetRng`]
+//! (the workspace is dependency-free, so no proptest): each property is
+//! checked across a few hundred seeded cases, and a failure message
+//! always names the case seed so it can be replayed.
 
 use dws::core::{AliasTable, ChunkedStack, TerminationState, Token, TokenAction};
 use dws::metrics::{ActivityTrace, OccupancyCurve};
 use dws::simnet::DetRng;
 use dws::topology::{coord::torus_delta, Machine, NodeId};
 use dws::uts::{sha1::Sha1, Node, RngState};
-use proptest::prelude::*;
 
-proptest! {
-    /// The alias table's implied probabilities always normalize and are
-    /// proportional to the input weights.
-    #[test]
-    fn alias_probabilities_match_weights(
-        weights in proptest::collection::vec(0.0f64..100.0, 1..40)
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
-        let table = AliasTable::new(&weights);
+/// Iterations per property. Each case derives everything from one seed.
+const CASES: u64 = 300;
+
+fn case_rng(property: u64, case: u64) -> DetRng {
+    DetRng::new(0x9E37_79B9_7F4A_7C15 ^ (property << 32) ^ case)
+}
+
+/// The alias table's implied probabilities always normalize and are
+/// proportional to the input weights.
+#[test]
+fn alias_probabilities_match_weights() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let n = rng.next_range(1, 40) as usize;
+        let weights: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
         let total: f64 = weights.iter().sum();
+        if total <= 1e-9 {
+            continue;
+        }
+        let table = AliasTable::new(&weights);
         let mut sum = 0.0;
         for (i, &w) in weights.iter().enumerate() {
             let p = table.probability(i);
             sum += p;
-            prop_assert!((p - w / total).abs() < 1e-9, "outcome {i}: {p} vs {}", w / total);
+            assert!(
+                (p - w / total).abs() < 1e-9,
+                "case {case} outcome {i}: {p} vs {}",
+                w / total
+            );
         }
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9, "case {case}: sum {sum}");
     }
+}
 
-    /// Sampling never yields a zero-weight outcome and stays in range.
-    #[test]
-    fn alias_sampling_respects_support(
-        weights in proptest::collection::vec(0.0f64..10.0, 2..20),
-        seed in any::<u64>()
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+/// Sampling never yields a zero-weight outcome and stays in range.
+#[test]
+fn alias_sampling_respects_support() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let n = rng.next_range(2, 20) as usize;
+        // A mix of zero and positive weights exercises the support check.
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.next_below(3) == 0 {
+                    0.0
+                } else {
+                    rng.next_f64() * 10.0
+                }
+            })
+            .collect();
+        if weights.iter().sum::<f64>() <= 1e-9 {
+            continue;
+        }
         let table = AliasTable::new(&weights);
-        let mut rng = DetRng::new(seed);
         for _ in 0..200 {
             let s = table.sample(&mut rng);
-            prop_assert!(s < weights.len());
-            prop_assert!(weights[s] > 0.0, "sampled zero-weight outcome {s}");
+            assert!(s < weights.len(), "case {case}: index {s} out of range");
+            assert!(
+                weights[s] > 0.0,
+                "case {case}: sampled zero-weight outcome {s}"
+            );
         }
     }
+}
 
-    /// Model-based test of the chunked stack: a shadow count tracks
-    /// every push/pop/steal; the stack's bookkeeping must agree and its
-    /// internal invariants must hold after every operation.
-    #[test]
-    fn chunked_stack_model(
-        chunk_size in 1usize..40,
-        ops in proptest::collection::vec((0u8..4, 0u32..30), 1..200)
-    ) {
+/// Model-based test of the chunked stack: a shadow count tracks every
+/// push/pop/steal; the stack's bookkeeping must agree and its internal
+/// invariants must hold after every operation.
+#[test]
+fn chunked_stack_model() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let chunk_size = rng.next_range(1, 40) as usize;
+        let n_ops = rng.next_range(1, 200);
         let mut stack = ChunkedStack::new(chunk_size);
         let mut loot: Vec<Vec<Node>> = Vec::new();
         let mut count = 0usize;
-        for (op, arg) in ops {
+        for _ in 0..n_ops {
+            let op = rng.next_below(4);
+            let arg = rng.next_below(30) as u32;
             match op {
                 0 => {
                     for i in 0..arg {
-                        stack.push(Node { state: RngState::from_seed(i as i32), height: i });
+                        stack.push(Node {
+                            state: RngState::from_seed(i as i32),
+                            height: i,
+                        });
                         count += 1;
                     }
                 }
                 1 => {
-                    if stack.pop().is_some() { count -= 1; }
+                    if stack.pop().is_some() {
+                        count -= 1;
+                    }
                 }
                 2 => {
                     let stolen = stack.steal_chunks(arg as usize % 4 + 1);
                     for c in &stolen {
-                        prop_assert!(!c.is_empty());
-                        prop_assert!(c.len() <= chunk_size);
+                        assert!(!c.is_empty(), "case {case}: stole empty chunk");
+                        assert!(c.len() <= chunk_size, "case {case}: oversized chunk");
                         count -= c.len();
                     }
                     loot.extend(stolen);
@@ -83,82 +124,121 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(stack.len(), count);
-            stack.check().map_err(TestCaseError::fail)?;
+            assert_eq!(stack.len(), count, "case {case}: length drift");
+            if let Err(e) = stack.check() {
+                panic!("case {case}: invariant violated: {e}");
+            }
         }
         // Drain: every node must come back out.
         let mut drained = 0usize;
-        while stack.pop().is_some() { drained += 1; }
-        prop_assert_eq!(drained, count);
+        while stack.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, count, "case {case}: drain mismatch");
     }
+}
 
-    /// Torus deltas are symmetric, bounded by half the extent, and zero
-    /// only on equal positions.
-    #[test]
-    fn torus_delta_properties(p in 0u16..500, q in 0u16..500, extent in 1u16..500) {
-        let p = p % extent;
-        let q = q % extent;
+/// Torus deltas are symmetric, bounded by half the extent, and zero
+/// only on equal positions.
+#[test]
+fn torus_delta_properties() {
+    for case in 0..CASES * 4 {
+        let mut rng = case_rng(4, case);
+        let extent = rng.next_range(1, 500) as u16;
+        let p = (rng.next_below(500) as u16) % extent;
+        let q = (rng.next_below(500) as u16) % extent;
         let d = torus_delta(p, q, extent);
-        prop_assert_eq!(d, torus_delta(q, p, extent));
-        prop_assert!(d <= extent / 2);
-        prop_assert_eq!(d == 0, p == q);
+        assert_eq!(d, torus_delta(q, p, extent), "case {case}: asymmetric");
+        assert!(d <= extent / 2, "case {case}: delta over half extent");
+        assert_eq!(d == 0, p == q, "case {case}: zero-delta iff equal");
     }
+}
 
-    /// Machine node-id <-> coordinate mapping is a bijection and its
-    /// distances form a metric (identity, symmetry, triangle inequality
-    /// on hops).
-    #[test]
-    fn machine_metric_properties(
-        a in 0u32..576, b in 0u32..576, c in 0u32..576
-    ) {
-        let m = Machine::small();
-        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
-        prop_assert_eq!(m.node_id(m.coord(a)), a);
-        prop_assert_eq!(m.hops(a, a), 0);
-        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
-        prop_assert!(m.hops(a, b) <= m.hops(a, c) + m.hops(c, b));
-        prop_assert_eq!(m.euclidean(a, b) == 0.0, a == b);
+/// Machine node-id <-> coordinate mapping is a bijection and its
+/// distances form a metric (identity, symmetry, triangle inequality
+/// on hops).
+#[test]
+fn machine_metric_properties() {
+    let m = Machine::small();
+    for case in 0..CASES * 4 {
+        let mut rng = case_rng(5, case);
+        let a = NodeId(rng.next_below(576) as u32);
+        let b = NodeId(rng.next_below(576) as u32);
+        let c = NodeId(rng.next_below(576) as u32);
+        assert_eq!(m.node_id(m.coord(a)), a, "case {case}: not a bijection");
+        assert_eq!(m.hops(a, a), 0, "case {case}: nonzero self distance");
+        assert_eq!(m.hops(a, b), m.hops(b, a), "case {case}: asymmetric hops");
+        assert!(
+            m.hops(a, b) <= m.hops(a, c) + m.hops(c, b),
+            "case {case}: triangle inequality"
+        );
+        assert_eq!(
+            m.euclidean(a, b) == 0.0,
+            a == b,
+            "case {case}: euclidean zero iff equal"
+        );
     }
+}
 
-    /// SHA-1 streaming: any split of the input produces the digest of
-    /// the whole.
-    #[test]
-    fn sha1_streaming_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-        cut in any::<prop::sample::Index>()
-    ) {
-        let k = if data.is_empty() { 0 } else { cut.index(data.len()) };
+/// SHA-1 streaming: any split of the input produces the digest of the
+/// whole.
+#[test]
+fn sha1_streaming_equals_oneshot() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let len = rng.next_below(300) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_below(256) as u8).collect();
+        let k = if data.is_empty() {
+            0
+        } else {
+            rng.next_below(data.len() as u64) as usize
+        };
         let mut h = Sha1::new();
         h.update(&data[..k]);
         h.update(&data[k..]);
-        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        assert_eq!(
+            h.finalize(),
+            Sha1::digest(&data),
+            "case {case}: split at {k} of {len}"
+        );
     }
+}
 
-    /// UTS child states: distinct indices yield distinct states, and
-    /// the draw is always a valid 31-bit value.
-    #[test]
-    fn rng_spawn_properties(seed in any::<i32>(), i in 0u32..1000, j in 0u32..1000) {
+/// UTS child states: distinct indices yield distinct states, and the
+/// draw is always a valid 31-bit value.
+#[test]
+fn rng_spawn_properties() {
+    for case in 0..CASES * 4 {
+        let mut rng = case_rng(7, case);
+        let seed = rng.next_u64() as i32;
+        let i = rng.next_below(1000) as u32;
+        let j = rng.next_below(1000) as u32;
         let root = RngState::from_seed(seed);
         let a = root.spawn(i, 1);
-        prop_assert!(a.rand() <= 0x7FFF_FFFF);
+        assert!(a.rand() <= 0x7FFF_FFFF, "case {case}: draw out of range");
         if i != j {
-            prop_assert_ne!(a, root.spawn(j, 1));
+            assert_ne!(a, root.spawn(j, 1), "case {case}: state collision");
         }
     }
+}
 
-    /// Occupancy curve invariants over random (but well-formed) traces:
-    /// workers never exceed rank count, SL is monotone, and the busy
-    /// integral matches per-rank accounting.
-    #[test]
-    fn occupancy_over_random_traces(
-        spans in proptest::collection::vec((0u32..8, 0u64..1000, 1u64..1000), 1..50)
-    ) {
-        let n_ranks = 8;
+/// Occupancy curve invariants over random (but well-formed) traces:
+/// workers never exceed rank count, SL is monotone, and the busy
+/// integral matches per-rank accounting.
+#[test]
+fn occupancy_over_random_traces() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        let n_ranks = 8u32;
+        let n_spans = rng.next_range(1, 50);
         let mut per_rank_busy = vec![0u64; n_ranks as usize];
         let mut cursor = vec![0u64; n_ranks as usize];
         let mut trace = ActivityTrace::new(n_ranks);
         let mut end = 0u64;
-        for (rank, gap, len) in spans {
+        for _ in 0..n_spans {
+            let rank = rng.next_below(n_ranks as u64) as u32;
+            let gap = rng.next_below(1000);
+            let len = rng.next_range(1, 1000);
             let r = rank as usize;
             let start = cursor[r] + gap;
             let stop = start + len;
@@ -168,28 +248,35 @@ proptest! {
             cursor[r] = stop;
             end = end.max(stop);
         }
-        trace.check().map_err(TestCaseError::fail)?;
+        if let Err(e) = trace.check() {
+            panic!("case {case}: malformed trace: {e}");
+        }
         let curve = OccupancyCurve::from_trace(&trace, end);
-        prop_assert!(curve.w_max() <= n_ranks);
+        assert!(curve.w_max() <= n_ranks, "case {case}: w_max over ranks");
         let expected: u128 = per_rank_busy.iter().map(|&b| b as u128).sum();
-        prop_assert_eq!(curve.busy_integral_ns(), expected);
+        assert_eq!(
+            curve.busy_integral_ns(),
+            expected,
+            "case {case}: busy integral mismatch"
+        );
         let mut prev = 0.0;
         for (_, sl, _) in curve.latency_series(100) {
             if let Some(sl) = sl {
-                prop_assert!(sl >= prev);
+                assert!(sl >= prev, "case {case}: SL not monotone");
                 prev = sl;
             }
         }
     }
+}
 
-    /// Safra termination: under arbitrary sequences of sends/receives,
-    /// a probe over a quiet ring (all messages received) terminates
-    /// within two rounds, and never terminates with messages in flight.
-    #[test]
-    fn termination_protocol_random_schedules(
-        n in 2u32..10,
-        script in proptest::collection::vec((0u8..2, 0u32..10, 0u32..10), 0..60)
-    ) {
+/// Safra termination: under arbitrary sequences of sends/receives, a
+/// probe over a quiet ring (all messages received) terminates within
+/// two rounds, and never terminates with messages in flight.
+#[test]
+fn termination_protocol_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let n = rng.next_range(2, 10) as u32;
         let mut states: Vec<TerminationState> =
             (0..n).map(|i| TerminationState::new(i, n)).collect();
         let mut in_flight: Vec<u32> = Vec::new();
@@ -197,7 +284,10 @@ proptest! {
             let mut token: Token = states[0].launch_probe();
             let mut at = n - 1;
             loop {
-                match states[at as usize].try_handle_token(token, true).expect("passive") {
+                match states[at as usize]
+                    .try_handle_token(token, true)
+                    .expect("passive")
+                {
                     TokenAction::Forward(t) => {
                         token = t;
                         at = states[at as usize].next_in_ring();
@@ -209,23 +299,35 @@ proptest! {
                 }
             }
         };
-        for (op, from, to) in script {
+        let script_len = rng.next_below(60);
+        for _ in 0..script_len {
+            let op = rng.next_below(2);
             if op == 0 {
-                states[(from % n) as usize].on_work_sent();
-                in_flight.push(to % n);
+                let from = rng.next_below(n as u64) as u32;
+                let to = rng.next_below(n as u64) as u32;
+                states[from as usize].on_work_sent();
+                in_flight.push(to);
             } else if let Some(dst) = in_flight.pop() {
                 states[dst as usize].on_work_received();
             }
         }
         if !in_flight.is_empty() {
-            prop_assert_eq!(probe(&mut states), TokenAction::Restart);
+            assert_eq!(
+                probe(&mut states),
+                TokenAction::Restart,
+                "case {case}: terminated with messages in flight"
+            );
             while let Some(dst) = in_flight.pop() {
                 states[dst as usize].on_work_received();
             }
         }
         let first = probe(&mut states);
         if first != TokenAction::Terminate {
-            prop_assert_eq!(probe(&mut states), TokenAction::Terminate);
+            assert_eq!(
+                probe(&mut states),
+                TokenAction::Terminate,
+                "case {case}: quiet ring not detected in two rounds"
+            );
         }
     }
 }
