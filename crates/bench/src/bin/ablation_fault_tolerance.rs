@@ -1,0 +1,129 @@
+//! Ablation: victim selection under failure. The paper's strategies
+//! were measured on a healthy interconnect; this sweep asks how the
+//! ranking holds up when the network misbehaves. Two scenarios:
+//!
+//! 1. a message-fault sweep (drops + duplicates + heavy-tailed latency
+//!    spikes at increasing rates) across all six strategies, reporting
+//!    makespan inflation over each strategy's own fault-free baseline
+//!    and the recovery work (timeouts, retransmits, discarded replies);
+//! 2. a single mid-run rank crash per steal-half strategy, reporting
+//!    the subtree lost with the dead rank and how long the surviving
+//!    ranks take to regain 90% occupancy.
+//!
+//! Distance-skewed selection concentrates traffic on nearby victims,
+//! so its steal RTTs — and therefore its failure-detection timeouts —
+//! are short; the sweep quantifies how much of its advantage survives
+//! an unreliable fabric.
+
+use dws_bench::{emit, f, run_logged, strategy, FigArgs, STRATEGIES};
+use dws_simnet::{Crash, FaultPlan};
+
+fn main() {
+    let args = FigArgs::parse();
+    let tree = args.small_tree();
+    let ranks = if args.full { 1024 } else { 128 };
+
+    let mut rows = Vec::new();
+    for &(name, victim, steal) in STRATEGIES {
+        let mut base_ms = 0.0;
+        for rate in [0.0, 0.01, 0.02, 0.05] {
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.collect_trace = false;
+            cfg.fault_plan = FaultPlan::message_faults(rate, rate * 0.5, rate);
+            let r = run_logged(&cfg);
+            let t = r.stats.total();
+            let ms = r.makespan.ns() as f64 / 1e6;
+            if rate == 0.0 {
+                base_ms = ms;
+            }
+            rows.push(vec![
+                name.to_string(),
+                f(rate, 2),
+                f(r.perf.speedup(), 1),
+                f(ms / base_ms, 2),
+                t.steal_timeouts.to_string(),
+                t.retransmits.to_string(),
+                (t.dup_replies_dropped + t.stale_replies_dropped).to_string(),
+                t.late_work_absorbed.to_string(),
+            ]);
+        }
+    }
+    emit(
+        &args,
+        "ablation_fault_tolerance",
+        "Victim policies under message faults",
+        &[
+            "strategy",
+            "fault_rate",
+            "speedup",
+            "slowdown_vs_clean",
+            "timeouts",
+            "retransmits",
+            "replies_discarded",
+            "late_absorbed",
+        ],
+        &rows,
+        None,
+    );
+
+    // Scenario 2: one rank dies a quarter of the way into the search.
+    let crash_rank = ranks / 3;
+    let mut crash_rows = Vec::new();
+    for name in ["Reference Half", "Rand Half", "Tofu Half"] {
+        let (victim, steal) = strategy(name);
+        let baseline = {
+            let mut cfg = args
+                .config(tree.clone(), ranks)
+                .with_victim(victim)
+                .with_steal(steal);
+            cfg.collect_trace = false;
+            run_logged(&cfg)
+        };
+        let at_ns = baseline.makespan.ns() / 4;
+        let mut cfg = args
+            .config(tree.clone(), ranks)
+            .with_victim(victim)
+            .with_steal(steal);
+        cfg.fault_plan = FaultPlan {
+            crashes: vec![Crash {
+                rank: crash_rank,
+                at_ns,
+            }],
+            ..FaultPlan::default()
+        };
+        let r = run_logged(&cfg);
+        let fr = r.fault.as_ref().expect("crash plan produces a report");
+        let recovery_ms = r
+            .occupancy()
+            .and_then(|occ| occ.recovery_time_ns(at_ns, 0.9))
+            .map_or("never".to_string(), |ns| f(ns as f64 / 1e6, 2));
+        crash_rows.push(vec![
+            name.to_string(),
+            f(at_ns as f64 / 1e6, 2),
+            f(r.makespan.ns() as f64 / baseline.makespan.ns() as f64, 2),
+            fr.lost_frontier_nodes.to_string(),
+            fr.lost_subtree_nodes.to_string(),
+            recovery_ms,
+            r.stats.total().token_regenerations.to_string(),
+        ]);
+    }
+    emit(
+        &args,
+        "ablation_fault_crash",
+        &format!("Rank {crash_rank} crash at T/4 (steal-half)"),
+        &[
+            "strategy",
+            "crash_at_ms",
+            "slowdown_vs_clean",
+            "lost_frontier",
+            "lost_subtree",
+            "recovery_90pct_ms",
+            "token_regens",
+        ],
+        &crash_rows,
+        None,
+    );
+}

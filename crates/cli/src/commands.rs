@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, parse_mapping, parse_steal, parse_victim, Flags};
-use dws_core::{run_experiment, ExperimentConfig};
+use dws_core::{run_experiment, ExperimentConfig, FaultToleranceCfg};
+use dws_simnet::{Brownout, Crash, FaultPlan, SlowdownWindow};
 
 use dws_metrics::{lifestory, render_table, write_csv, Summary};
 use dws_topology::{Job, LatencyParams};
@@ -21,6 +22,69 @@ fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
     })
 }
 
+/// Split a `rank@rest` fault spec.
+fn rank_at(spec: &str) -> Result<(u32, &str), String> {
+    let (r, rest) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("bad fault spec {spec:?} (expected rank@...)"))?;
+    let rank = r
+        .parse()
+        .map_err(|_| format!("bad rank in fault spec {spec:?}"))?;
+    Ok((rank, rest))
+}
+
+/// Build a [`FaultPlan`] from `--fault-*` flags (inactive when absent).
+fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan {
+        drop_prob: flags.parse_or("fault-drop", 0.0)?,
+        dup_prob: flags.parse_or("fault-dup", 0.0)?,
+        spike_prob: flags.parse_or("fault-spike", 0.0)?,
+        ..FaultPlan::default()
+    };
+    plan.spike_min_ns = flags.parse_or("fault-spike-min-ns", plan.spike_min_ns)?;
+    plan.spike_cap_ns = flags.parse_or("fault-spike-cap-ns", plan.spike_cap_ns)?;
+    if let Some(list) = flags.get("fault-crash") {
+        for spec in list.split(',') {
+            let (rank, at) = rank_at(spec.trim())?;
+            let at_ns = at
+                .parse()
+                .map_err(|_| format!("bad crash time in {spec:?} (expected rank@ns)"))?;
+            plan.crashes.push(Crash { rank, at_ns });
+        }
+    }
+    if let Some(list) = flags.get("fault-brownout") {
+        for spec in list.split(',') {
+            let (rank, rest) = rank_at(spec.trim())?;
+            let (from, until) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad brownout {spec:?} (expected rank@from:until)"))?;
+            plan.brownouts.push(Brownout {
+                rank,
+                from_ns: from.parse().map_err(|_| format!("bad brownout {spec:?}"))?,
+                until_ns: until.parse().map_err(|_| format!("bad brownout {spec:?}"))?,
+            });
+        }
+    }
+    if let Some(list) = flags.get("fault-slowdown") {
+        for spec in list.split(',') {
+            let (rank, rest) = rank_at(spec.trim())?;
+            let parts: Vec<&str> = rest.split(':').collect();
+            let [from, until, factor] = parts[..] else {
+                return Err(format!(
+                    "bad slowdown {spec:?} (expected rank@from:until:factor)"
+                ));
+            };
+            plan.slowdowns.push(SlowdownWindow {
+                rank,
+                from_ns: from.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
+                until_ns: until.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
+                factor: factor.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
+            });
+        }
+    }
+    Ok(plan)
+}
+
 fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     let workload = workload_flag(flags, "t3wl")?
         .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
@@ -37,6 +101,18 @@ fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     cfg.poll_interval = flags.parse_or("poll", cfg.poll_interval)?;
     cfg.jitter = flags.parse_or("jitter", 0.0)?;
     cfg.clock_skew_max_ns = flags.parse_or("skew-ns", 0u64)?;
+    cfg.fault_plan = fault_plan_from(flags)?;
+    if flags.has("fault-tolerant") {
+        cfg.fault_tolerance = Some(FaultToleranceCfg::default());
+    }
+    if let Some(mult) = flags.parse_opt::<u32>("fault-timeout-mult")? {
+        let mut ft = cfg.effective_fault_tolerance().unwrap_or_default();
+        ft.timeout_mult = mult;
+        cfg.fault_tolerance = Some(ft);
+    }
+    // Surface config mistakes (bad probabilities, unknown ranks, a
+    // rank-0 crash) as CLI errors instead of a panic inside the run.
+    cfg.validate()?;
     Ok(cfg)
 }
 
@@ -46,9 +122,11 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         rest,
         &[
             "tree", "nodes", "mapping", "victim", "alpha", "local-tries", "steal", "lifelines",
-            "seed", "chunk", "poll", "gen-rounds", "jitter", "skew-ns", "csv",
+            "seed", "chunk", "poll", "gen-rounds", "jitter", "skew-ns", "csv", "fault-drop",
+            "fault-dup", "fault-spike", "fault-spike-min-ns", "fault-spike-cap-ns",
+            "fault-crash", "fault-brownout", "fault-slowdown", "fault-timeout-mult",
         ],
-        &["lifestory"],
+        &["lifestory", "fault-tolerant"],
     )?;
     let cfg = config_from(&flags)?;
     eprintln!(
@@ -81,6 +159,26 @@ pub fn run(rest: &[String]) -> Result<(), String> {
             "lifelines     : {} dormancies, {} pushed chunks",
             t.lifeline_dormancies, t.lifeline_pushes
         );
+    }
+    if let Some(fr) = &r.fault {
+        println!(
+            "faults        : {} dropped, {} duplicated, {} spiked, {} brownout-lost",
+            fr.stats.dropped, fr.stats.duplicated, fr.stats.spiked, fr.stats.brownout_drops
+        );
+        println!(
+            "recovery      : {} timeouts, {} retransmits, {} dup + {} stale replies dropped",
+            t.steal_timeouts, t.retransmits, t.dup_replies_dropped, t.stale_replies_dropped
+        );
+        println!(
+            "              : {} late-work absorptions, {} token regenerations",
+            t.late_work_absorbed, t.token_regenerations
+        );
+        if !fr.crashed_ranks.is_empty() {
+            println!(
+                "crashed       : ranks {:?} — {} frontier nodes lost ({} nodes with subtrees)",
+                fr.crashed_ranks, fr.lost_frontier_nodes, fr.lost_subtree_nodes
+            );
+        }
     }
     if let Some(occ) = r.occupancy() {
         println!(
@@ -205,6 +303,91 @@ pub fn sweep(rest: &[String]) -> Result<(), String> {
                 "speedup (mean ± sd)",
                 "failed steals",
                 "session (us)"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+/// `dws chaos`
+pub fn chaos(rest: &[String]) -> Result<(), String> {
+    let flags = parse(
+        rest,
+        &[
+            "tree", "nodes", "mapping", "steal", "seeds", "rates", "dup-frac", "spike-frac",
+            "gen-rounds",
+        ],
+        &[],
+    )?;
+    let workload = workload_flag(&flags, "t3sim-l")?
+        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let n_nodes: u32 = flags.parse_or("nodes", 64)?;
+    let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
+    let steal = parse_steal(flags.get("steal").unwrap_or("half"))?;
+    let seeds: u64 = flags.parse_or("seeds", 2u64)?;
+    let rates: Vec<f64> = flags
+        .get("rates")
+        .unwrap_or("0,0.01,0.02,0.05")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad rate {s:?}")))
+        .collect::<Result<_, _>>()?;
+    // Duplication and spike probabilities ride along as fractions of
+    // the drop rate, so one knob sweeps the whole fault mix.
+    let dup_frac: f64 = flags.parse_or("dup-frac", 0.5)?;
+    let spike_frac: f64 = flags.parse_or("spike-frac", 1.0)?;
+    let strategies = [
+        ("Reference", dws_core::VictimPolicy::RoundRobin),
+        ("Rand", dws_core::VictimPolicy::Uniform),
+        ("Tofu", dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 }),
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        for (label, victim) in &strategies {
+            let mut makespan_ms = Summary::new();
+            let mut timeouts = Summary::new();
+            let mut retransmits = Summary::new();
+            let mut stale = Summary::new();
+            for k in 0..seeds {
+                let mut cfg = ExperimentConfig::new(workload.clone(), n_nodes);
+                cfg.mapping = mapping;
+                cfg.victim = *victim;
+                cfg.steal = steal;
+                cfg.seed = 0xC4A0_5000 + k;
+                cfg.collect_trace = false;
+                cfg.fault_plan =
+                    FaultPlan::message_faults(rate, rate * dup_frac, rate * spike_frac);
+                eprint!(
+                    "  {label} rate={rate} seed={k}...        \r"
+                );
+                let r = run_experiment(&cfg);
+                let t = r.stats.total();
+                makespan_ms.add(r.makespan.ns() as f64 / 1e6);
+                timeouts.add(t.steal_timeouts as f64);
+                retransmits.add(t.retransmits as f64);
+                stale.add((t.stale_replies_dropped + t.dup_replies_dropped) as f64);
+            }
+            rows.push(vec![
+                format!("{rate}"),
+                label.to_string(),
+                makespan_ms.display(2),
+                format!("{:.0}", timeouts.mean()),
+                format!("{:.0}", retransmits.mean()),
+                format!("{:.0}", stale.mean()),
+            ]);
+        }
+    }
+    eprintln!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "drop rate",
+                "strategy",
+                "makespan ms (mean ± sd)",
+                "timeouts",
+                "retransmits",
+                "dup+stale dropped",
             ],
             &rows
         )

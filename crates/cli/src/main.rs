@@ -3,6 +3,7 @@
 //! ```text
 //! dws run    --tree t3wl --nodes 256 --victim tofu --steal half [--lifestory]
 //! dws sweep  --tree t3wl --ranks 64,128,256 --seeds 3
+//! dws chaos  --tree t3sim-l --nodes 64 --rates 0,0.01,0.05
 //! dws tree   --tree t3sim-l
 //! dws topo   --nodes 1024 [--rank 0]
 //! dws shmem  --tree t3sim-l --workers 8
@@ -23,6 +24,7 @@ fn main() {
     let result = match cmd {
         "run" => commands::run(rest),
         "sweep" => commands::sweep(rest),
+        "chaos" => commands::chaos(rest),
         "tree" => commands::tree(rest),
         "topo" | "topology" => commands::topo(rest),
         "shmem" => commands::shmem(rest),
@@ -59,8 +61,19 @@ commands:
           --skew-ns <n>        max per-rank clock skew
           --lifestory          print the per-rank activity chart
           --csv <path>         write per-rank statistics as CSV
+          --fault-drop/-dup/-spike <p> message fault probabilities
+          --fault-spike-min-ns / --fault-spike-cap-ns   spike tail shape
+          --fault-crash <r@ns,..>       crash rank r at time ns
+          --fault-brownout <r@a:b,..>   NIC brownout window on rank r
+          --fault-slowdown <r@a:b:f,..> slow rank r by factor f in [a,b)
+          --fault-tolerant     force the failure-tolerant protocol on
+          --fault-timeout-mult <n>      steal-timeout RTT multiplier
   sweep   sweep rank counts x strategies, multiple seeds, mean +/- sd
           --tree --seeds <k> --ranks <a,b,c> --mapping as above
+  chaos   sweep message-fault rates x victim policies
+          --tree --nodes --steal --seeds <k> --rates <p,p,..>
+          --dup-frac <f> --spike-frac <f>  dup/spike rate as a
+                                           fraction of the drop rate
   tree    measure a workload preset (size, depth, imbalance, frontier)
           --tree <preset> [--limit <nodes>]
   topo    inspect a placed job's distances and latencies

@@ -52,8 +52,10 @@ pub mod victim;
 
 pub use alias::AliasTable;
 pub use network::{LinkContendedNetwork, NicContendedNetwork};
-pub use runner::{run_experiment, sequential_baseline, ExperimentConfig, ExperimentResult};
-pub use scheduler::{Msg, SchedulerCfg, StealAmount, Worker};
+pub use runner::{
+    run_experiment, sequential_baseline, ExperimentConfig, ExperimentResult, FaultReport,
+};
+pub use scheduler::{FaultToleranceCfg, Msg, SchedulerCfg, StealAmount, Worker};
 pub use stack::{Chunk, ChunkedStack};
 pub use sweep::{Cell, Sweep};
 pub use termination::{Colour, TerminationState, Token, TokenAction};

@@ -14,12 +14,12 @@
 //! - the activity trace must be well-formed,
 //! - every rank must have observed termination with an empty stack.
 
-use crate::scheduler::{Counters, SchedulerCfg, StealAmount, Worker};
+use crate::scheduler::{Counters, FaultToleranceCfg, SchedulerCfg, StealAmount, Worker};
 use crate::victim::VictimPolicy;
 use dws_metrics::{ActivityTrace, OccupancyCurve, Perf, RunStats, StealStats};
-use dws_simnet::{RunReport, SimConfig, SimTime, Simulation};
+use dws_simnet::{FaultPlan, FaultStats, RunReport, SimConfig, SimTime, Simulation};
 use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
-use dws_uts::Workload;
+use dws_uts::{Node, Workload};
 use std::sync::Arc;
 
 /// Full description of one experiment.
@@ -83,6 +83,15 @@ pub struct ExperimentConfig {
     pub max_events: Option<u64>,
     /// If known, the tree size to verify against.
     pub expect_nodes: Option<u64>,
+    /// Deterministic fault schedule injected by the simulator. The
+    /// default plan injects nothing and leaves the event schedule
+    /// byte-identical to a fault-free build.
+    pub fault_plan: FaultPlan,
+    /// Failure-tolerance knobs for the steal protocol. `None` means
+    /// *auto*: enabled with defaults exactly when `fault_plan` is
+    /// active, off otherwise (so fault-free runs never pay for it).
+    /// Set explicitly to measure protocol overhead on a clean network.
+    pub fault_tolerance: Option<FaultToleranceCfg>,
 }
 
 impl ExperimentConfig {
@@ -115,6 +124,8 @@ impl ExperimentConfig {
             max_sim_time_ns: None,
             max_events: None,
             expect_nodes: None,
+            fault_plan: FaultPlan::default(),
+            fault_tolerance: None,
         }
     }
 
@@ -184,7 +195,27 @@ impl ExperimentConfig {
         }
         self.workload.spec.check()?;
         self.latency.check()?;
+        self.fault_plan
+            .validate(self.mapping.rank_count(self.n_nodes))?;
+        if !self.fault_plan.crashes.is_empty() && self.effective_fault_tolerance().is_none() {
+            return Err(
+                "crash injection without fault tolerance would deadlock the token ring".into(),
+            );
+        }
         Ok(())
+    }
+
+    /// The fault-tolerance configuration actually in effect: the
+    /// explicit one if set, else defaults exactly when faults are
+    /// injected.
+    pub fn effective_fault_tolerance(&self) -> Option<FaultToleranceCfg> {
+        self.fault_tolerance.clone().or_else(|| {
+            if self.fault_plan.is_active() {
+                Some(FaultToleranceCfg::default())
+            } else {
+                None
+            }
+        })
     }
 }
 
@@ -211,6 +242,24 @@ pub struct ExperimentResult {
     pub report: RunReport,
     /// False when a limit aborted the run before termination.
     pub completed: bool,
+    /// Fault-injection accounting, present when the plan was active.
+    pub fault: Option<FaultReport>,
+}
+
+/// What the faults actually did to one run.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Engine-level injection counters.
+    pub stats: FaultStats,
+    /// Ranks that crashed during the run.
+    pub crashed_ranks: Vec<u32>,
+    /// Frontier nodes lost with crashed ranks (their stack backlogs
+    /// plus transfers never absorbed by a live thief).
+    pub lost_frontier_nodes: u64,
+    /// Full subtree size under those frontier nodes — the work the
+    /// search never performed. `total_nodes + lost_subtree_nodes`
+    /// equals the sequential tree size.
+    pub lost_subtree_nodes: u64,
 }
 
 impl ExperimentResult {
@@ -237,7 +286,32 @@ fn to_steal_stats(c: &Counters) -> StealStats {
         nodes_processed: c.nodes_processed,
         lifeline_dormancies: c.lifeline_dormancies,
         lifeline_pushes: c.lifeline_pushes,
+        steal_timeouts: c.steal_timeouts,
+        retransmits: c.retransmits,
+        dup_replies_dropped: c.dup_replies_dropped,
+        stale_replies_dropped: c.stale_replies_dropped,
+        late_work_absorbed: c.late_work_absorbed,
+        token_regenerations: c.token_regenerations,
+        nodes_stranded: c.nodes_stranded,
+        nodes_refused: c.nodes_refused,
     }
+}
+
+/// Exact number of tree nodes in the subtrees rooted at `roots`
+/// (iterative DFS over the deterministic tree spec) — the work a
+/// faulty run lost.
+fn subtree_nodes(workload: &Workload, roots: Vec<Node>) -> u64 {
+    let mut stack = roots;
+    let mut buf = Vec::new();
+    let mut count = 0u64;
+    while let Some(node) = stack.pop() {
+        count += 1;
+        workload
+            .spec
+            .children_into(&node, workload.gen_rounds, &mut buf);
+        stack.append(&mut buf);
+    }
+    count
 }
 
 /// Run one experiment to completion (or to its limits) and verify it.
@@ -272,17 +346,26 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         msg_handle_ns: cfg.msg_handle_ns,
         package_chunk_ns: cfg.package_chunk_ns,
         lifeline_threshold: cfg.lifeline_threshold,
+        fault_tolerance: cfg.effective_fault_tolerance(),
     });
+    let ft_on = sched.fault_tolerance.is_some();
     let workers: Vec<Worker> = (0..n_ranks)
         .map(|me| {
             let selector = cfg.victim.build(&job, me, cfg.alias_threshold);
-            Worker::new(Arc::clone(&sched), me, n_ranks, selector)
+            let w = Worker::new(Arc::clone(&sched), me, n_ranks, selector);
+            if ft_on {
+                // Timeouts derive from the placed job's latency model.
+                w.with_job(Arc::clone(&job))
+            } else {
+                w
+            }
         })
         .collect();
     let sim_cfg = SimConfig {
         seed: cfg.seed,
         latency_jitter: cfg.jitter,
         clock_skew_max_ns: cfg.clock_skew_max_ns,
+        fault: cfg.fault_plan.clone(),
     };
     let mut sim: Simulation<Worker> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network
     {
@@ -310,7 +393,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         Simulation::new(workers, JobLatency(job), sim_cfg)
     };
     let report = sim.run_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
-    let completed = sim.actors().iter().all(|w| w.is_done());
+    let crashed_ranks = sim.crashed_ranks();
+    let is_crashed = |r: usize| crashed_ranks.contains(&(r as u32));
+    // Crashed ranks can never observe termination; a run is complete
+    // when every *survivor* has.
+    let completed = sim
+        .actors()
+        .iter()
+        .enumerate()
+        .all(|(r, w)| is_crashed(r) || w.is_done());
     if !completed {
         assert!(
             report.halted,
@@ -323,18 +414,74 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let per_rank: Vec<StealStats> = sim.actors().iter().map(|w| to_steal_stats(&w.counters)).collect();
     let stats = RunStats::new(per_rank);
     let total_nodes = stats.nodes_processed();
-    if completed {
-        stats
-            .check_conservation()
-            .expect("steal accounting must conserve work");
-        if let Some(expect) = cfg.expect_nodes {
-            assert_eq!(
-                total_nodes, expect,
-                "distributed search found {total_nodes} nodes, expected {expect}"
-            );
-        }
+
+    // Lost-work reconciliation: everything a crash took down — the
+    // dead rank's stack backlog plus every transfer no live thief
+    // absorbed (sender- or receiver-side of a crash) — rooted at its
+    // frontier nodes and expanded to full subtree size.
+    let mut lost_frontier: Vec<Node> = Vec::new();
+    if completed && !crashed_ranks.is_empty() {
         for (r, w) in sim.actors().iter().enumerate() {
-            assert_eq!(w.backlog(), 0, "rank {r} left work behind");
+            if is_crashed(r) {
+                lost_frontier.extend(w.stack_nodes().copied());
+            }
+            for (to, xfer, chunks) in w.unconfirmed_transfers() {
+                if !sim.actors()[to as usize].has_absorbed(r as u32, xfer) {
+                    lost_frontier.extend(chunks.iter().flatten().copied());
+                }
+            }
+        }
+    }
+    let lost_frontier_nodes = lost_frontier.len() as u64;
+    let lost_subtree_nodes = if lost_frontier.is_empty() {
+        0
+    } else {
+        subtree_nodes(&cfg.workload, lost_frontier)
+    };
+
+    if completed {
+        if crashed_ranks.is_empty() {
+            // Exactly-once transfer semantics hold even under message
+            // drops and duplications: strict conservation.
+            stats
+                .check_conservation()
+                .expect("steal accounting must conserve work");
+            if let Some(expect) = cfg.expect_nodes {
+                assert_eq!(
+                    total_nodes, expect,
+                    "distributed search found {total_nodes} nodes, expected {expect}"
+                );
+            }
+            for (r, w) in sim.actors().iter().enumerate() {
+                assert_eq!(w.backlog(), 0, "rank {r} left work behind");
+            }
+        } else {
+            // Degraded run: global node conservation is replaced by
+            // explicit loss accounting; per-rank counters must still
+            // balance internally.
+            for (r, s) in stats.per_rank.iter().enumerate() {
+                if is_crashed(r) {
+                    // A crashed rank's counters are a snapshot taken
+                    // mid-operation (e.g. a steal attempt still in
+                    // flight); only survivors must balance.
+                    continue;
+                }
+                s.check()
+                    .unwrap_or_else(|e| panic!("rank {r} counters inconsistent: {e}"));
+            }
+            if let Some(expect) = cfg.expect_nodes {
+                assert_eq!(
+                    total_nodes + lost_subtree_nodes,
+                    expect,
+                    "processed {total_nodes} + lost {lost_subtree_nodes} nodes \
+                     must add up to the tree size {expect}"
+                );
+            }
+            for (r, w) in sim.actors().iter().enumerate() {
+                if !is_crashed(r) {
+                    assert_eq!(w.backlog(), 0, "surviving rank {r} left work behind");
+                }
+            }
         }
     }
 
@@ -358,6 +505,16 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         makespan_ns: makespan.ns().max(1),
         t1_ns,
     };
+    let fault = if cfg.fault_plan.is_active() {
+        Some(FaultReport {
+            stats: sim.fault_stats(),
+            crashed_ranks,
+            lost_frontier_nodes,
+            lost_subtree_nodes,
+        })
+    } else {
+        None
+    };
     ExperimentResult {
         label: cfg.label(),
         n_ranks,
@@ -369,6 +526,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         trace,
         report,
         completed,
+        fault,
     }
 }
 

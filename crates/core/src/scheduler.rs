@@ -42,8 +42,9 @@ use crate::stack::{Chunk, ChunkedStack};
 use crate::termination::{TerminationState, Token, TokenAction};
 use crate::victim::VictimSelector;
 use dws_simnet::{Actor, Ctx, Rank};
+use dws_topology::Job;
 use dws_uts::{Node, TreeSpec, Workload, NODE_WIRE_BYTES};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// How much of a victim's stealable work one steal transfers.
@@ -108,6 +109,13 @@ pub struct SchedulerCfg {
     /// registered dormant buddies at polling points. `None` disables
     /// lifelines (the paper's protocol).
     pub lifeline_threshold: Option<u32>,
+    /// Failure tolerance: steal timeouts with exponential backoff,
+    /// acknowledged work transfers with retransmission, termination
+    /// tokens with regeneration, and crashed-rank avoidance. `None`
+    /// (the default) runs the paper's bare protocol with **zero**
+    /// extra timers, messages, or RNG draws — the fault-free event
+    /// schedule is untouched.
+    pub fault_tolerance: Option<FaultToleranceCfg>,
 }
 
 impl SchedulerCfg {
@@ -127,30 +135,97 @@ impl SchedulerCfg {
             msg_handle_ns: 600,
             package_chunk_ns: 200,
             lifeline_threshold: None,
+            fault_tolerance: None,
+        }
+    }
+}
+
+/// Knobs of the failure-tolerant steal protocol. All time scales are
+/// *derived from the topology latency model* at use time (paper-style:
+/// no magic wall-clock constants) — these are only the multipliers and
+/// the fallback for when no latency model is wired in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultToleranceCfg {
+    /// Multiplier on the estimated request→reply round trip (plus one
+    /// victim service interval) before a steal request is declared
+    /// lost and the thief re-selects a victim.
+    pub timeout_mult: u32,
+    /// Cap on exponential-backoff doublings applied after consecutive
+    /// timeouts (steal requests) or repeated retransmissions.
+    pub max_backoff_doublings: u32,
+    /// Round-trip estimate used when no [`Job`] latency model is
+    /// available (unit tests driving a `Worker` directly).
+    pub fallback_rtt_ns: u64,
+}
+
+impl Default for FaultToleranceCfg {
+    fn default() -> Self {
+        Self {
+            timeout_mult: 4,
+            max_backoff_doublings: 6,
+            fallback_rtt_ns: 200_000,
         }
     }
 }
 
 /// Messages of the steal protocol.
+///
+/// Sequence and transfer identifiers exist for the failure-tolerant
+/// protocol: `seq` lets a thief match a reply to the request it is
+/// still waiting on (anything else is stale or duplicated), and `xfer`
+/// identifies a work transfer end-to-end so duplicated deliveries are
+/// absorbed exactly once and lost deliveries can be retransmitted
+/// until acknowledged. With fault tolerance off they ride along as
+/// zeros and change nothing (wire sizes already budget full headers).
 #[derive(Debug, Clone)]
 pub enum Msg {
     /// "Give me work."
-    StealRequest,
+    StealRequest {
+        /// Thief-local request sequence number.
+        seq: u64,
+    },
     /// Reply: the stolen chunks; empty means the steal failed.
     StealReply {
+        /// Echo of the request's sequence number (`u64::MAX` on a
+        /// retransmission, which can never match a live request and
+        /// therefore always takes the stale-reply path).
+        seq: u64,
+        /// Victim-local transfer id (0 for empty replies).
+        xfer: u64,
         /// Chunks transferred to the thief (empty on failure).
         chunks: Vec<Chunk>,
+    },
+    /// Failure-tolerant protocol: "transfer `xfer` arrived; stop
+    /// retransmitting it."
+    StealAck {
+        /// The victim-local transfer id being acknowledged.
+        xfer: u64,
     },
     /// Lifeline extension: "I am dormant; push me work when you have
     /// some." Registers the sender with the receiver.
     LifelineRequest,
     /// Lifeline extension: unsolicited work pushed to a dormant buddy.
     LifelinePush {
+        /// Sender-local transfer id (0 with fault tolerance off).
+        xfer: u64,
         /// Chunks donated to the dormant rank (never empty).
         chunks: Vec<Chunk>,
     },
-    /// Termination-detection token.
-    Token(Token),
+    /// Termination-detection token. `seq` is a sender-local sequence
+    /// number for per-hop acknowledgement (0 with fault tolerance off).
+    Token {
+        /// The ring token itself.
+        token: Token,
+        /// Sender-local hop sequence number.
+        seq: u64,
+    },
+    /// Fault tolerance only: acknowledges receipt of a ring token hop
+    /// (the token may still be discarded as stale — receipt is what
+    /// stops the sender's retransmission).
+    TokenAck {
+        /// The hop sequence number being acknowledged.
+        seq: u64,
+    },
     /// Global termination announcement (broadcast by rank 0).
     Done,
 }
@@ -159,20 +234,41 @@ impl Msg {
     /// Bytes on the wire, for latency accounting.
     pub fn wire_bytes(&self) -> usize {
         match self {
-            Msg::StealRequest | Msg::LifelineRequest => 16,
-            Msg::StealReply { chunks } | Msg::LifelinePush { chunks } => {
+            Msg::StealRequest { .. }
+            | Msg::LifelineRequest
+            | Msg::StealAck { .. }
+            | Msg::TokenAck { .. } => 16,
+            Msg::StealReply { chunks, .. } | Msg::LifelinePush { chunks, .. } => {
                 16 + chunks.iter().map(|c| c.len()).sum::<usize>() * NODE_WIRE_BYTES
             }
-            Msg::Token(_) => 24,
+            Msg::Token { .. } => 24,
             Msg::Done => 8,
         }
     }
 }
 
-/// Timer tokens.
+/// Timer tokens. Plain small values are the paper protocol's timers;
+/// the fault-tolerant protocol packs an identifier into the low 56
+/// bits under a class tag in the top byte.
 const TIMER_WORK: u64 = 1;
 const TIMER_PROBE: u64 = 2;
 const TIMER_RETRY: u64 = 3;
+/// Class tag: steal-request timeout; low bits hold the request `seq`.
+const TIMER_CLASS_STEAL_TIMEOUT: u64 = 4;
+/// Class tag: work-transfer retransmission; low bits hold the `xfer`.
+const TIMER_CLASS_RETRANSMIT: u64 = 5;
+/// Class tag: rank 0's probe watchdog; low bits hold the generation.
+const TIMER_CLASS_WATCHDOG: u64 = 6;
+/// Class tag: token hop retransmission; low bits hold the hop `seq`.
+const TIMER_CLASS_TOKEN_RETX: u64 = 7;
+/// Low 56 bits of a classed timer token.
+const TIMER_ID_MASK: u64 = (1 << 56) - 1;
+
+#[inline]
+fn classed_timer(class: u64, id: u64) -> u64 {
+    debug_assert!(id <= TIMER_ID_MASK);
+    (class << 56) | id
+}
 
 /// Per-rank counters mirrored into `dws_metrics::StealStats` after the
 /// run (kept local to avoid a hard dependency in the hot path).
@@ -204,6 +300,30 @@ pub struct Counters {
     pub lifeline_dormancies: u64,
     /// Lifeline extension: chunks pushed to dormant buddies.
     pub lifeline_pushes: u64,
+    /// Fault tolerance: steal requests that timed out (also counted
+    /// in `steals_failed` so attempts still balance).
+    pub steal_timeouts: u64,
+    /// Fault tolerance: work transfers re-sent after an ack timeout.
+    pub retransmits: u64,
+    /// Fault tolerance: duplicated deliveries of an already-absorbed
+    /// transfer, dropped by the `xfer` dedup.
+    pub dup_replies_dropped: u64,
+    /// Fault tolerance: empty replies to requests that had already
+    /// timed out, dropped on arrival.
+    pub stale_replies_dropped: u64,
+    /// Fault tolerance: work-carrying replies that arrived after their
+    /// request timed out and were absorbed anyway (work is work).
+    pub late_work_absorbed: u64,
+    /// Fault tolerance: termination tokens regenerated by rank 0's
+    /// watchdog after the circulating token was presumed lost.
+    pub token_regenerations: u64,
+    /// Fault tolerance: nodes in transfers addressed to a rank that
+    /// crashed before acknowledging (given up on, counted as lost).
+    pub nodes_stranded: u64,
+    /// Fault tolerance: nodes refused because they straggled in after
+    /// degraded (lossy) termination; the sender's unacknowledged
+    /// transfer accounts them as lost.
+    pub nodes_refused: u64,
 }
 
 /// One rank of the distributed work-stealing computation.
@@ -252,6 +372,43 @@ pub struct Worker {
     consecutive_fails: u32,
     /// Dormant: registered with lifelines, no active steal requests.
     dormant: bool,
+    /// Latency oracle for deriving fault-tolerance time scales from
+    /// the topology model (only consulted when fault tolerance is on).
+    job: Option<Arc<Job>>,
+    /// Sequence number of the next steal request.
+    req_seq: u64,
+    /// Sequence number of the outstanding request (valid while
+    /// `outstanding.is_some()`; matches replies under fault tolerance).
+    outstanding_seq: u64,
+    /// Consecutive steal-request timeouts (drives exponential backoff).
+    consecutive_timeouts: u32,
+    /// Next transfer id this rank will assign (starts at 1; 0 means
+    /// "untracked", the fault-tolerance-off wire value).
+    xfer_next: u64,
+    /// Work transfers sent but not yet acknowledged:
+    /// `(xfer, thief, chunks, attempt)`. Non-empty keeps this rank
+    /// non-passive — the unacked-gating that lets degraded termination
+    /// drop Safra's message counts without losing soundness.
+    unacked: Vec<(u64, Rank, Vec<Chunk>, u32)>,
+    /// Transfers whose thief crashed before acknowledging: given up
+    /// on, kept for lost-work reconciliation.
+    stranded: Vec<(u64, Rank, Vec<Chunk>)>,
+    /// Transfers this rank has already absorbed, by `(victim, xfer)`;
+    /// duplicated deliveries are dropped and re-acked.
+    absorbed: HashSet<(Rank, u64)>,
+    /// Next token hop sequence number (starts at 1; 0 is the
+    /// fault-tolerance-off wire value).
+    token_seq_next: u64,
+    /// The ring-token hop awaiting acknowledgement:
+    /// `(seq, successor, token, attempt)`.
+    pending_token: Option<(u64, Rank, Token, u32)>,
+    /// Highest token hop seq processed per predecessor (dedups
+    /// retransmitted hops).
+    token_seen: HashMap<Rank, u64>,
+    /// Rank 0: regenerations of the current probe (backoff driver).
+    watchdog_attempts: u32,
+    /// Rank 0: a crash has been observed; termination runs lossy.
+    crash_seen: bool,
     /// Statistics counters.
     pub counters: Counters,
 }
@@ -301,9 +458,29 @@ impl Worker {
             lifeline_waiters: Vec::new(),
             consecutive_fails: 0,
             dormant: false,
+            job: None,
+            req_seq: 0,
+            outstanding_seq: 0,
+            consecutive_timeouts: 0,
+            xfer_next: 1,
+            token_seq_next: 1,
+            pending_token: None,
+            token_seen: HashMap::new(),
+            unacked: Vec::new(),
+            stranded: Vec::new(),
+            absorbed: HashSet::new(),
+            watchdog_attempts: 0,
+            crash_seen: false,
             counters: Counters::default(),
             cfg,
         }
+    }
+
+    /// Attach the topology latency model so fault-tolerance timeouts
+    /// are derived from actual link latencies rather than the fallback.
+    pub fn with_job(mut self, job: Arc<Job>) -> Self {
+        self.job = Some(job);
+        self
     }
 
     /// The recorded activity trace (local clock).
@@ -323,9 +500,170 @@ impl Worker {
 
     /// Passive in the termination-detection sense: holds no work.
     /// A rank mid-batch is not passive — its expansions may still
-    /// produce stealable chunks.
+    /// produce stealable chunks. Under fault tolerance a rank with an
+    /// unacknowledged work transfer is also not passive: until the
+    /// thief confirms receipt, that work is "ours" for termination
+    /// purposes, which is what makes count-free (lossy) termination
+    /// sound — in-flight work always pins a non-passive rank that
+    /// parks the token.
     fn passive(&self) -> bool {
-        self.stack.is_empty() && !self.computing
+        self.stack.is_empty() && !self.computing && self.unacked.is_empty()
+    }
+
+    /// Is fault tolerance enabled?
+    #[inline]
+    fn ft_on(&self) -> bool {
+        self.cfg.fault_tolerance.is_some()
+    }
+
+    /// Estimated request→reply round trip to `peer`, from the topology
+    /// latency model when present.
+    fn rtt_ns(&self, me: Rank, peer: Rank) -> u64 {
+        let ft = self.cfg.fault_tolerance.as_ref().expect("ft enabled");
+        match &self.job {
+            Some(job) => {
+                let reply_bytes = 16 + self.cfg.chunk_size * NODE_WIRE_BYTES;
+                job.latency_ns(me, peer, 16) + job.latency_ns(peer, me, reply_bytes)
+            }
+            None => ft.fallback_rtt_ns,
+        }
+    }
+
+    /// One victim-side service interval: a working victim answers at
+    /// its next poll point, up to a full batch plus queue service away.
+    fn service_slack_ns(&self) -> u64 {
+        self.cfg.poll_interval as u64 * self.cfg.workload.node_ns() + 4 * self.cfg.msg_handle_ns
+    }
+
+    /// Steal-request timeout: RTT + service slack, scaled by the
+    /// safety multiplier, doubled per consecutive timeout (capped).
+    fn steal_timeout_ns(&self, me: Rank, victim: Rank) -> u64 {
+        let ft = self.cfg.fault_tolerance.as_ref().expect("ft enabled");
+        let base = (self.rtt_ns(me, victim) + self.service_slack_ns()) * ft.timeout_mult as u64;
+        base << self.consecutive_timeouts.min(ft.max_backoff_doublings)
+    }
+
+    /// Ack timeout before retransmitting transfer attempt `attempt`.
+    fn retransmit_delay_ns(&self, me: Rank, thief: Rank, attempt: u32) -> u64 {
+        let ft = self.cfg.fault_tolerance.as_ref().expect("ft enabled");
+        let base = (self.rtt_ns(me, thief) + self.service_slack_ns()) * ft.timeout_mult as u64;
+        base << attempt.min(ft.max_backoff_doublings)
+    }
+
+    /// Watchdog delay for a full token circulation: every hop can cost
+    /// a latency plus one service interval (the token parks at active
+    /// ranks, so this is a floor, backed off per regeneration).
+    fn watchdog_delay_ns(&self, n_ranks: u32) -> u64 {
+        let ft = self.cfg.fault_tolerance.as_ref().expect("ft enabled");
+        let hop = match &self.job {
+            Some(job) => job.latency_ns(0, n_ranks.saturating_sub(1).max(1), 24),
+            None => ft.fallback_rtt_ns / 2,
+        };
+        let base = n_ranks as u64 * (hop + self.service_slack_ns()) * ft.timeout_mult as u64;
+        base << self.watchdog_attempts.min(ft.max_backoff_doublings)
+    }
+
+    /// Rank 0: note any crash and switch termination to lossy mode.
+    fn refresh_lossy(&mut self, ctx: &Ctx<'_, Msg>) {
+        if !self.ft_on() || self.crash_seen {
+            return;
+        }
+        if (0..ctx.n_ranks()).any(|r| ctx.is_crashed(r)) {
+            self.crash_seen = true;
+            self.term.set_lossy(true);
+        }
+    }
+
+    /// An ack (or a stranding) may have just made this rank passive:
+    /// release a parked token, and let rank 0 probe.
+    fn maybe_became_passive(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.done || !self.passive() {
+            return;
+        }
+        if let Some(action) = self.term.on_became_passive() {
+            self.apply_token_action(ctx, action);
+        }
+        if !self.done && ctx.me() == 0 && self.term.should_launch_probe(true) {
+            self.launch_probe(ctx);
+        }
+    }
+
+    /// Rank 0: start a probe (and its loss watchdog, under fault
+    /// tolerance).
+    fn launch_probe(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.refresh_lossy(ctx);
+        let token = self.term.launch_probe();
+        self.watchdog_attempts = 0;
+        self.forward_token(ctx, token);
+        if self.ft_on() && !self.done {
+            let delay = self.watchdog_delay_ns(ctx.n_ranks());
+            ctx.set_timer(
+                delay,
+                classed_timer(TIMER_CLASS_WATCHDOG, token.generation as u64),
+            );
+        }
+    }
+
+    /// Send the token down the ring — to the next *live* rank under
+    /// fault tolerance. When rank 0 is the only survivor the token is
+    /// evaluated locally instead of being sent.
+    fn forward_token(&mut self, ctx: &mut Ctx<'_, Msg>, token: Token) {
+        let next = if self.ft_on() {
+            self.term.next_live_in_ring(|r| ctx.is_crashed(r))
+        } else {
+            self.term.next_in_ring()
+        };
+        if next == ctx.me() {
+            debug_assert_eq!(ctx.me(), 0, "only rank 0 can be the sole survivor");
+            if let Some(action) = self.term.try_handle_token(token, self.passive()) {
+                self.apply_token_action(ctx, action);
+            }
+            return;
+        }
+        let seq = if self.ft_on() {
+            // Per-hop reliability: a lost token would otherwise sink
+            // the whole probe (the ring is only as strong as its
+            // weakest of n hops). Remember the token and retransmit
+            // until the successor acknowledges receipt.
+            let seq = self.token_seq_next;
+            self.token_seq_next += 1;
+            self.pending_token = Some((seq, next, token, 0));
+            let delay = self.retransmit_delay_ns(ctx.me(), next, 0);
+            ctx.set_timer(delay, classed_timer(TIMER_CLASS_TOKEN_RETX, seq));
+            seq
+        } else {
+            0
+        };
+        let msg = Msg::Token { token, seq };
+        ctx.send(next, msg.wire_bytes(), msg);
+    }
+
+    /// Token-hop retransmission timer: the successor has not
+    /// acknowledged this hop yet.
+    fn on_token_retx_timer(&mut self, ctx: &mut Ctx<'_, Msg>, seq: u64) {
+        if self.done {
+            self.pending_token = None;
+            return;
+        }
+        let Some((pending_seq, to, token, attempt)) = self.pending_token else {
+            return;
+        };
+        if pending_seq != seq {
+            return; // superseded by a newer token
+        }
+        if ctx.is_crashed(to) {
+            // The successor died holding our hop: route the same token
+            // around the corpse instead.
+            self.pending_token = None;
+            self.forward_token(ctx, token);
+            return;
+        }
+        self.counters.retransmits += 1;
+        self.pending_token = Some((seq, to, token, attempt + 1));
+        let msg = Msg::Token { token, seq };
+        ctx.send(to, msg.wire_bytes(), msg);
+        let delay = self.retransmit_delay_ns(ctx.me(), to, attempt + 1);
+        ctx.set_timer(delay, classed_timer(TIMER_CLASS_TOKEN_RETX, seq));
     }
 
     /// Receive work-carrying chunks while already active: count them
@@ -344,6 +682,10 @@ impl Worker {
         while !self.lifeline_waiters.is_empty() && self.stack.stealable_chunks() > 0 && !self.done
         {
             let waiter = self.lifeline_waiters.remove(0);
+            if self.ft_on() && ctx.is_crashed(waiter) {
+                // A dead buddy gets nothing; keep the chunk.
+                continue;
+            }
             let chunks = self.stack.steal_chunks(1);
             debug_assert_eq!(chunks.len(), 1);
             let nodes: usize = chunks.iter().map(|c| c.len()).sum();
@@ -353,9 +695,25 @@ impl Worker {
             let package = chunks.len() as u64 * self.cfg.package_chunk_ns;
             self.service_debt_ns += package;
             self.term.on_work_sent();
-            let msg = Msg::LifelinePush { chunks };
+            let xfer = self.track_transfer(ctx, waiter, &chunks);
+            let msg = Msg::LifelinePush { xfer, chunks };
             ctx.send_delayed(waiter, msg.wire_bytes(), self.service_offset_ns, msg);
         }
+    }
+
+    /// Under fault tolerance: assign a transfer id to an outgoing
+    /// work-carrying message, remember its chunks for retransmission,
+    /// and arm the ack timeout. Returns 0 (untracked) otherwise.
+    fn track_transfer(&mut self, ctx: &mut Ctx<'_, Msg>, to: Rank, chunks: &[Chunk]) -> u64 {
+        if !self.ft_on() {
+            return 0;
+        }
+        let xfer = self.xfer_next;
+        self.xfer_next += 1;
+        self.unacked.push((xfer, to, chunks.to_vec(), 0));
+        let delay = self.retransmit_delay_ns(ctx.me(), to, 0) + self.service_offset_ns;
+        ctx.set_timer(delay, classed_timer(TIMER_CLASS_RETRANSMIT, xfer));
+        xfer
     }
 
     /// Expand up to `poll_interval` nodes and charge their cost;
@@ -396,16 +754,25 @@ impl Worker {
             self.traced_active = false;
         }
         self.search_since_ns = Some(ctx.now().ns());
-        if let Some(action) = self.term.on_became_passive() {
-            self.apply_token_action(ctx, action);
+        if self.passive() {
+            // Under fault tolerance an unacked transfer keeps us
+            // non-passive even with an empty stack; the token stays
+            // parked until the ack arrives (`maybe_became_passive`).
+            if let Some(action) = self.term.on_became_passive() {
+                self.apply_token_action(ctx, action);
+            }
         }
         if self.done {
             return;
         }
-        if ctx.me() == 0 && self.term.should_launch_probe(true) {
-            let token = self.term.launch_probe();
-            let next = self.term.next_in_ring();
-            ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+        if ctx.me() == 0 && self.term.should_launch_probe(self.passive()) {
+            self.launch_probe(ctx);
+        }
+        if self.ft_on() && self.outstanding.is_some() {
+            // A request is already out (we were reactivated by pushed
+            // work while it was in flight); its reply or timeout will
+            // drive the next attempt.
+            return;
         }
         self.send_steal_request(ctx);
     }
@@ -433,21 +800,55 @@ impl Worker {
 
     fn send_steal_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
         debug_assert!(self.outstanding.is_none());
-        let victim = self.selector.next_victim(ctx.rng());
+        let mut victim = self.selector.next_victim(ctx.rng());
         debug_assert_ne!(victim, ctx.me());
+        if self.ft_on() && ctx.is_crashed(victim) {
+            // Re-draw past dead victims; a stubbornly deterministic
+            // policy (round-robin stuck on a corpse advances on redraw)
+            // falls back to a linear scan for any live peer.
+            let n = ctx.n_ranks();
+            let mut tries = 0;
+            while ctx.is_crashed(victim) && tries < 2 * n {
+                victim = self.selector.next_victim(ctx.rng());
+                tries += 1;
+            }
+            if ctx.is_crashed(victim) {
+                let me = ctx.me();
+                match (0..n).find(|&r| r != me && !ctx.is_crashed(r)) {
+                    Some(live) => victim = live,
+                    None => return, // nobody left to steal from
+                }
+            }
+        }
+        let seq = self.req_seq;
+        self.req_seq += 1;
         self.outstanding = Some(victim);
+        self.outstanding_seq = seq;
         self.wait_since_ns = Some(ctx.now().ns());
         self.counters.steal_attempts += 1;
-        ctx.send(victim, Msg::StealRequest.wire_bytes(), Msg::StealRequest);
+        let msg = Msg::StealRequest { seq };
+        ctx.send(victim, msg.wire_bytes(), msg);
+        if self.ft_on() {
+            let timeout = self.steal_timeout_ns(ctx.me(), victim);
+            ctx.set_timer(timeout, classed_timer(TIMER_CLASS_STEAL_TIMEOUT, seq));
+        }
     }
 
     /// Service one message (either immediately when idle, or from the
     /// pending queue at a poll boundary).
     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg) {
         match msg {
-            Msg::StealRequest => {
+            Msg::StealRequest { seq } => {
+                if self.done && self.ft_on() {
+                    // Termination gossip: the requester evidently missed
+                    // the Done broadcast (dropped); repeat it instead of
+                    // an empty reply, or it will keep hunting forever.
+                    ctx.send(from, Msg::Done.wire_bytes(), Msg::Done);
+                    return;
+                }
                 let want = self.cfg.steal.want(self.stack.stealable_chunks());
                 let chunks = if self.done { Vec::new() } else { self.stack.steal_chunks(want) };
+                let mut xfer = 0;
                 if !chunks.is_empty() {
                     let nodes: usize = chunks.iter().map(|c| c.len()).sum();
                     self.counters.chunks_given += chunks.len() as u64;
@@ -456,15 +857,49 @@ impl Worker {
                     self.service_debt_ns += package;
                     self.service_offset_ns += package;
                     self.term.on_work_sent();
+                    xfer = self.track_transfer(ctx, from, &chunks);
                 }
-                let reply = Msg::StealReply { chunks };
+                let reply = Msg::StealReply { seq, xfer, chunks };
                 ctx.send_delayed(from, reply.wire_bytes(), self.service_offset_ns, reply);
             }
-            Msg::StealReply { chunks } => {
+            Msg::StealReply { seq, xfer, chunks } => {
+                let expected = self.outstanding == Some(from)
+                    && (!self.ft_on() || seq == self.outstanding_seq);
+                if self.ft_on() && !expected {
+                    // The matching request already timed out, or this
+                    // is a duplicated / retransmitted delivery.
+                    self.handle_unexpected_reply(ctx, from, xfer, chunks);
+                    return;
+                }
                 debug_assert_eq!(self.outstanding, Some(from), "unexpected steal reply");
                 self.outstanding = None;
+                self.consecutive_timeouts = 0;
                 if let Some(sent) = self.wait_since_ns.take() {
                     self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+                }
+                if self.ft_on() && !chunks.is_empty() {
+                    if self.absorbed.contains(&(from, xfer)) {
+                        // The retransmission already delivered this
+                        // transfer; count the attempt as served.
+                        self.counters.steals_ok += 1;
+                        self.counters.dup_replies_dropped += 1;
+                        let ack = Msg::StealAck { xfer };
+                        ctx.send(from, ack.wire_bytes(), ack);
+                        return;
+                    }
+                    if self.done {
+                        // The sender crashed after transmitting (a live
+                        // sender's unacked transfer blocks termination);
+                        // refuse — its unacked entry books these nodes
+                        // as lost. The attempt itself was reconciled as
+                        // failed in `finish`.
+                        let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                        self.counters.nodes_refused += nodes as u64;
+                        return;
+                    }
+                    self.absorbed.insert((from, xfer));
+                    let ack = Msg::StealAck { xfer };
+                    ctx.send(from, ack.wire_bytes(), ack);
                 }
                 if chunks.is_empty() {
                     self.counters.steals_failed += 1;
@@ -486,6 +921,14 @@ impl Worker {
                                         Msg::LifelineRequest.wire_bytes(),
                                         Msg::LifelineRequest,
                                     );
+                                }
+                                if self.ft_on() {
+                                    // Registrations can be dropped;
+                                    // re-register on a generous backoff.
+                                    let buddy = self.lifelines[0];
+                                    let delay =
+                                        self.retransmit_delay_ns(ctx.me(), buddy, 2);
+                                    ctx.set_timer(delay, TIMER_RETRY);
                                 }
                                 return;
                             }
@@ -513,7 +956,18 @@ impl Worker {
                     }
                 }
             }
+            Msg::StealAck { xfer } => {
+                if let Some(pos) = self.unacked.iter().position(|(x, ..)| *x == xfer) {
+                    self.unacked.swap_remove(pos);
+                    self.maybe_became_passive(ctx);
+                }
+            }
             Msg::LifelineRequest => {
+                if self.done && self.ft_on() {
+                    // Termination gossip (see StealRequest).
+                    ctx.send(from, Msg::Done.wire_bytes(), Msg::Done);
+                    return;
+                }
                 if !self.lifeline_waiters.contains(&from) {
                     self.lifeline_waiters.push(from);
                 }
@@ -523,9 +977,26 @@ impl Worker {
                     self.serve_lifeline_waiters(ctx);
                 }
             }
-            Msg::LifelinePush { chunks } => {
+            Msg::LifelinePush { xfer, chunks } => {
                 debug_assert!(!chunks.is_empty(), "lifeline pushes always carry work");
-                if self.done {
+                if self.ft_on() {
+                    if self.absorbed.contains(&(from, xfer)) {
+                        self.counters.dup_replies_dropped += 1;
+                        let ack = Msg::StealAck { xfer };
+                        ctx.send(from, ack.wire_bytes(), ack);
+                        return;
+                    }
+                    if self.done {
+                        // Straggler after lossy termination; the
+                        // sender's unacked entry books these as lost.
+                        let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                        self.counters.nodes_refused += nodes as u64;
+                        return;
+                    }
+                    self.absorbed.insert((from, xfer));
+                    let ack = Msg::StealAck { xfer };
+                    ctx.send(from, ack.wire_bytes(), ack);
+                } else if self.done {
                     panic!("rank {} received lifeline work after Done", ctx.me());
                 }
                 if self.stack.is_empty() && !self.computing {
@@ -537,10 +1008,30 @@ impl Worker {
                     self.absorb_chunks(chunks);
                 }
             }
-            Msg::Token(token) => {
+            Msg::Token { token, seq } => {
+                if self.ft_on() {
+                    // Acknowledge the hop whatever we decide about the
+                    // token, and drop retransmitted duplicates (hop
+                    // seqs from one sender are strictly increasing).
+                    let ack = Msg::TokenAck { seq };
+                    ctx.send(from, ack.wire_bytes(), ack);
+                    let last = self.token_seen.get(&from).copied().unwrap_or(0);
+                    if seq <= last {
+                        return;
+                    }
+                    self.token_seen.insert(from, seq);
+                }
+                if ctx.me() == 0 {
+                    self.refresh_lossy(ctx);
+                }
                 let passive = self.passive();
                 if let Some(action) = self.term.try_handle_token(token, passive) {
                     self.apply_token_action(ctx, action);
+                }
+            }
+            Msg::TokenAck { seq } => {
+                if self.pending_token.map(|(s, ..)| s) == Some(seq) {
+                    self.pending_token = None;
                 }
             }
             Msg::Done => {
@@ -549,11 +1040,49 @@ impl Worker {
         }
     }
 
+    /// A reply whose request is no longer outstanding: stale (empty),
+    /// duplicated (already absorbed), a post-termination straggler, or
+    /// late work worth absorbing anyway.
+    fn handle_unexpected_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: Rank,
+        xfer: u64,
+        chunks: Vec<Chunk>,
+    ) {
+        if chunks.is_empty() {
+            self.counters.stale_replies_dropped += 1;
+            return;
+        }
+        if self.absorbed.contains(&(from, xfer)) {
+            self.counters.dup_replies_dropped += 1;
+            // Re-ack: our first ack may itself have been dropped.
+            let ack = Msg::StealAck { xfer };
+            ctx.send(from, ack.wire_bytes(), ack);
+            return;
+        }
+        if self.done {
+            let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+            self.counters.nodes_refused += nodes as u64;
+            return;
+        }
+        // The request timed out (and was charged as failed) but its
+        // work showed up after all — absorb it, work is work.
+        self.absorbed.insert((from, xfer));
+        self.counters.late_work_absorbed += 1;
+        let ack = Msg::StealAck { xfer };
+        ctx.send(from, ack.wire_bytes(), ack);
+        if self.stack.is_empty() && !self.computing {
+            self.go_active(ctx, chunks);
+        } else {
+            self.absorb_chunks(chunks);
+        }
+    }
+
     fn apply_token_action(&mut self, ctx: &mut Ctx<'_, Msg>, action: TokenAction) {
         match action {
             TokenAction::Forward(token) => {
-                let next = self.term.next_in_ring();
-                ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+                self.forward_token(ctx, token);
             }
             TokenAction::Terminate => {
                 for r in 0..ctx.n_ranks() {
@@ -566,6 +1095,7 @@ impl Worker {
             TokenAction::Restart => {
                 ctx.set_timer(self.cfg.probe_backoff_ns, TIMER_PROBE);
             }
+            TokenAction::Drop => {}
         }
     }
 
@@ -575,10 +1105,19 @@ impl Worker {
             return;
         }
         self.done = true;
+        self.pending_token = None;
         if let Some(since) = self.search_since_ns.take() {
             let dur = ctx.now().ns().saturating_sub(since);
             self.counters.sessions += 1;
             self.counters.session_ns += dur;
+        }
+        if self.ft_on() && self.outstanding.take().is_some() {
+            // A request still in flight at termination will never be
+            // served; charge it as failed so attempts stay balanced.
+            self.counters.steals_failed += 1;
+            if let Some(sent) = self.wait_since_ns.take() {
+                self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+            }
         }
         assert!(
             self.stack.is_empty(),
@@ -586,6 +1125,102 @@ impl Worker {
             ctx.me(),
             self.stack.len()
         );
+    }
+
+    /// The steal request `seq` got no answer in time: charge it as
+    /// failed and re-select a victim (the next timeout doubles).
+    fn on_steal_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, seq: u64) {
+        if self.done || self.outstanding.is_none() || self.outstanding_seq != seq {
+            return; // the reply beat the timer, or a newer request is out
+        }
+        self.counters.steal_timeouts += 1;
+        self.counters.steals_failed += 1;
+        self.consecutive_timeouts += 1;
+        self.consecutive_fails += 1;
+        self.outstanding = None;
+        if let Some(sent) = self.wait_since_ns.take() {
+            self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+        }
+        if self.stack.is_empty() && !self.computing {
+            self.send_steal_request(ctx);
+        }
+    }
+
+    /// Transfer `xfer` is still unacknowledged: retransmit it, or give
+    /// it up as stranded if the thief has crashed.
+    fn on_retransmit_timer(&mut self, ctx: &mut Ctx<'_, Msg>, xfer: u64) {
+        let Some(pos) = self.unacked.iter().position(|(x, ..)| *x == xfer) else {
+            return; // acked in the meantime
+        };
+        let to = self.unacked[pos].1;
+        if ctx.is_crashed(to) {
+            let (xfer, to, chunks, _) = self.unacked.swap_remove(pos);
+            let nodes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+            self.counters.nodes_stranded += nodes;
+            self.stranded.push((xfer, to, chunks));
+            self.maybe_became_passive(ctx);
+            return;
+        }
+        self.unacked[pos].3 += 1;
+        let attempt = self.unacked[pos].3;
+        self.counters.retransmits += 1;
+        let chunks = self.unacked[pos].2.clone();
+        let msg = Msg::StealReply {
+            seq: u64::MAX,
+            xfer,
+            chunks,
+        };
+        ctx.send(to, msg.wire_bytes(), msg);
+        ctx.set_timer(
+            self.retransmit_delay_ns(ctx.me(), to, attempt),
+            classed_timer(TIMER_CLASS_RETRANSMIT, xfer),
+        );
+    }
+
+    /// Rank 0's probe watchdog fired with the probe still out: the
+    /// token is presumed lost (dropped message or crashed holder) —
+    /// regenerate it.
+    fn on_watchdog_timer(&mut self, ctx: &mut Ctx<'_, Msg>, generation: u32) {
+        if self.done || ctx.me() != 0 {
+            return;
+        }
+        if !self.term.is_probing() || self.term.generation() != generation {
+            return; // that probe came home; this watchdog is stale
+        }
+        self.refresh_lossy(ctx);
+        let token = self.term.regenerate_probe();
+        self.counters.token_regenerations += 1;
+        self.watchdog_attempts += 1;
+        self.forward_token(ctx, token);
+        if !self.done {
+            let delay = self.watchdog_delay_ns(ctx.n_ranks());
+            ctx.set_timer(
+                delay,
+                classed_timer(TIMER_CLASS_WATCHDOG, token.generation as u64),
+            );
+        }
+    }
+
+    /// Fault tolerance: work transfers this rank sent that were never
+    /// acknowledged — unacked plus stranded — as `(thief, xfer, chunks)`.
+    /// Consulted for lost-work reconciliation after a degraded run.
+    pub fn unconfirmed_transfers(&self) -> impl Iterator<Item = (Rank, u64, &Vec<Chunk>)> + '_ {
+        self.unacked
+            .iter()
+            .map(|(x, to, c, _)| (*to, *x, c))
+            .chain(self.stranded.iter().map(|(x, to, c)| (*to, *x, c)))
+    }
+
+    /// Fault tolerance: did this rank absorb transfer `xfer` from
+    /// `from`? (Distinguishes lost transfers from delivered ones.)
+    pub fn has_absorbed(&self, from: Rank, xfer: u64) -> bool {
+        self.absorbed.contains(&(from, xfer))
+    }
+
+    /// Nodes still sitting in the local stack (lost-work accounting
+    /// for crashed ranks).
+    pub fn stack_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.stack.iter_nodes()
     }
 }
 
@@ -647,17 +1282,41 @@ impl Actor for Worker {
             }
             TIMER_PROBE => {
                 if !self.done && self.term.should_launch_probe(self.passive()) {
-                    let token = self.term.launch_probe();
-                    let next = self.term.next_in_ring();
-                    ctx.send(next, Msg::Token(token).wire_bytes(), Msg::Token(token));
+                    self.launch_probe(ctx);
                 }
             }
             TIMER_RETRY => {
                 if !self.done && self.outstanding.is_none() && self.stack.is_empty() {
-                    self.send_steal_request(ctx);
+                    if self.dormant {
+                        // Fault tolerance only: periodic lifeline
+                        // re-registration (a drop may have eaten the
+                        // first round — or the push meant for us).
+                        for buddy in self.lifelines.clone() {
+                            ctx.send(
+                                buddy,
+                                Msg::LifelineRequest.wire_bytes(),
+                                Msg::LifelineRequest,
+                            );
+                        }
+                        let buddy = self.lifelines[0];
+                        let delay = self.retransmit_delay_ns(ctx.me(), buddy, 3);
+                        ctx.set_timer(delay, TIMER_RETRY);
+                    } else {
+                        self.send_steal_request(ctx);
+                    }
                 }
             }
-            other => unreachable!("unknown timer token {other}"),
+            other => match other >> 56 {
+                TIMER_CLASS_STEAL_TIMEOUT => self.on_steal_timeout(ctx, other & TIMER_ID_MASK),
+                TIMER_CLASS_RETRANSMIT => self.on_retransmit_timer(ctx, other & TIMER_ID_MASK),
+                TIMER_CLASS_WATCHDOG => {
+                    self.on_watchdog_timer(ctx, (other & TIMER_ID_MASK) as u32)
+                }
+                TIMER_CLASS_TOKEN_RETX => {
+                    self.on_token_retx_timer(ctx, other & TIMER_ID_MASK)
+                }
+                _ => unreachable!("unknown timer token {other}"),
+            },
         }
     }
 }

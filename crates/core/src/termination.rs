@@ -45,6 +45,10 @@ pub struct Token {
     pub colour: Colour,
     /// Sum of `c_i` along the ring so far.
     pub count: i64,
+    /// Probe generation. Rank 0 bumps it when regenerating a token
+    /// presumed lost to a fault; stale generations are discarded on
+    /// return. Always 0 on the fault-free path.
+    pub generation: u32,
 }
 
 /// What to do with a token after [`TerminationState::try_handle_token`].
@@ -56,6 +60,9 @@ pub enum TokenAction {
     Terminate,
     /// Rank 0 only: probe failed; reissue a fresh probe when passive.
     Restart,
+    /// Discard this token: it is stale (an older generation, or a
+    /// duplicate of a probe that already returned).
+    Drop,
 }
 
 /// Per-rank Safra state.
@@ -70,6 +77,18 @@ pub struct TerminationState {
     held: Option<Token>,
     /// Rank 0 only: a probe is circulating.
     probing: bool,
+    /// Rank 0 only: generation of the current probe. Bumped by
+    /// [`regenerate_probe`](Self::regenerate_probe) when a token is
+    /// presumed lost.
+    generation: u32,
+    /// Lossy mode: at least one rank has crashed, so message-count
+    /// balances are no longer meaningful (counts at dead ranks and
+    /// in-flight messages to them are gone). The quiet criterion drops
+    /// the count check and relies on colour + unacked-transfer gating:
+    /// a rank with an unacknowledged work transfer reports non-passive,
+    /// which parks the token and keeps the probe from completing while
+    /// any work is in flight to a live rank.
+    lossy: bool,
 }
 
 impl TerminationState {
@@ -83,6 +102,8 @@ impl TerminationState {
             balance: 0,
             held: None,
             probing: false,
+            generation: 0,
+            lossy: false,
         }
     }
 
@@ -93,6 +114,37 @@ impl TerminationState {
         } else {
             self.me - 1
         }
+    }
+
+    /// The next *live* rank down the ring, skipping crashed ranks as
+    /// reported by the failure detector. Falls back to rank 0 (which
+    /// can never crash) when every intermediate rank is dead; returns
+    /// `me` only for rank 0 with no other survivor, in which case the
+    /// caller evaluates the token locally instead of sending it.
+    pub fn next_live_in_ring<F: Fn(u32) -> bool>(&self, crashed: F) -> u32 {
+        let mut at = self.next_in_ring();
+        for _ in 0..self.n {
+            if at == self.me || at == 0 || !crashed(at) {
+                return at;
+            }
+            at = if at == 0 { self.n - 1 } else { at - 1 };
+        }
+        0
+    }
+
+    /// Enter (or leave) lossy mode; see the `lossy` field.
+    pub fn set_lossy(&mut self, lossy: bool) {
+        self.lossy = lossy;
+    }
+
+    /// Rank 0: is a probe currently circulating?
+    pub fn is_probing(&self) -> bool {
+        self.probing
+    }
+
+    /// Rank 0: the generation of the current probe.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Record that this rank sent a work-carrying message.
@@ -122,12 +174,36 @@ impl TerminationState {
         assert_eq!(self.me, 0, "only rank 0 launches probes");
         assert!(!self.probing, "probe already outstanding");
         self.probing = true;
+        // Each probe gets a fresh generation so a stale watchdog (or a
+        // straggling token) from an earlier probe can never confuse
+        // this one.
+        self.generation += 1;
         // Rank 0 whitens at launch; its own balance is examined at
         // return time.
         self.colour = Colour::White;
         Token {
             colour: Colour::White,
             count: 0,
+            generation: self.generation,
+        }
+    }
+
+    /// Rank 0: the circulating token is presumed lost (watchdog fired
+    /// with the probe still out). Bump the generation and issue a
+    /// replacement; if the old token later limps home it is dropped as
+    /// stale.
+    ///
+    /// # Panics
+    /// Panics if called on a non-zero rank or with no probe outstanding.
+    pub fn regenerate_probe(&mut self) -> Token {
+        assert_eq!(self.me, 0, "only rank 0 regenerates probes");
+        assert!(self.probing, "no probe to regenerate");
+        self.generation += 1;
+        self.colour = Colour::White;
+        Token {
+            colour: Colour::White,
+            count: 0,
+            generation: self.generation,
         }
     }
 
@@ -137,8 +213,13 @@ impl TerminationState {
     /// when work runs out.
     pub fn try_handle_token(&mut self, token: Token, passive: bool) -> Option<TokenAction> {
         if !passive {
-            assert!(self.held.is_none(), "two tokens in flight at rank {}", self.me);
-            self.held = Some(token);
+            match self.held {
+                // Fault-free runs never see two tokens; with token
+                // regeneration (or a duplicated delivery) an old and a
+                // new token can coexist briefly — keep the newest.
+                Some(held) if held.generation >= token.generation => {}
+                _ => self.held = Some(token),
+            }
             return None;
         }
         Some(self.process_token(token))
@@ -152,10 +233,15 @@ impl TerminationState {
 
     fn process_token(&mut self, token: Token) -> TokenAction {
         if self.me == 0 {
+            if token.generation < self.generation || !self.probing {
+                // An older generation straggling home, or a duplicated
+                // delivery of a probe already evaluated.
+                return TokenAction::Drop;
+            }
             self.probing = false;
             let quiet = token.colour == Colour::White
                 && self.colour == Colour::White
-                && token.count + self.balance == 0;
+                && (self.lossy || token.count + self.balance == 0);
             if quiet {
                 TokenAction::Terminate
             } else {
@@ -171,6 +257,7 @@ impl TerminationState {
                     token.colour
                 },
                 count: token.count + self.balance,
+                generation: token.generation,
             };
             self.colour = Colour::White;
             TokenAction::Forward(out)
@@ -237,6 +324,7 @@ mod tests {
         let token = Token {
             colour: Colour::White,
             count: 0,
+            generation: 0,
         };
         assert_eq!(s.try_handle_token(token, false), None);
         // Going passive releases it.

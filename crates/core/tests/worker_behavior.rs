@@ -32,17 +32,23 @@ fn steal_amount_math() {
 #[test]
 fn wire_sizes_scale_with_payload() {
     use dws_uts::{Node, RngState};
-    let empty = Msg::StealReply { chunks: vec![] };
+    let empty = Msg::StealReply {
+        seq: 0,
+        xfer: 0,
+        chunks: vec![],
+    };
     let node = Node {
         state: RngState::from_seed(0),
         height: 0,
     };
     let full = Msg::StealReply {
+        seq: 0,
+        xfer: 0,
         chunks: vec![vec![node; 20]],
     };
     assert!(full.wire_bytes() > empty.wire_bytes());
     assert_eq!(full.wire_bytes() - empty.wire_bytes(), 20 * dws_uts::NODE_WIRE_BYTES);
-    assert!(Msg::StealRequest.wire_bytes() < 64);
+    assert!(Msg::StealRequest { seq: 0 }.wire_bytes() < 64);
 }
 
 #[test]

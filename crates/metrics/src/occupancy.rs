@@ -88,6 +88,22 @@ impl OccupancyCurve {
         self.steps.iter().map(|&(_, w)| w).max().unwrap_or(0)
     }
 
+    /// Occupancy recovery time after a disturbance at `from_ns`: how
+    /// long until occupancy is next at least `x` (fraction of ranks).
+    /// `Some(0)` if it is already there; `None` if it never recovers.
+    /// This is the fault-sweep metric: how quickly the scheduler
+    /// refills workers after a crash or brownout knocks them idle.
+    pub fn recovery_time_ns(&self, from_ns: u64, x: f64) -> Option<u64> {
+        let need = self.required_workers(x);
+        if self.workers_at(from_ns) >= need {
+            return Some(0);
+        }
+        self.steps
+            .iter()
+            .find(|&&(t, w)| t > from_ns && w >= need)
+            .map(|&(t, _)| t - from_ns)
+    }
+
     /// First time occupancy reaches at least `x` (fraction of ranks),
     /// in nanoseconds; `None` if it never does.
     pub fn first_reach_ns(&self, x: f64) -> Option<u64> {

@@ -27,6 +27,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
+use crate::fault::{FaultPlan, FaultStats};
 use crate::observer::{EventKind as ObsKind, EventLog, EventRecord};
 use crate::rng::DetRng;
 use crate::time::SimTime;
@@ -124,6 +125,9 @@ pub struct SimConfig {
     /// Maximum per-rank clock offset in nanoseconds (uniform in
     /// `[0, max)`), zero for perfectly synchronized clocks.
     pub clock_skew_max_ns: u64,
+    /// Fault-injection schedule. The default plan injects nothing and
+    /// leaves the event schedule byte-identical to a fault-free build.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -132,6 +136,7 @@ impl Default for SimConfig {
             seed: 0xD157_1A11,
             latency_jitter: 0.0,
             clock_skew_max_ns: 0,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -195,6 +200,14 @@ struct Kernel<M> {
     n_ranks: u32,
     /// Optional event log for debugging/analysis.
     log: Option<EventLog>,
+    /// Fault schedule; `fault_active` caches `fault.is_active()` so the
+    /// fault-free path pays a single branch and zero RNG draws.
+    fault: FaultPlan,
+    fault_active: bool,
+    fault_rng: DetRng,
+    fault_stats: FaultStats,
+    /// Scheduled crash time per rank (`None` = immortal).
+    crash_at: Vec<Option<u64>>,
 }
 
 impl<M> Kernel<M> {
@@ -204,13 +217,46 @@ impl<M> Kernel<M> {
         self.queue.push(Reverse(Event { time, seq, kind }));
     }
 
+    /// True if `rank` has crashed at or before `at`.
+    fn crashed(&self, rank: Rank, at: SimTime) -> bool {
+        self.crash_at[rank as usize].is_some_and(|t| at.ns() >= t)
+    }
+}
+
+impl<M: Clone> Kernel<M> {
     fn send(&mut self, from: Rank, to: Rank, bytes: usize, extra_delay_ns: u64, msg: M) {
         let depart_ns = self.now.ns() + extra_delay_ns;
+        let mut spike_ns = 0u64;
+        let mut duplicate = false;
+        if self.fault_active {
+            // Fixed draw order — drop, spike, dup — one draw each per
+            // send, so the fault schedule is a pure function of the
+            // seed and the send sequence, independent of outcomes.
+            let u_drop = self.fault_rng.next_f64();
+            let u_spike = self.fault_rng.next_f64();
+            let u_dup = self.fault_rng.next_f64();
+            if self.fault.in_brownout(from, depart_ns) || self.fault.in_brownout(to, depart_ns) {
+                self.fault_stats.brownout_drops += 1;
+                self.messages_sent += 1;
+                return;
+            }
+            if u_drop < self.fault.drop_prob {
+                self.fault_stats.dropped += 1;
+                self.messages_sent += 1;
+                return;
+            }
+            if u_spike < self.fault.spike_prob {
+                spike_ns = self.fault.spike_ns(self.fault_rng.next_f64());
+                self.fault_stats.spiked += 1;
+            }
+            duplicate = u_dup < self.fault.dup_prob;
+        }
         let mut delay = (self.latency)(from, to, bytes, depart_ns);
         if self.jitter > 0.0 {
             let stretch = 1.0 + self.jitter * self.net_rng.next_f64();
             delay = (delay as f64 * stretch) as u64;
         }
+        delay += spike_ns;
         let key = ((from as u64) << 32) | to as u64;
         let natural = self.now + extra_delay_ns + delay;
         let at = match self.fifo.get(&key) {
@@ -229,6 +275,19 @@ impl<M> Kernel<M> {
                     deliver_at: at,
                 },
             });
+        }
+        if duplicate {
+            // The duplicate rides one tick behind the original and is
+            // exempt from FIFO ordering: it is a fault, not a message.
+            self.fault_stats.duplicated += 1;
+            self.push(
+                at + 1,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
         }
         self.push(at, EventKind::Deliver { from, to, msg });
     }
@@ -274,6 +333,56 @@ impl<M> Ctx<'_, M> {
         self.skew_ns
     }
 
+    /// Arm a timer to fire after `delay_ns`; `token` is returned to
+    /// [`Actor::on_timer`]. If this rank sits inside a fault-plan
+    /// slowdown window, the delay stretches by the window's factor —
+    /// the rank's local processing runs slow.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        let delay_ns = if self.kernel.fault_active {
+            let f = self
+                .kernel
+                .fault
+                .slowdown_factor(self.me, self.kernel.now.ns());
+            if f != 1.0 {
+                (delay_ns as f64 * f) as u64
+            } else {
+                delay_ns
+            }
+        } else {
+            delay_ns
+        };
+        let at = self.kernel.now + delay_ns;
+        self.kernel.push(
+            at,
+            EventKind::Timer {
+                rank: self.me,
+                token,
+            },
+        );
+    }
+
+    /// Perfect failure detector: true if `rank` has crashed by now.
+    ///
+    /// Real systems approximate this with heartbeats and suspicion
+    /// timeouts; the simulation exposes the oracle so recovery logic
+    /// can be studied separately from detection accuracy.
+    pub fn is_crashed(&self, rank: Rank) -> bool {
+        self.kernel.crashed(rank, self.kernel.now)
+    }
+
+    /// This rank's deterministic random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Stop the whole simulation after the current event.
+    pub fn halt(&mut self) {
+        self.kernel.halted = true;
+    }
+}
+
+impl<M: Clone> Ctx<'_, M> {
     /// Send `msg` (`bytes` long on the wire) to rank `to`.
     ///
     /// # Panics
@@ -291,30 +400,6 @@ impl<M> Ctx<'_, M> {
         assert!(to < self.kernel.n_ranks, "send to unknown rank {to}");
         assert!(to != self.me, "rank {to} attempted to send to itself");
         self.kernel.send(self.me, to, bytes, extra_delay_ns, msg);
-    }
-
-    /// Arm a timer to fire after `delay_ns`; `token` is returned to
-    /// [`Actor::on_timer`].
-    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
-        let at = self.kernel.now + delay_ns;
-        self.kernel.push(
-            at,
-            EventKind::Timer {
-                rank: self.me,
-                token,
-            },
-        );
-    }
-
-    /// This rank's deterministic random stream.
-    #[inline]
-    pub fn rng(&mut self) -> &mut DetRng {
-        self.rng
-    }
-
-    /// Stop the whole simulation after the current event.
-    pub fn halt(&mut self) {
-        self.kernel.halted = true;
     }
 }
 
@@ -334,13 +419,16 @@ impl<A: Actor> Simulation<A> {
     /// configuration.
     ///
     /// # Panics
-    /// Panics if `actors` is empty.
+    /// Panics if `actors` is empty or the fault plan fails validation.
     pub fn new<L>(actors: Vec<A>, latency: L, config: SimConfig) -> Self
     where
         L: LatencyFn + 'static,
     {
         assert!(!actors.is_empty(), "simulation needs at least one actor");
         let n = actors.len() as u32;
+        if let Err(e) = config.fault.validate(n) {
+            panic!("invalid fault plan: {e}");
+        }
         let mut seed_rng = DetRng::new(config.seed);
         let skews: Vec<u64> = (0..n)
             .map(|_| {
@@ -352,6 +440,8 @@ impl<A: Actor> Simulation<A> {
             })
             .collect();
         let rank_rngs = (0..n).map(|r| DetRng::for_rank(config.seed, r)).collect();
+        let crash_at = (0..n).map(|r| config.fault.crash_time(r)).collect();
+        let fault_active = config.fault.is_active();
         Self {
             actors,
             kernel: Kernel {
@@ -366,6 +456,13 @@ impl<A: Actor> Simulation<A> {
                 messages_sent: 0,
                 n_ranks: n,
                 log: None,
+                fault: config.fault,
+                fault_active,
+                // One stream below net_rng: never collides with a rank
+                // stream, and stays untouched when the plan is inactive.
+                fault_rng: DetRng::for_rank(config.seed, u32::MAX - 1),
+                fault_stats: FaultStats::default(),
+                crash_at,
             },
             rank_rngs,
             skews,
@@ -391,6 +488,10 @@ impl<A: Actor> Simulation<A> {
         if !self.started {
             self.started = true;
             for i in 0..self.actors.len() {
+                // A rank crashed at time zero never runs at all.
+                if self.kernel.fault_active && self.kernel.crashed(i as Rank, SimTime::ZERO) {
+                    continue;
+                }
                 self.dispatch_start(i as Rank);
             }
         }
@@ -408,24 +509,34 @@ impl<A: Actor> Simulation<A> {
             self.kernel.now = ev.time;
             match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
-                    self.messages_delivered += 1;
-                    if let Some(log) = &mut self.kernel.log {
-                        log.record(EventRecord {
-                            at: ev.time,
-                            kind: ObsKind::Delivered { from, to },
-                        });
+                    if self.kernel.fault_active && self.kernel.crashed(to, ev.time) {
+                        // The destination died before this arrived; the
+                        // bytes hit a dead NIC.
+                        self.kernel.fault_stats.crash_lost_deliveries += 1;
+                    } else {
+                        self.messages_delivered += 1;
+                        if let Some(log) = &mut self.kernel.log {
+                            log.record(EventRecord {
+                                at: ev.time,
+                                kind: ObsKind::Delivered { from, to },
+                            });
+                        }
+                        self.dispatch_message(to, from, msg);
                     }
-                    self.dispatch_message(to, from, msg);
                 }
                 EventKind::Timer { rank, token } => {
-                    self.timers_fired += 1;
-                    if let Some(log) = &mut self.kernel.log {
-                        log.record(EventRecord {
-                            at: ev.time,
-                            kind: ObsKind::Timer { rank, token },
-                        });
+                    if self.kernel.fault_active && self.kernel.crashed(rank, ev.time) {
+                        self.kernel.fault_stats.crash_lost_timers += 1;
+                    } else {
+                        self.timers_fired += 1;
+                        if let Some(log) = &mut self.kernel.log {
+                            log.record(EventRecord {
+                                at: ev.time,
+                                kind: ObsKind::Timer { rank, token },
+                            });
+                        }
+                        self.dispatch_timer(rank, token);
                     }
-                    self.dispatch_timer(rank, token);
                 }
             }
             events += 1;
@@ -468,6 +579,18 @@ impl<A: Actor> Simulation<A> {
     /// Number of messages handed to the network so far.
     pub fn messages_sent(&self) -> u64 {
         self.kernel.messages_sent
+    }
+
+    /// Counters for every fault injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.kernel.fault_stats
+    }
+
+    /// Ranks whose scheduled crash time has passed.
+    pub fn crashed_ranks(&self) -> Vec<Rank> {
+        (0..self.kernel.n_ranks)
+            .filter(|&r| self.kernel.crashed(r, self.kernel.now))
+            .collect()
     }
 
     /// Attach a bounded event log keeping the `cap` most recent engine

@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the simulation engine.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong on the
+//! simulated interconnect and compute nodes: per-message drop and
+//! duplication probabilities, heavy-tailed latency spikes, NIC
+//! brownout windows (all traffic touching a rank is lost), per-rank
+//! slowdown windows (local timers stretch, modelling a slow or
+//! oversubscribed node), and permanent rank crashes at scheduled
+//! times.
+//!
+//! Faults draw from a dedicated RNG stream
+//! (`DetRng::for_rank(seed, u32::MAX - 1)`) that is **only touched
+//! when the plan is active**: with `FaultPlan::default()` the engine
+//! makes zero fault draws and the event schedule is byte-identical to
+//! a build without this module. Under a fixed seed the full fault
+//! schedule — which messages drop, which spike, when — is a pure
+//! function of the configuration, so faulty runs are exactly
+//! reproducible.
+
+use crate::engine::Rank;
+
+/// A half-open time window `[from_ns, until_ns)` during which a rank's
+/// local processing runs `factor`× slower (its timers stretch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownWindow {
+    /// Rank whose compute slows down.
+    pub rank: Rank,
+    /// Window start (inclusive), in simulated nanoseconds.
+    pub from_ns: u64,
+    /// Window end (exclusive).
+    pub until_ns: u64,
+    /// Stretch factor for timers armed inside the window (> 1 slows).
+    pub factor: f64,
+}
+
+/// A half-open time window `[from_ns, until_ns)` during which a rank's
+/// NIC is browned out: every message departing from or addressed to it
+/// is silently lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brownout {
+    /// Rank whose NIC browns out.
+    pub rank: Rank,
+    /// Window start (inclusive), in simulated nanoseconds.
+    pub from_ns: u64,
+    /// Window end (exclusive).
+    pub until_ns: u64,
+}
+
+/// A permanent rank crash: from `at_ns` on, the rank processes no
+/// further deliveries or timers and sends nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// Rank that dies.
+    pub rank: Rank,
+    /// Time of death, in simulated nanoseconds.
+    pub at_ns: u64,
+}
+
+/// The complete, seed-deterministic fault schedule for one run.
+///
+/// The default plan injects nothing and adds zero overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that any given message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that any given message is delivered twice (the
+    /// duplicate is exempt from FIFO ordering — it is a fault).
+    pub dup_prob: f64,
+    /// Probability that a message's latency takes a heavy-tailed spike.
+    pub spike_prob: f64,
+    /// Pareto scale of a spike: the minimum extra delay, in ns.
+    pub spike_min_ns: u64,
+    /// Pareto shape of a spike; smaller means heavier tail.
+    pub spike_alpha: f64,
+    /// Hard cap on a single spike's extra delay, in ns.
+    pub spike_cap_ns: u64,
+    /// Per-rank compute slowdown windows.
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Per-rank NIC brownout windows.
+    pub brownouts: Vec<Brownout>,
+    /// Scheduled permanent crashes.
+    pub crashes: Vec<Crash>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            spike_prob: 0.0,
+            spike_min_ns: 50_000,
+            spike_alpha: 1.5,
+            spike_cap_ns: 5_000_000,
+            slowdowns: Vec::new(),
+            brownouts: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True if this plan can inject anything at all. When false the
+    /// engine takes the exact fault-free fast path (no RNG draws).
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.spike_prob > 0.0
+            || !self.slowdowns.is_empty()
+            || !self.brownouts.is_empty()
+            || !self.crashes.is_empty()
+    }
+
+    /// A convenience plan with uniform message-level fault rates and no
+    /// scheduled windows or crashes.
+    pub fn message_faults(drop_prob: f64, dup_prob: f64, spike_prob: f64) -> Self {
+        Self {
+            drop_prob,
+            dup_prob,
+            spike_prob,
+            ..Self::default()
+        }
+    }
+
+    /// Validate the plan against a rank count. Rejects probabilities
+    /// outside `[0, 1)`, windows and crashes naming unknown ranks,
+    /// degenerate windows, non-positive slowdown factors, and a crash
+    /// of rank 0 (rank 0 owns the root of the search and the
+    /// termination probe; its death is outside the recovery model).
+    pub fn validate(&self, n_ranks: u32) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("dup_prob", self.dup_prob),
+            ("spike_prob", self.spike_prob),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1), got {p}"));
+            }
+        }
+        if self.spike_prob > 0.0 {
+            if self.spike_alpha <= 0.0 {
+                return Err(format!(
+                    "spike_alpha must be positive, got {}",
+                    self.spike_alpha
+                ));
+            }
+            if self.spike_min_ns == 0 {
+                return Err("spike_min_ns must be nonzero when spikes are enabled".into());
+            }
+        }
+        for w in &self.slowdowns {
+            if w.rank >= n_ranks {
+                return Err(format!("slowdown names unknown rank {}", w.rank));
+            }
+            if w.until_ns <= w.from_ns {
+                return Err(format!("slowdown window on rank {} is empty", w.rank));
+            }
+            if w.factor <= 0.0 {
+                return Err(format!(
+                    "slowdown factor on rank {} must be positive, got {}",
+                    w.rank, w.factor
+                ));
+            }
+        }
+        for b in &self.brownouts {
+            if b.rank >= n_ranks {
+                return Err(format!("brownout names unknown rank {}", b.rank));
+            }
+            if b.until_ns <= b.from_ns {
+                return Err(format!("brownout window on rank {} is empty", b.rank));
+            }
+        }
+        for c in &self.crashes {
+            if c.rank >= n_ranks {
+                return Err(format!("crash names unknown rank {}", c.rank));
+            }
+            if c.rank == 0 {
+                return Err("rank 0 cannot crash: it owns the root and the probe".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The slowdown stretch factor in effect for `rank` at `now_ns`
+    /// (1.0 outside any window). Overlapping windows multiply.
+    pub fn slowdown_factor(&self, rank: Rank, now_ns: u64) -> f64 {
+        let mut f = 1.0;
+        for w in &self.slowdowns {
+            if w.rank == rank && (w.from_ns..w.until_ns).contains(&now_ns) {
+                f *= w.factor;
+            }
+        }
+        f
+    }
+
+    /// True if `rank`'s NIC is browned out at `now_ns`.
+    pub fn in_brownout(&self, rank: Rank, now_ns: u64) -> bool {
+        self.brownouts
+            .iter()
+            .any(|b| b.rank == rank && (b.from_ns..b.until_ns).contains(&now_ns))
+    }
+
+    /// The scheduled crash time of `rank`, if any.
+    pub fn crash_time(&self, rank: Rank) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.at_ns)
+            .min()
+    }
+
+    /// Sample a heavy-tailed spike magnitude from a uniform draw in
+    /// `[0, 1)`: a Pareto variate `min · (1-u)^(-1/alpha)`, capped.
+    pub fn spike_ns(&self, u: f64) -> u64 {
+        let v = self.spike_min_ns as f64 * (1.0 - u).powf(-1.0 / self.spike_alpha);
+        (v as u64).min(self.spike_cap_ns)
+    }
+}
+
+/// Counters for every fault the engine actually injected. Retrieved
+/// via `Simulation::fault_stats` after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by `drop_prob`.
+    pub dropped: u64,
+    /// Extra deliveries created by `dup_prob`.
+    pub duplicated: u64,
+    /// Messages whose latency took a heavy-tailed spike.
+    pub spiked: u64,
+    /// Messages lost to a NIC brownout window.
+    pub brownout_drops: u64,
+    /// Deliveries suppressed because the destination had crashed.
+    pub crash_lost_deliveries: u64,
+    /// Timers suppressed because their rank had crashed.
+    pub crash_lost_timers: u64,
+}
+
+impl FaultStats {
+    /// Total messages that never reached their destination.
+    pub fn total_lost_messages(&self) -> u64 {
+        self.dropped + self.brownout_drops + self.crash_lost_deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert!(plan.validate(4).is_ok());
+    }
+
+    #[test]
+    fn message_faults_plan_is_active() {
+        assert!(FaultPlan::message_faults(0.05, 0.0, 0.0).is_active());
+        assert!(FaultPlan::message_faults(0.0, 0.01, 0.0).is_active());
+        assert!(FaultPlan::message_faults(0.0, 0.0, 0.1).is_active());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(FaultPlan::message_faults(1.0, 0.0, 0.0).validate(4).is_err());
+        assert!(FaultPlan::message_faults(-0.1, 0.0, 0.0).validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_rank_zero_crash() {
+        let plan = FaultPlan {
+            crashes: vec![Crash { rank: 0, at_ns: 5 }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_ranks_and_empty_windows() {
+        let plan = FaultPlan {
+            crashes: vec![Crash { rank: 9, at_ns: 5 }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+        let plan = FaultPlan {
+            brownouts: vec![Brownout {
+                rank: 1,
+                from_ns: 10,
+                until_ns: 10,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn slowdown_factor_composes_and_windows_are_half_open() {
+        let plan = FaultPlan {
+            slowdowns: vec![
+                SlowdownWindow {
+                    rank: 1,
+                    from_ns: 100,
+                    until_ns: 200,
+                    factor: 2.0,
+                },
+                SlowdownWindow {
+                    rank: 1,
+                    from_ns: 150,
+                    until_ns: 300,
+                    factor: 3.0,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.slowdown_factor(1, 99), 1.0);
+        assert_eq!(plan.slowdown_factor(1, 100), 2.0);
+        assert_eq!(plan.slowdown_factor(1, 150), 6.0);
+        assert_eq!(plan.slowdown_factor(1, 200), 3.0);
+        assert_eq!(plan.slowdown_factor(1, 300), 1.0);
+        assert_eq!(plan.slowdown_factor(2, 150), 1.0);
+    }
+
+    #[test]
+    fn spike_is_bounded_below_and_capped() {
+        let plan = FaultPlan {
+            spike_prob: 0.5,
+            spike_min_ns: 1_000,
+            spike_alpha: 1.2,
+            spike_cap_ns: 100_000,
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.spike_ns(0.0), 1_000);
+        assert!(plan.spike_ns(0.5) > 1_000);
+        assert_eq!(plan.spike_ns(0.999_999_999), 100_000);
+    }
+
+    #[test]
+    fn crash_time_takes_earliest() {
+        let plan = FaultPlan {
+            crashes: vec![
+                Crash { rank: 2, at_ns: 500 },
+                Crash { rank: 2, at_ns: 300 },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.crash_time(2), Some(300));
+        assert_eq!(plan.crash_time(1), None);
+    }
+}

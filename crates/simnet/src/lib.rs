@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod observer;
 pub mod rng;
 pub mod time;
@@ -51,6 +52,7 @@ pub mod time;
 pub use engine::{
     Actor, ConstantLatency, Ctx, LatencyFn, Rank, RunReport, SimConfig, Simulation,
 };
+pub use fault::{Brownout, Crash, FaultPlan, FaultStats, SlowdownWindow};
 pub use observer::{EventLog, EventRecord};
 pub use rng::DetRng;
 pub use time::{SimTime, MS, SEC, US};

@@ -331,3 +331,56 @@ fn termination_protocol_random_schedules() {
         }
     }
 }
+
+/// One seed fully determines a faulty run: executing the identical
+/// configuration twice — drops, duplicates, latency spikes and a rank
+/// crash included — reproduces the event schedule, the totals and
+/// every per-rank counter bit for bit.
+#[test]
+fn faulty_runs_are_deterministic() {
+    use dws::core::{run_experiment, ExperimentConfig};
+    use dws::simnet::{Crash, FaultPlan};
+    use dws::uts::{TreeSpec, Workload};
+    for case in 0..3u64 {
+        let tree = Workload {
+            name: "det",
+            spec: TreeSpec::Binomial {
+                b0: 400,
+                m: 2,
+                q: 0.45,
+            },
+            seed: 23 + case as i32,
+            gen_rounds: 1,
+            base_node_ns: 1_031,
+        };
+        let mut cfg = ExperimentConfig::new(tree, 8);
+        cfg.collect_trace = false;
+        cfg.max_events = Some(20_000_000);
+        cfg.seed = 0xFA_0017 + case;
+        cfg.fault_plan = FaultPlan {
+            drop_prob: 0.04,
+            dup_prob: 0.02,
+            spike_prob: 0.04,
+            crashes: vec![Crash {
+                rank: 5,
+                at_ns: 150_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert!(a.completed, "case {case}: did not terminate");
+        assert_eq!(a.total_nodes, b.total_nodes, "case {case}: totals differ");
+        assert_eq!(a.makespan.ns(), b.makespan.ns(), "case {case}: makespan differs");
+        assert_eq!(a.report.events, b.report.events, "case {case}: schedule differs");
+        assert_eq!(a.report.messages, b.report.messages, "case {case}: traffic differs");
+        assert_eq!(a.stats.per_rank, b.stats.per_rank, "case {case}: counters differ");
+        let (fa, fb) = (a.fault.as_ref().expect("report"), b.fault.as_ref().expect("report"));
+        assert_eq!(fa.stats, fb.stats, "case {case}: fault stats differ");
+        assert_eq!(fa.crashed_ranks, fb.crashed_ranks, "case {case}");
+        assert_eq!(
+            fa.lost_subtree_nodes, fb.lost_subtree_nodes,
+            "case {case}: loss accounting differs"
+        );
+    }
+}
