@@ -24,8 +24,7 @@ fn main() {
                 name.to_string(),
                 f(r.perf.speedup(), 1),
                 f(
-                    r.stats.total().nodes_received as f64
-                        / r.stats.total().steals_ok.max(1) as f64,
+                    r.stats.total().nodes_received as f64 / r.stats.total().steals_ok.max(1) as f64,
                     1,
                 ),
             ]);

@@ -48,7 +48,13 @@ fn main() {
         &args,
         "ablation_future_selection",
         "Extended victim-selection strategies (all steal-half)",
-        &["policy", "mapping", "speedup", "session_us", "failed_steals"],
+        &[
+            "policy",
+            "mapping",
+            "speedup",
+            "session_us",
+            "failed_steals",
+        ],
         &rows,
         None,
     );

@@ -21,9 +21,7 @@ fn main() {
     // Weight-per-pair generators, per policy.
     type WeightFn = Box<dyn Fn(u32, u32) -> f64>;
     let policies: Vec<(&str, WeightFn)> = vec![
-        ("Uniform", {
-            Box::new(move |_i, _j| 1.0)
-        }),
+        ("Uniform", { Box::new(move |_i, _j| 1.0) }),
         ("Tofu a=1", {
             let job = Arc::clone(&job);
             Box::new(move |i, j| skew_weight(&job, i, j, 1.0))
@@ -53,8 +51,7 @@ fn main() {
                 if units == 0 {
                     continue;
                 }
-                let hops =
-                    load.add_route(&machine, job.coord_of(i), job.coord_of(j), units);
+                let hops = load.add_route(&machine, job.coord_of(i), job.coord_of(j), units);
                 expected_hops += p * hops as f64;
             }
         }
@@ -70,7 +67,13 @@ fn main() {
         &args,
         "ablation_link_load",
         "Expected steal-traffic link load per policy (per thief)",
-        &["policy", "E[hops]", "link_units", "hotspot_factor", "links_used"],
+        &[
+            "policy",
+            "E[hops]",
+            "link_units",
+            "hotspot_factor",
+            "links_used",
+        ],
         &rows,
         None,
     );

@@ -12,7 +12,10 @@ fn main() {
     let tree = args.large_tree();
     let ranks = if args.full { 1024 } else { 256 };
     let mut rows = Vec::new();
-    for (model, link_level) in [("mean-field", None), ("link-level", Some((1_000u64, 800u64)))] {
+    for (model, link_level) in [
+        ("mean-field", None),
+        ("link-level", Some((1_000u64, 800u64))),
+    ] {
         for name in ["Reference", "Rand", "Tofu Half"] {
             let (victim, steal) = strategy(name);
             let mut cfg = args

@@ -28,8 +28,10 @@ fn main() {
         }
         series.push((format!("Reference {}", mapping.label()), pts));
     }
-    let refs: Vec<(&str, Vec<(f64, f64)>)> =
-        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
     emit(
         &args,
         "fig02",

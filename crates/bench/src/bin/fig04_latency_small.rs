@@ -13,12 +13,10 @@ fn main() {
     let mut sl_pts = Vec::new();
     let mut el_pts = Vec::new();
     for (pct, sl, el) in occ.latency_series(90) {
-        let (Some(sl), Some(el)) = (sl, el) else { continue };
-        rows.push(vec![
-            pct.to_string(),
-            f(sl * 100.0, 3),
-            f(el * 100.0, 3),
-        ]);
+        let (Some(sl), Some(el)) = (sl, el) else {
+            continue;
+        };
+        rows.push(vec![pct.to_string(), f(sl * 100.0, 3), f(el * 100.0, 3)]);
         sl_pts.push((pct as f64, sl * 100.0));
         el_pts.push((pct as f64, el * 100.0));
     }

@@ -21,7 +21,9 @@ fn main() {
     let mut sl_pts = Vec::new();
     let mut el_pts = Vec::new();
     for (pct, sl, el) in occ.latency_series(wmax_pct as u32) {
-        let (Some(sl), Some(el)) = (sl, el) else { continue };
+        let (Some(sl), Some(el)) = (sl, el) else {
+            continue;
+        };
         rows.push(vec![pct.to_string(), f(sl * 100.0, 2), f(el * 100.0, 2)]);
         sl_pts.push((pct as f64, sl * 100.0));
         el_pts.push((pct as f64, el * 100.0));

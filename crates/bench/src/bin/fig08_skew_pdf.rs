@@ -24,7 +24,10 @@ fn main() {
     }
     println!("uniform baseline would be {uniform:.3e} per rank");
     let total: f64 = pts.iter().map(|(_, p)| p).sum();
-    assert!((total - 1.0).abs() < 1e-9, "PDF must normalize, got {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "PDF must normalize, got {total}"
+    );
     emit(
         &args,
         "fig08",

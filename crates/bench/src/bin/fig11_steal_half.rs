@@ -9,7 +9,13 @@ fn main() {
     let tree = args.large_tree();
     let mut rows = Vec::new();
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
-    for name in ["Reference", "Reference Half", "Tofu", "Rand Half", "Tofu Half"] {
+    for name in [
+        "Reference",
+        "Reference Half",
+        "Tofu",
+        "Rand Half",
+        "Tofu Half",
+    ] {
         let (victim, steal) = strategy(name);
         let mut pts = Vec::new();
         for &ranks in &args.large_ranks() {
@@ -28,8 +34,10 @@ fn main() {
         }
         series.push((format!("{name} 1/N"), pts));
     }
-    let refs: Vec<(&str, Vec<(f64, f64)>)> =
-        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
     emit(
         &args,
         "fig11",

@@ -28,8 +28,10 @@ fn main() {
         println!("{name}: Wmax {}/{}", occ.w_max(), occ.n_ranks());
         series.push((name.to_string(), pts));
     }
-    let refs: Vec<(&str, Vec<(f64, f64)>)> =
-        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
     emit(
         &args,
         "fig12",

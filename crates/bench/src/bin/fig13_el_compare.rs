@@ -27,8 +27,10 @@ fn main() {
         }
         series.push((name.to_string(), pts));
     }
-    let refs: Vec<(&str, Vec<(f64, f64)>)> =
-        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
     emit(
         &args,
         "fig13",

@@ -26,13 +26,19 @@ fn main() {
             cfg.collect_trace = false;
             let r = run_logged(&cfg);
             let failed = r.stats.failed_steals();
-            rows.push(vec![label.clone(), r.n_ranks.to_string(), failed.to_string()]);
+            rows.push(vec![
+                label.clone(),
+                r.n_ranks.to_string(),
+                failed.to_string(),
+            ]);
             pts.push((r.n_ranks as f64, failed as f64));
         }
         series.push((label, pts));
     }
-    let refs: Vec<(&str, Vec<(f64, f64)>)> =
-        series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+    let refs: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
     emit(
         &args,
         "fig15",

@@ -28,11 +28,7 @@ fn main() {
         let tofu = runtime("Tofu Half");
         let rand_improv = 100.0 * (base - rand) / base;
         let tofu_improv = 100.0 * (base - tofu) / base;
-        rows.push(vec![
-            g.to_string(),
-            f(rand_improv, 2),
-            f(tofu_improv, 2),
-        ]);
+        rows.push(vec![g.to_string(), f(rand_improv, 2), f(tofu_improv, 2)]);
         rand_pts.push((g as f64, rand_improv));
         tofu_pts.push((g as f64, tofu_improv));
     }

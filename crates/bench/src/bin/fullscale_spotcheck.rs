@@ -39,7 +39,13 @@ fn main() {
         &args,
         "fullscale_spotcheck",
         "Paper-scale rank counts, headline strategies (T3WL, 1/N)",
-        &["strategy", "ranks", "speedup", "session_us", "failed_steals"],
+        &[
+            "strategy",
+            "ranks",
+            "speedup",
+            "session_us",
+            "failed_steals",
+        ],
         &rows,
         None,
     );

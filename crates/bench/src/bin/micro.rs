@@ -16,12 +16,16 @@
 use dws_core::{
     run_experiment, AliasTable, ChunkedStack, ExperimentConfig, StealAmount, VictimPolicy,
 };
+use dws_metrics::JsonValue;
 use dws_simnet::{Actor, ConstantLatency, Ctx, DetRng, Rank, SimConfig, Simulation};
 use dws_topology::{Job, RankMapping};
 use dws_uts::{presets, sha1::Sha1, Node, RngState};
 use std::hint::black_box;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Results collected for the machine-readable `BENCH_micro.json`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Time `f` (which runs `iters` inner iterations per call) and print
 /// the best per-iteration time across `batches` timed batches.
@@ -46,6 +50,10 @@ fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
         format!("{best:.1} ns")
     };
     println!("{name:44} {unit:>12} /iter");
+    RESULTS
+        .lock()
+        .expect("results mutex")
+        .push((name.to_string(), best));
 }
 
 fn bench_sha1() {
@@ -209,12 +217,56 @@ fn bench_end_to_end() {
         black_box(run_experiment(&cfg).total_nodes);
     });
     bench("end_to_end/threads_4_xs_tree", 1, || {
-        black_box(dws_shmem::parallel_search(&presets::t3sim_xs(), 4).stats.nodes);
+        black_box(
+            dws_shmem::parallel_search(&presets::t3sim_xs(), 4)
+                .stats
+                .nodes,
+        );
     });
 }
 
+/// Write collected results as a machine-readable report, one object
+/// per benchmark with its best observed per-iteration time.
+fn write_report(path: &str) -> std::io::Result<()> {
+    let results = RESULTS.lock().expect("results mutex");
+    let doc = JsonValue::obj(vec![
+        ("bench", "micro".into()),
+        ("unit", "ns_per_iter".into()),
+        (
+            "results",
+            JsonValue::Arr(
+                results
+                    .iter()
+                    .map(|(name, ns)| {
+                        JsonValue::obj(vec![
+                            ("name", name.as_str().into()),
+                            ("ns_per_iter", (*ns).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, format!("{doc}\n"))
+}
+
 fn main() {
-    let only: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = Some("results/BENCH_micro.json".to_string());
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = it.next().or(json_path),
+            "--no-json" => json_path = None,
+            _ => only.push(a),
+        }
+    }
     let run = |name: &str| only.is_empty() || only.iter().any(|o| name.contains(o.as_str()));
     if run("sha1") {
         bench_sha1();
@@ -236,5 +288,11 @@ fn main() {
     }
     if run("end_to_end") {
         bench_end_to_end();
+    }
+    if let Some(path) = json_path {
+        match write_report(&path) {
+            Ok(()) => println!("[results written to {path}]"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
     }
 }

@@ -42,7 +42,17 @@ fn main() {
         &args,
         "table1",
         "UTS input tree parameters (paper Table I + scaled presets)",
-        &["name", "type", "r", "b0", "m", "q", "paper size", "realized size", "depth"],
+        &[
+            "name",
+            "type",
+            "r",
+            "b0",
+            "m",
+            "q",
+            "paper size",
+            "realized size",
+            "depth",
+        ],
         &rows,
         None,
     );

@@ -15,11 +15,7 @@ pub struct Flags {
 
 /// Parse `args` against the allowed flag lists. `valued` flags take one
 /// argument, `boolean` flags take none.
-pub fn parse(
-    args: &[String],
-    valued: &[&str],
-    boolean: &[&str],
-) -> Result<Flags, String> {
+pub fn parse(args: &[String], valued: &[&str], boolean: &[&str]) -> Result<Flags, String> {
     let mut out = Flags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -172,10 +168,7 @@ mod tests {
 
     #[test]
     fn victim_names() {
-        assert_eq!(
-            parse_victim("tofu", 2.0, 4).expect("ok").label(),
-            "Tofu"
-        );
+        assert_eq!(parse_victim("tofu", 2.0, 4).expect("ok").label(), "Tofu");
         assert_eq!(
             parse_victim("reference", 1.0, 4).expect("ok").label(),
             "Reference"

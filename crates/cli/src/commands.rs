@@ -1,12 +1,42 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, parse_mapping, parse_steal, parse_victim, Flags};
-use dws_core::{run_experiment, ExperimentConfig, FaultToleranceCfg};
+use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, FaultToleranceCfg};
 use dws_simnet::{Brownout, Crash, FaultPlan, SlowdownWindow};
 
-use dws_metrics::{lifestory, render_table, write_csv, Summary};
+use dws_metrics::export::link_matrix_json;
+use dws_metrics::{lifestory, render_table, write_csv, JsonValue, Summary};
+use dws_topology::routing::Link;
 use dws_topology::{Job, LatencyParams};
 use dws_uts::Workload;
+
+/// Flags every experiment-running subcommand understands.
+const CONFIG_FLAGS: &[&str] = &[
+    "tree",
+    "nodes",
+    "ranks",
+    "mapping",
+    "victim",
+    "alpha",
+    "local-tries",
+    "steal",
+    "lifelines",
+    "seed",
+    "chunk",
+    "poll",
+    "gen-rounds",
+    "jitter",
+    "skew-ns",
+    "fault-drop",
+    "fault-dup",
+    "fault-spike",
+    "fault-spike-min-ns",
+    "fault-spike-cap-ns",
+    "fault-crash",
+    "fault-brownout",
+    "fault-slowdown",
+    "fault-timeout-mult",
+];
 
 fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
     let name = flags.get("tree").unwrap_or(default);
@@ -61,7 +91,9 @@ fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
             plan.brownouts.push(Brownout {
                 rank,
                 from_ns: from.parse().map_err(|_| format!("bad brownout {spec:?}"))?,
-                until_ns: until.parse().map_err(|_| format!("bad brownout {spec:?}"))?,
+                until_ns: until
+                    .parse()
+                    .map_err(|_| format!("bad brownout {spec:?}"))?,
             });
         }
     }
@@ -77,8 +109,12 @@ fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
             plan.slowdowns.push(SlowdownWindow {
                 rank,
                 from_ns: from.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
-                until_ns: until.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
-                factor: factor.parse().map_err(|_| format!("bad slowdown {spec:?}"))?,
+                until_ns: until
+                    .parse()
+                    .map_err(|_| format!("bad slowdown {spec:?}"))?,
+                factor: factor
+                    .parse()
+                    .map_err(|_| format!("bad slowdown {spec:?}"))?,
             });
         }
     }
@@ -86,14 +122,30 @@ fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
 }
 
 fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
-    let workload = workload_flag(flags, "t3wl")?
-        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let workload =
+        workload_flag(flags, "t3wl")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
     let n_nodes: u32 = flags.parse_or("nodes", 128)?;
     let mut cfg = ExperimentConfig::new(workload, n_nodes);
     cfg.mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
+    if let Some(ranks) = flags.parse_opt::<u32>("ranks")? {
+        // `--ranks` talks about the quantity the paper plots; convert
+        // through the mapping's ranks-per-node to physical nodes.
+        let ppn = cfg.mapping.ppn();
+        if ranks == 0 || ranks % ppn != 0 {
+            return Err(format!(
+                "--ranks {ranks} must be a positive multiple of the mapping's \
+                 {ppn} ranks per node"
+            ));
+        }
+        cfg.n_nodes = ranks / ppn;
+    }
     let alpha: f64 = flags.parse_or("alpha", 1.0)?;
     let local_tries: u32 = flags.parse_or("local-tries", 4)?;
-    cfg.victim = parse_victim(flags.get("victim").unwrap_or("reference"), alpha, local_tries)?;
+    cfg.victim = parse_victim(
+        flags.get("victim").unwrap_or("reference"),
+        alpha,
+        local_tries,
+    )?;
     cfg.steal = parse_steal(flags.get("steal").unwrap_or("one"))?;
     cfg.lifeline_threshold = flags.parse_opt("lifelines")?;
     cfg.seed = flags.parse_or("seed", cfg.seed)?;
@@ -116,19 +168,62 @@ fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     Ok(cfg)
 }
 
+/// Pretty-print `Link` as e.g. `(1,0,2,0,0,0)+x`.
+fn link_label(l: &Link) -> String {
+    let axis = ["x", "y", "z", "a", "b", "c"][l.axis as usize];
+    let sign = if l.positive { '+' } else { '-' };
+    let c = l.from;
+    format!(
+        "({},{},{},{},{},{}){}{}",
+        c.x, c.y, c.z, c.a, c.b, c.c, sign, axis
+    )
+}
+
+/// Write a JSON document to `path` with a trailing newline.
+fn write_json(path: &str, doc: &JsonValue) -> Result<(), String> {
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Emit the `--trace`, `--json`, and `--links` artifacts of a traced run.
+fn write_observability(flags: &Flags, r: &ExperimentResult) -> Result<(), String> {
+    if let Some(path) = flags.get("trace") {
+        let doc = r
+            .chrome_trace_json()
+            .expect("observability outputs imply collected spans");
+        write_json(path, &doc)?;
+        println!("[chrome trace written to {path} — load in Perfetto or chrome://tracing]");
+    }
+    if let Some(path) = flags.get("json") {
+        write_json(path, &r.json_report())?;
+        println!("[run report written to {path}]");
+    }
+    if let Some(path) = flags.get("links") {
+        let load = r
+            .link_load()
+            .expect("observability outputs imply a network trace");
+        let rows: Vec<(String, u64)> = load
+            .hottest(load.links_used())
+            .iter()
+            .map(|(l, units)| (link_label(l), *units))
+            .collect();
+        write_json(path, &link_matrix_json(&rows, load.hotspot_factor()))?;
+        println!("[per-link load matrix written to {path}]");
+    }
+    Ok(())
+}
+
 /// `dws run`
 pub fn run(rest: &[String]) -> Result<(), String> {
-    let flags = parse(
-        rest,
-        &[
-            "tree", "nodes", "mapping", "victim", "alpha", "local-tries", "steal", "lifelines",
-            "seed", "chunk", "poll", "gen-rounds", "jitter", "skew-ns", "csv", "fault-drop",
-            "fault-dup", "fault-spike", "fault-spike-min-ns", "fault-spike-cap-ns",
-            "fault-crash", "fault-brownout", "fault-slowdown", "fault-timeout-mult",
-        ],
-        &["lifestory", "fault-tolerant"],
-    )?;
-    let cfg = config_from(&flags)?;
+    let valued: Vec<&str> = CONFIG_FLAGS
+        .iter()
+        .chain(["csv", "trace", "json", "links"].iter())
+        .copied()
+        .collect();
+    let flags = parse(rest, &valued, &["lifestory", "fault-tolerant"])?;
+    let mut cfg = config_from(&flags)?;
+    // Any observability artifact turns the span/network tracer on.
+    cfg.collect_spans =
+        flags.get("trace").is_some() || flags.get("json").is_some() || flags.get("links").is_some();
     eprintln!(
         "running {} on {} nodes ({} ranks), tree {}...",
         cfg.label(),
@@ -144,7 +239,10 @@ pub fn run(rest: &[String]) -> Result<(), String> {
     println!("speedup       : {:.1}", r.perf.speedup());
     println!("efficiency    : {:.3}", r.perf.efficiency());
     let t = r.stats.total();
-    println!("steals        : {} ok, {} failed", t.steals_ok, t.steals_failed);
+    println!(
+        "steals        : {} ok, {} failed",
+        t.steals_ok, t.steals_failed
+    );
     println!(
         "sessions      : {:.0} per rank, avg {:.1} us",
         r.stats.avg_sessions_per_rank(),
@@ -206,8 +304,14 @@ pub fn run(rest: &[String]) -> Result<(), String> {
     }
     if let Some(path) = flags.get("csv") {
         let header = [
-            "rank", "nodes", "steals_ok", "steals_failed", "nodes_given", "nodes_received",
-            "search_ns", "sessions",
+            "rank",
+            "nodes",
+            "steals_ok",
+            "steals_failed",
+            "nodes_given",
+            "nodes_received",
+            "search_ns",
+            "sessions",
         ];
         let rows: Vec<Vec<String>> = r
             .stats
@@ -232,6 +336,43 @@ pub fn run(rest: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("[per-rank stats written to {path}]");
     }
+    write_observability(&flags, &r)?;
+    Ok(())
+}
+
+/// `dws trace` — run one experiment with the causal tracer on and
+/// write the Chrome trace-event document (plus, optionally, the JSON
+/// run report and per-link load matrix).
+pub fn trace(rest: &[String]) -> Result<(), String> {
+    let valued: Vec<&str> = CONFIG_FLAGS
+        .iter()
+        .chain(["out", "json", "links"].iter())
+        .copied()
+        .collect();
+    let flags = parse(rest, &valued, &["fault-tolerant"])?;
+    let mut cfg = config_from(&flags)?;
+    cfg.collect_spans = true;
+    eprintln!(
+        "tracing {} on {} nodes ({} ranks), tree {}...",
+        cfg.label(),
+        cfg.n_nodes,
+        cfg.mapping.rank_count(cfg.n_nodes),
+        cfg.workload.name
+    );
+    let r = run_experiment(&cfg);
+    let out = flags.get("out").unwrap_or("trace.json");
+    let doc = r.chrome_trace_json().expect("spans were collected");
+    write_json(out, &doc)?;
+    let spans = r.spans.as_ref().expect("spans were collected");
+    println!(
+        "traced {} spans across {} ranks over {} — chrome trace written to {out}",
+        spans.records().len(),
+        r.n_ranks,
+        r.makespan
+    );
+    println!("load it in Perfetto (https://ui.perfetto.dev) or chrome://tracing");
+    // `--json` / `--links` ride along exactly as on `dws run`.
+    write_observability(&flags, &r)?;
     Ok(())
 }
 
@@ -246,13 +387,17 @@ pub fn sweep(rest: &[String]) -> Result<(), String> {
         .get("ranks")
         .unwrap_or("64,128,256")
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad rank count {s:?}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad rank count {s:?}"))
+        })
         .collect::<Result<_, _>>()?;
     let seeds: u64 = flags.parse_or("seeds", 3u64)?;
     let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
     let steal = parse_steal(flags.get("steal").unwrap_or("half"))?;
-    let workload = workload_flag(&flags, "t3wl")?
-        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let workload =
+        workload_flag(&flags, "t3wl")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
     let sweep = dws_core::Sweep {
         workload,
         ranks,
@@ -315,13 +460,20 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     let flags = parse(
         rest,
         &[
-            "tree", "nodes", "mapping", "steal", "seeds", "rates", "dup-frac", "spike-frac",
+            "tree",
+            "nodes",
+            "mapping",
+            "steal",
+            "seeds",
+            "rates",
+            "dup-frac",
+            "spike-frac",
             "gen-rounds",
         ],
         &[],
     )?;
-    let workload = workload_flag(&flags, "t3sim-l")?
-        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let workload =
+        workload_flag(&flags, "t3sim-l")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
     let n_nodes: u32 = flags.parse_or("nodes", 64)?;
     let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
     let steal = parse_steal(flags.get("steal").unwrap_or("half"))?;
@@ -339,7 +491,10 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     let strategies = [
         ("Reference", dws_core::VictimPolicy::RoundRobin),
         ("Rand", dws_core::VictimPolicy::Uniform),
-        ("Tofu", dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 }),
+        (
+            "Tofu",
+            dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 },
+        ),
     ];
     let mut rows = Vec::new();
     for &rate in &rates {
@@ -357,9 +512,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 cfg.collect_trace = false;
                 cfg.fault_plan =
                     FaultPlan::message_faults(rate, rate * dup_frac, rate * spike_frac);
-                eprint!(
-                    "  {label} rate={rate} seed={k}...        \r"
-                );
+                eprint!("  {label} rate={rate} seed={k}...        \r");
                 let r = run_experiment(&cfg);
                 let t = r.stats.total();
                 makespan_ms.add(r.makespan.ns() as f64 / 1e6);
@@ -398,8 +551,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
 /// `dws tree`
 pub fn tree(rest: &[String]) -> Result<(), String> {
     let flags = parse(rest, &["tree", "limit", "gen-rounds"], &[])?;
-    let w = workload_flag(&flags, "t3sim-l")?
-        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let w = workload_flag(&flags, "t3sim-l")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
     let limit: u64 = flags.parse_or("limit", 60_000_000u64)?;
     eprintln!("measuring {}...", w.name);
     let shape = dws_uts::measure_shape(&w, limit)
@@ -437,7 +589,10 @@ pub fn topo(rest: &[String]) -> Result<(), String> {
     );
     let me: u32 = flags.parse_or("rank", 0u32)?;
     if me >= job.n_ranks() {
-        return Err(format!("--rank {me} out of range ({} ranks)", job.n_ranks()));
+        return Err(format!(
+            "--rank {me} out of range ({} ranks)",
+            job.n_ranks()
+        ));
     }
     println!(
         "job: {} nodes, {} ranks ({}), machine {:?} cubes",
@@ -473,8 +628,17 @@ pub fn topo(rest: &[String]) -> Result<(), String> {
         .map(|j| (j, job.euclidean(me, j)))
         .collect();
     by_dist.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let near: Vec<String> = by_dist.iter().take(5).map(|(j, d)| format!("{j}({d:.1})")).collect();
-    let far: Vec<String> = by_dist.iter().rev().take(5).map(|(j, d)| format!("{j}({d:.1})")).collect();
+    let near: Vec<String> = by_dist
+        .iter()
+        .take(5)
+        .map(|(j, d)| format!("{j}({d:.1})"))
+        .collect();
+    let far: Vec<String> = by_dist
+        .iter()
+        .rev()
+        .take(5)
+        .map(|(j, d)| format!("{j}({d:.1})"))
+        .collect();
     println!("nearest ranks     : {}", near.join(" "));
     println!("farthest ranks    : {}", far.join(" "));
     Ok(())
@@ -483,8 +647,7 @@ pub fn topo(rest: &[String]) -> Result<(), String> {
 /// `dws shmem`
 pub fn shmem(rest: &[String]) -> Result<(), String> {
     let flags = parse(rest, &["tree", "workers", "gen-rounds"], &[])?;
-    let w = workload_flag(&flags, "t3sim-l")?
-        .with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
+    let w = workload_flag(&flags, "t3sim-l")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
     let workers: usize = flags.parse_or("workers", 4usize)?;
     eprintln!("searching {} with {workers} threads...", w.name);
     let result = dws_shmem::parallel_search(&w, workers);

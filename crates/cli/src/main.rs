@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dws run    --tree t3wl --nodes 256 --victim tofu --steal half [--lifestory]
+//! dws trace  --tree t3sim-l --ranks 64 --out trace.json --json report.json
 //! dws sweep  --tree t3wl --ranks 64,128,256 --seeds 3
 //! dws chaos  --tree t3sim-l --nodes 64 --rates 0,0.01,0.05
 //! dws tree   --tree t3sim-l
@@ -23,6 +24,7 @@ fn main() {
     };
     let result = match cmd {
         "run" => commands::run(rest),
+        "trace" => commands::trace(rest),
         "sweep" => commands::sweep(rest),
         "chaos" => commands::chaos(rest),
         "tree" => commands::tree(rest),
@@ -68,6 +70,15 @@ commands:
           --fault-slowdown <r@a:b:f,..> slow rank r by factor f in [a,b)
           --fault-tolerant     force the failure-tolerant protocol on
           --fault-timeout-mult <n>      steal-timeout RTT multiplier
+          --ranks <n>          rank count (converted via the mapping's
+                               ranks per node; overrides --nodes)
+          --trace <path>       write a Chrome trace-event file (Perfetto)
+          --json <path>        write the machine-readable run report
+          --links <path>       write the per-link Tofu load matrix
+  trace   run once with the causal steal-protocol tracer on
+          (accepts the same configuration flags as run)
+          --out <path>         Chrome trace output (default trace.json)
+          --json / --links     as on run
   sweep   sweep rank counts x strategies, multiple seeds, mean +/- sd
           --tree --seeds <k> --ranks <a,b,c> --mapping as above
   chaos   sweep message-fault rates x victim policies

@@ -23,13 +23,13 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let mut total = 0.0f64;
         for (i, &w) in weights.iter().enumerate() {
-            assert!(
-                w.is_finite() && w >= 0.0,
-                "weight {i} is invalid: {w}"
-            );
+            assert!(w.is_finite() && w >= 0.0, "weight {i} is invalid: {w}");
             total += w;
         }
         assert!(total > 0.0, "weights sum to zero");

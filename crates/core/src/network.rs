@@ -194,7 +194,10 @@ mod tests {
         let wire1 = job.latency_ns(1, 0, 64);
         let wire2 = job.latency_ns(2, 0, 64);
         let occ = 500 + 12;
-        assert!(d2 <= wire2.max(wire1) + 2 * occ, "unexpected queueing: {d2}");
+        assert!(
+            d2 <= wire2.max(wire1) + 2 * occ,
+            "unexpected queueing: {d2}"
+        );
     }
 
     #[test]

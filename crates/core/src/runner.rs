@@ -16,8 +16,13 @@
 
 use crate::scheduler::{Counters, FaultToleranceCfg, SchedulerCfg, StealAmount, Worker};
 use crate::victim::VictimPolicy;
-use dws_metrics::{ActivityTrace, OccupancyCurve, Perf, RunStats, StealStats};
-use dws_simnet::{FaultPlan, FaultStats, RunReport, SimConfig, SimTime, Simulation};
+use dws_metrics::export::{chrome_trace, histograms_json, span_counts_json};
+use dws_metrics::{
+    ActivityTrace, JsonValue, LatencyHistograms, OccupancyCurve, Perf, RunStats, SpanTrace,
+    StealStats,
+};
+use dws_simnet::{FaultPlan, FaultStats, NetTrace, RunReport, SimConfig, SimTime, Simulation};
+use dws_topology::routing::LinkLoad;
 use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
 use dws_uts::{Node, Workload};
 use std::sync::Arc;
@@ -77,6 +82,13 @@ pub struct ExperimentConfig {
     pub alias_threshold: u32,
     /// Record the activity trace (cheap; disable for huge sweeps).
     pub collect_trace: bool,
+    /// Causal observability: record a span per steal-protocol step on
+    /// every rank plus an engine-level network trace (delivery-latency
+    /// histogram and per-pair traffic matrix). Off by default — and
+    /// when off, not a single timer, message, or RNG draw differs from
+    /// a build without the subsystem, so figure outputs stay
+    /// byte-identical.
+    pub collect_spans: bool,
     /// Abort the simulation beyond this simulated time.
     pub max_sim_time_ns: Option<u64>,
     /// Abort beyond this many events.
@@ -121,6 +133,7 @@ impl ExperimentConfig {
             clock_skew_max_ns: 0,
             alias_threshold: 1024,
             collect_trace: true,
+            collect_spans: false,
             max_sim_time_ns: None,
             max_events: None,
             expect_nodes: None,
@@ -244,6 +257,13 @@ pub struct ExperimentResult {
     pub completed: bool,
     /// Fault-injection accounting, present when the plan was active.
     pub fault: Option<FaultReport>,
+    /// Causal steal-protocol spans, when `collect_spans` was set.
+    pub spans: Option<SpanTrace>,
+    /// Engine-level network trace, when `collect_spans` was set.
+    pub net: Option<NetTrace>,
+    /// The placed job (rank → coordinate), kept for offline routing
+    /// analysis of the network trace.
+    pub job: Arc<Job>,
 }
 
 /// What the faults actually did to one run.
@@ -269,6 +289,145 @@ impl ExperimentResult {
             .as_ref()
             .map(|t| OccupancyCurve::from_trace(t, self.makespan.ns()))
     }
+
+    /// Latency histograms distilled from the spans, with the
+    /// message-delivery distribution merged in from the network trace.
+    /// `None` unless the run collected spans.
+    pub fn latency_histograms(&self) -> Option<LatencyHistograms> {
+        let spans = self.spans.as_ref()?;
+        let mut h = spans.histograms();
+        if let Some(net) = &self.net {
+            h.msg_delivery_ns.merge(net.delivery_histogram());
+        }
+        Some(h)
+    }
+
+    /// Route every traced message over its dimension-ordered Tofu path
+    /// and accumulate per-link byte loads. `None` unless the run
+    /// collected spans (the network trace rides with them).
+    pub fn link_load(&self) -> Option<LinkLoad> {
+        let net = self.net.as_ref()?;
+        let mut pairs: Vec<((u32, u32), u64)> = net
+            .pair_tallies()
+            .map(|(&(from, to), tally)| ((from, to), tally.bytes))
+            .collect();
+        pairs.sort_unstable_by_key(|(k, _)| *k);
+        let mut load = LinkLoad::new();
+        for ((from, to), bytes) in pairs {
+            load.add_route(
+                self.job.machine(),
+                self.job.coord_of(from),
+                self.job.coord_of(to),
+                bytes,
+            );
+        }
+        Some(load)
+    }
+
+    /// The full machine-readable run report (`dws run --json`): config
+    /// label, performance summary, per-rank and aggregate steal
+    /// statistics, and — when spans were collected — latency
+    /// histograms, span counts, and the network-level view.
+    pub fn json_report(&self) -> JsonValue {
+        let mut pairs: Vec<(&str, JsonValue)> = vec![
+            ("label", self.label.as_str().into()),
+            ("n_ranks", self.n_ranks.into()),
+            ("makespan_ns", self.makespan.ns().into()),
+            ("t1_ns", self.t1_ns.into()),
+            ("total_nodes", self.total_nodes.into()),
+            ("speedup", self.perf.speedup().into()),
+            ("efficiency", self.perf.efficiency().into()),
+            ("completed", self.completed.into()),
+            (
+                "engine",
+                JsonValue::obj(vec![
+                    ("events", self.report.events.into()),
+                    ("messages", self.report.messages.into()),
+                    ("timers", self.report.timers.into()),
+                    ("halted", self.report.halted.into()),
+                ]),
+            ),
+            ("totals", steal_stats_json(&self.stats.total())),
+            (
+                "per_rank",
+                JsonValue::Arr(self.stats.per_rank.iter().map(steal_stats_json).collect()),
+            ),
+        ];
+        if let Some(h) = self.latency_histograms() {
+            pairs.push(("histograms", histograms_json(&h)));
+        }
+        if let Some(spans) = &self.spans {
+            pairs.push(("span_counts", span_counts_json(spans)));
+        }
+        if let Some(net) = &self.net {
+            let load = self.link_load().expect("net implies link_load");
+            pairs.push((
+                "network",
+                JsonValue::obj(vec![
+                    ("messages", net.messages().into()),
+                    ("links_used", load.links_used().into()),
+                    ("total_link_units", load.total_link_units().into()),
+                    ("hotspot_factor", load.hotspot_factor().into()),
+                ]),
+            ));
+        }
+        if let Some(fault) = &self.fault {
+            pairs.push((
+                "fault",
+                JsonValue::obj(vec![
+                    ("dropped", fault.stats.dropped.into()),
+                    ("duplicated", fault.stats.duplicated.into()),
+                    ("spiked", fault.stats.spiked.into()),
+                    ("brownout_drops", fault.stats.brownout_drops.into()),
+                    (
+                        "crash_lost_deliveries",
+                        fault.stats.crash_lost_deliveries.into(),
+                    ),
+                    ("crash_lost_timers", fault.stats.crash_lost_timers.into()),
+                    (
+                        "crashed_ranks",
+                        JsonValue::Arr(fault.crashed_ranks.iter().map(|&r| r.into()).collect()),
+                    ),
+                    ("lost_frontier_nodes", fault.lost_frontier_nodes.into()),
+                    ("lost_subtree_nodes", fault.lost_subtree_nodes.into()),
+                ]),
+            ));
+        }
+        JsonValue::obj(pairs)
+    }
+
+    /// The Chrome trace-event document for this run (`dws trace`).
+    /// `None` unless the run collected spans.
+    pub fn chrome_trace_json(&self) -> Option<JsonValue> {
+        let spans = self.spans.as_ref()?;
+        Some(chrome_trace(spans, self.trace.as_ref(), self.makespan.ns()))
+    }
+}
+
+fn steal_stats_json(s: &StealStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("steal_attempts", s.steal_attempts.into()),
+        ("steals_ok", s.steals_ok.into()),
+        ("steals_failed", s.steals_failed.into()),
+        ("chunks_received", s.chunks_received.into()),
+        ("nodes_received", s.nodes_received.into()),
+        ("chunks_given", s.chunks_given.into()),
+        ("nodes_given", s.nodes_given.into()),
+        ("search_ns", s.search_ns.into()),
+        ("sessions", s.sessions.into()),
+        ("session_ns", s.session_ns.into()),
+        ("nodes_processed", s.nodes_processed.into()),
+        ("lifeline_dormancies", s.lifeline_dormancies.into()),
+        ("lifeline_pushes", s.lifeline_pushes.into()),
+        ("steal_timeouts", s.steal_timeouts.into()),
+        ("retransmits", s.retransmits.into()),
+        ("dup_replies_dropped", s.dup_replies_dropped.into()),
+        ("stale_replies_dropped", s.stale_replies_dropped.into()),
+        ("late_work_absorbed", s.late_work_absorbed.into()),
+        ("token_regenerations", s.token_regenerations.into()),
+        ("nodes_stranded", s.nodes_stranded.into()),
+        ("nodes_refused", s.nodes_refused.into()),
+    ])
 }
 
 fn to_steal_stats(c: &Counters) -> StealStats {
@@ -352,13 +511,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let workers: Vec<Worker> = (0..n_ranks)
         .map(|me| {
             let selector = cfg.victim.build(&job, me, cfg.alias_threshold);
-            let w = Worker::new(Arc::clone(&sched), me, n_ranks, selector);
+            let mut w = Worker::new(Arc::clone(&sched), me, n_ranks, selector);
             if ft_on {
                 // Timeouts derive from the placed job's latency model.
-                w.with_job(Arc::clone(&job))
-            } else {
-                w
+                w = w.with_job(Arc::clone(&job));
             }
+            if cfg.collect_spans {
+                w = w.with_tracing();
+            }
+            w
         })
         .collect();
     let sim_cfg = SimConfig {
@@ -367,8 +528,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         clock_skew_max_ns: cfg.clock_skew_max_ns,
         fault: cfg.fault_plan.clone(),
     };
-    let mut sim: Simulation<Worker> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network
-    {
+    let mut sim: Simulation<Worker> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network {
         Simulation::new(
             workers,
             crate::network::LinkContendedNetwork::new(
@@ -390,8 +550,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             sim_cfg,
         )
     } else {
-        Simulation::new(workers, JobLatency(job), sim_cfg)
+        Simulation::new(workers, JobLatency(Arc::clone(&job)), sim_cfg)
     };
+    if cfg.collect_spans {
+        sim.attach_net_trace();
+    }
     let report = sim.run_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
     let crashed_ranks = sim.crashed_ranks();
     let is_crashed = |r: usize| crashed_ranks.contains(&(r as u32));
@@ -411,7 +574,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
 
     let makespan = report.end_time;
-    let per_rank: Vec<StealStats> = sim.actors().iter().map(|w| to_steal_stats(&w.counters)).collect();
+    let per_rank: Vec<StealStats> = sim
+        .actors()
+        .iter()
+        .map(|w| to_steal_stats(&w.counters))
+        .collect();
     let stats = RunStats::new(per_rank);
     let total_nodes = stats.nodes_processed();
 
@@ -493,7 +660,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             }
         }
         t.correct_skew(sim.skews_ns());
-        t.check().unwrap_or_else(|e| panic!("scheduler produced a malformed trace: {e}"));
+        t.check()
+            .unwrap_or_else(|e| panic!("scheduler produced a malformed trace: {e}"));
         Some(t)
     } else {
         None
@@ -515,6 +683,14 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     } else {
         None
     };
+    let spans = if cfg.collect_spans {
+        Some(SpanTrace::from_per_rank(
+            sim.actors().iter().map(|w| w.spans().to_vec()).collect(),
+        ))
+    } else {
+        None
+    };
+    let net = sim.net_trace().cloned();
     ExperimentResult {
         label: cfg.label(),
         n_ranks,
@@ -527,6 +703,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         report,
         completed,
         fault,
+        spans,
+        net,
+        job,
     }
 }
 

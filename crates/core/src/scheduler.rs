@@ -41,6 +41,7 @@
 use crate::stack::{Chunk, ChunkedStack};
 use crate::termination::{TerminationState, Token, TokenAction};
 use crate::victim::VictimSelector;
+use dws_metrics::{trace_id, SpanKind, SpanRecord, Tracer};
 use dws_simnet::{Actor, Ctx, Rank};
 use dws_topology::Job;
 use dws_uts::{Node, TreeSpec, Workload, NODE_WIRE_BYTES};
@@ -409,6 +410,12 @@ pub struct Worker {
     watchdog_attempts: u32,
     /// Rank 0: a crash has been observed; termination runs lossy.
     crash_seen: bool,
+    /// Causal span recorder. Off by default: recording is one branch
+    /// and nothing else in the scheduler may depend on it, so the
+    /// event schedule is identical with tracing on or off. Spans are
+    /// recorded at exactly the sites that bump [`Counters`], which is
+    /// what lets `SpanTrace::reconcile` cross-check them exactly.
+    tracer: Tracer,
     /// Statistics counters.
     pub counters: Counters,
 }
@@ -471,9 +478,30 @@ impl Worker {
             absorbed: HashSet::new(),
             watchdog_attempts: 0,
             crash_seen: false,
+            tracer: Tracer::off(),
             counters: Counters::default(),
             cfg,
         }
+    }
+
+    /// Enable causal span recording for this rank (builder style).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Tracer::on();
+        self
+    }
+
+    /// The spans recorded so far (empty unless
+    /// [`with_tracing`](Self::with_tracing) was used).
+    pub fn spans(&self) -> &[SpanRecord] {
+        self.tracer.records()
+    }
+
+    /// Record one span at the current global time (no-op when tracing
+    /// is off).
+    #[inline]
+    fn span(&mut self, ctx: &Ctx<'_, Msg>, trace: u64, kind: SpanKind) {
+        self.tracer
+            .record(ctx.now().ns(), ctx.me() as usize, trace, kind);
     }
 
     /// Attach the topology latency model so fault-tolerance timeouts
@@ -634,6 +662,14 @@ impl Worker {
         } else {
             0
         };
+        self.span(
+            ctx,
+            0,
+            SpanKind::TokenHop {
+                to: next as usize,
+                generation: token.generation as u64,
+            },
+        );
         let msg = Msg::Token { token, seq };
         ctx.send(next, msg.wire_bytes(), msg);
     }
@@ -659,6 +695,15 @@ impl Worker {
             return;
         }
         self.counters.retransmits += 1;
+        self.span(
+            ctx,
+            0,
+            SpanKind::Retransmit {
+                to: to as usize,
+                xfer: seq,
+                attempt: (attempt + 1) as u64,
+            },
+        );
         self.pending_token = Some((seq, to, token, attempt + 1));
         let msg = Msg::Token { token, seq };
         ctx.send(to, msg.wire_bytes(), msg);
@@ -679,8 +724,7 @@ impl Worker {
     /// Lifeline extension: donate one chunk to each registered dormant
     /// buddy, as far as stealable work allows.
     fn serve_lifeline_waiters(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        while !self.lifeline_waiters.is_empty() && self.stack.stealable_chunks() > 0 && !self.done
-        {
+        while !self.lifeline_waiters.is_empty() && self.stack.stealable_chunks() > 0 && !self.done {
             let waiter = self.lifeline_waiters.remove(0);
             if self.ft_on() && ctx.is_crashed(waiter) {
                 // A dead buddy gets nothing; keep the chunk.
@@ -724,10 +768,11 @@ impl Worker {
         let mut expanded = 0u32;
         while expanded < self.cfg.poll_interval {
             let Some(node) = self.stack.pop() else { break };
-            self.cfg
-                .workload
-                .spec
-                .children_into(&node, self.cfg.workload.gen_rounds, &mut self.scratch);
+            self.cfg.workload.spec.children_into(
+                &node,
+                self.cfg.workload.gen_rounds,
+                &mut self.scratch,
+            );
             for child in self.scratch.drain(..) {
                 self.stack.push(child);
             }
@@ -790,6 +835,7 @@ impl Worker {
             let dur = ctx.now().ns().saturating_sub(since);
             self.counters.sessions += 1;
             self.counters.session_ns += dur;
+            self.span(ctx, 0, SpanKind::SessionEnd { dur_ns: dur });
         }
         if !self.traced_active {
             self.trace.push((ctx.local_now().ns(), true));
@@ -826,6 +872,13 @@ impl Worker {
         self.outstanding_seq = seq;
         self.wait_since_ns = Some(ctx.now().ns());
         self.counters.steal_attempts += 1;
+        self.span(
+            ctx,
+            trace_id(ctx.me() as usize, seq),
+            SpanKind::StealRequestSent {
+                victim: victim as usize,
+            },
+        );
         let msg = Msg::StealRequest { seq };
         ctx.send(victim, msg.wire_bytes(), msg);
         if self.ft_on() {
@@ -839,6 +892,16 @@ impl Worker {
     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg) {
         match msg {
             Msg::StealRequest { seq } => {
+                // The thief minted trace_id(from, seq); recomputing it
+                // here links both sides of the attempt with no extra
+                // wire fields.
+                self.span(
+                    ctx,
+                    trace_id(from as usize, seq),
+                    SpanKind::StealRequestRecv {
+                        thief: from as usize,
+                    },
+                );
                 if self.done && self.ft_on() {
                     // Termination gossip: the requester evidently missed
                     // the Done broadcast (dropped); repeat it instead of
@@ -847,7 +910,11 @@ impl Worker {
                     return;
                 }
                 let want = self.cfg.steal.want(self.stack.stealable_chunks());
-                let chunks = if self.done { Vec::new() } else { self.stack.steal_chunks(want) };
+                let chunks = if self.done {
+                    Vec::new()
+                } else {
+                    self.stack.steal_chunks(want)
+                };
                 let mut xfer = 0;
                 if !chunks.is_empty() {
                     let nodes: usize = chunks.iter().map(|c| c.len()).sum();
@@ -859,6 +926,15 @@ impl Worker {
                     self.term.on_work_sent();
                     xfer = self.track_transfer(ctx, from, &chunks);
                 }
+                let reply_nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                self.span(
+                    ctx,
+                    trace_id(from as usize, seq),
+                    SpanKind::StealReplySent {
+                        thief: from as usize,
+                        nodes: reply_nodes as u64,
+                    },
+                );
                 let reply = Msg::StealReply { seq, xfer, chunks };
                 ctx.send_delayed(from, reply.wire_bytes(), self.service_offset_ns, reply);
             }
@@ -874,15 +950,27 @@ impl Worker {
                 debug_assert_eq!(self.outstanding, Some(from), "unexpected steal reply");
                 self.outstanding = None;
                 self.consecutive_timeouts = 0;
+                let mut rtt_ns = 0;
                 if let Some(sent) = self.wait_since_ns.take() {
-                    self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+                    rtt_ns = ctx.now().ns().saturating_sub(sent);
+                    self.counters.search_ns += rtt_ns;
                 }
+                let attempt_id = trace_id(ctx.me() as usize, seq);
                 if self.ft_on() && !chunks.is_empty() {
                     if self.absorbed.contains(&(from, xfer)) {
                         // The retransmission already delivered this
                         // transfer; count the attempt as served.
                         self.counters.steals_ok += 1;
                         self.counters.dup_replies_dropped += 1;
+                        self.span(
+                            ctx,
+                            attempt_id,
+                            SpanKind::StealOk {
+                                victim: from as usize,
+                                rtt_ns,
+                                nodes: 0,
+                            },
+                        );
                         let ack = Msg::StealAck { xfer };
                         ctx.send(from, ack.wire_bytes(), ack);
                         return;
@@ -904,6 +992,14 @@ impl Worker {
                 if chunks.is_empty() {
                     self.counters.steals_failed += 1;
                     self.consecutive_fails += 1;
+                    self.span(
+                        ctx,
+                        attempt_id,
+                        SpanKind::StealEmpty {
+                            victim: from as usize,
+                            rtt_ns,
+                        },
+                    );
                     // Only keep hunting if we are still actually idle —
                     // a lifeline push may have reactivated us while
                     // this reply was in flight.
@@ -926,8 +1022,7 @@ impl Worker {
                                     // Registrations can be dropped;
                                     // re-register on a generous backoff.
                                     let buddy = self.lifelines[0];
-                                    let delay =
-                                        self.retransmit_delay_ns(ctx.me(), buddy, 2);
+                                    let delay = self.retransmit_delay_ns(ctx.me(), buddy, 2);
                                     ctx.set_timer(delay, TIMER_RETRY);
                                 }
                                 return;
@@ -941,6 +1036,16 @@ impl Worker {
                     }
                 } else {
                     self.counters.steals_ok += 1;
+                    let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                    self.span(
+                        ctx,
+                        attempt_id,
+                        SpanKind::StealOk {
+                            victim: from as usize,
+                            rtt_ns,
+                            nodes: nodes as u64,
+                        },
+                    );
                     if self.done {
                         // Termination was announced while work was in
                         // flight toward us — cannot happen with a sound
@@ -959,6 +1064,14 @@ impl Worker {
             Msg::StealAck { xfer } => {
                 if let Some(pos) = self.unacked.iter().position(|(x, ..)| *x == xfer) {
                     self.unacked.swap_remove(pos);
+                    self.span(
+                        ctx,
+                        0,
+                        SpanKind::TransferAcked {
+                            thief: from as usize,
+                            xfer,
+                        },
+                    );
                     self.maybe_became_passive(ctx);
                 }
             }
@@ -1110,15 +1223,26 @@ impl Worker {
             let dur = ctx.now().ns().saturating_sub(since);
             self.counters.sessions += 1;
             self.counters.session_ns += dur;
+            self.span(ctx, 0, SpanKind::SessionEnd { dur_ns: dur });
         }
-        if self.ft_on() && self.outstanding.take().is_some() {
-            // A request still in flight at termination will never be
-            // served; charge it as failed so attempts stay balanced.
-            self.counters.steals_failed += 1;
-            if let Some(sent) = self.wait_since_ns.take() {
-                self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+        if self.ft_on() {
+            if let Some(victim) = self.outstanding.take() {
+                // A request still in flight at termination will never be
+                // served; charge it as failed so attempts stay balanced.
+                self.counters.steals_failed += 1;
+                self.span(
+                    ctx,
+                    trace_id(ctx.me() as usize, self.outstanding_seq),
+                    SpanKind::StealAbandoned {
+                        victim: victim as usize,
+                    },
+                );
+                if let Some(sent) = self.wait_since_ns.take() {
+                    self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
+                }
             }
         }
+        self.span(ctx, 0, SpanKind::Done);
         assert!(
             self.stack.is_empty(),
             "rank {} terminated with {} nodes unprocessed",
@@ -1133,10 +1257,19 @@ impl Worker {
         if self.done || self.outstanding.is_none() || self.outstanding_seq != seq {
             return; // the reply beat the timer, or a newer request is out
         }
+        let victim = self.outstanding.expect("checked above");
         self.counters.steal_timeouts += 1;
         self.counters.steals_failed += 1;
         self.consecutive_timeouts += 1;
         self.consecutive_fails += 1;
+        self.span(
+            ctx,
+            trace_id(ctx.me() as usize, seq),
+            SpanKind::StealTimeout {
+                victim: victim as usize,
+                backoff_doublings: self.consecutive_timeouts as u64,
+            },
+        );
         self.outstanding = None;
         if let Some(sent) = self.wait_since_ns.take() {
             self.counters.search_ns += ctx.now().ns().saturating_sub(sent);
@@ -1164,6 +1297,15 @@ impl Worker {
         self.unacked[pos].3 += 1;
         let attempt = self.unacked[pos].3;
         self.counters.retransmits += 1;
+        self.span(
+            ctx,
+            0,
+            SpanKind::Retransmit {
+                to: to as usize,
+                xfer,
+                attempt: attempt as u64,
+            },
+        );
         let chunks = self.unacked[pos].2.clone();
         let msg = Msg::StealReply {
             seq: u64::MAX,
@@ -1190,6 +1332,13 @@ impl Worker {
         self.refresh_lossy(ctx);
         let token = self.term.regenerate_probe();
         self.counters.token_regenerations += 1;
+        self.span(
+            ctx,
+            0,
+            SpanKind::TokenRegenerated {
+                generation: token.generation as u64,
+            },
+        );
         self.watchdog_attempts += 1;
         self.forward_token(ctx, token);
         if !self.done {
@@ -1229,7 +1378,8 @@ impl Actor for Worker {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if ctx.me() == 0 {
-            self.stack.push(self.cfg.workload.spec.root(self.cfg.workload.seed));
+            self.stack
+                .push(self.cfg.workload.spec.root(self.cfg.workload.seed));
             self.trace.push((ctx.local_now().ns(), true));
             self.traced_active = true;
             self.start_batch(ctx);
@@ -1309,12 +1459,8 @@ impl Actor for Worker {
             other => match other >> 56 {
                 TIMER_CLASS_STEAL_TIMEOUT => self.on_steal_timeout(ctx, other & TIMER_ID_MASK),
                 TIMER_CLASS_RETRANSMIT => self.on_retransmit_timer(ctx, other & TIMER_ID_MASK),
-                TIMER_CLASS_WATCHDOG => {
-                    self.on_watchdog_timer(ctx, (other & TIMER_ID_MASK) as u32)
-                }
-                TIMER_CLASS_TOKEN_RETX => {
-                    self.on_token_retx_timer(ctx, other & TIMER_ID_MASK)
-                }
+                TIMER_CLASS_WATCHDOG => self.on_watchdog_timer(ctx, (other & TIMER_ID_MASK) as u32),
+                TIMER_CLASS_TOKEN_RETX => self.on_token_retx_timer(ctx, other & TIMER_ID_MASK),
                 _ => unreachable!("unknown timer token {other}"),
             },
         }

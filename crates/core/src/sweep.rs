@@ -55,7 +55,11 @@ impl Sweep {
             workload,
             ranks,
             strategies: vec![
-                ("Reference".into(), VictimPolicy::RoundRobin, StealAmount::OneChunk),
+                (
+                    "Reference".into(),
+                    VictimPolicy::RoundRobin,
+                    StealAmount::OneChunk,
+                ),
                 ("Rand".into(), VictimPolicy::Uniform, StealAmount::OneChunk),
                 (
                     "Tofu Half".into(),

@@ -375,7 +375,7 @@ mod tests {
             let n = 2 + rng.next_below(6) as u32;
             let mut states = ring(n);
             let mut in_flight: Vec<u32> = Vec::new(); // destination ranks
-            // Random activity phase.
+                                                      // Random activity phase.
             for _ in 0..rng.next_below(40) {
                 match rng.next_below(3) {
                     0 => {

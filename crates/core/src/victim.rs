@@ -453,8 +453,14 @@ mod tests {
         assert_eq!(VictimPolicy::RoundRobin.label(), "Reference");
         assert_eq!(VictimPolicy::Uniform.label(), "Rand");
         assert_eq!(VictimPolicy::DistanceSkewed { alpha: 1.0 }.label(), "Tofu");
-        assert_eq!(VictimPolicy::LatencySkewed { alpha: 1.0 }.label(), "LatSkew");
-        assert_eq!(VictimPolicy::Hierarchical { local_tries: 3 }.label(), "Hier");
+        assert_eq!(
+            VictimPolicy::LatencySkewed { alpha: 1.0 }.label(),
+            "LatSkew"
+        );
+        assert_eq!(
+            VictimPolicy::Hierarchical { local_tries: 3 }.label(),
+            "Hier"
+        );
     }
 
     #[test]
@@ -508,7 +514,11 @@ mod tests {
             assert_ne!(v, 2);
             seen[v as usize] = true;
         }
-        assert_eq!(seen.iter().filter(|&&s| s).count(), 7, "all others reachable");
+        assert_eq!(
+            seen.iter().filter(|&&s| s).count(),
+            7,
+            "all others reachable"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Behavioural tests of the per-rank scheduler through small, fully
 //! controlled simulations.
 
-use dws_core::{
-    run_experiment, ExperimentConfig, Msg, StealAmount, VictimPolicy,
-};
+use dws_core::{run_experiment, ExperimentConfig, Msg, StealAmount, VictimPolicy};
 use dws_uts::{TreeSpec, Workload};
 
 fn workload(b0: u32, q: f64) -> Workload {
@@ -47,7 +45,10 @@ fn wire_sizes_scale_with_payload() {
         chunks: vec![vec![node; 20]],
     };
     assert!(full.wire_bytes() > empty.wire_bytes());
-    assert_eq!(full.wire_bytes() - empty.wire_bytes(), 20 * dws_uts::NODE_WIRE_BYTES);
+    assert_eq!(
+        full.wire_bytes() - empty.wire_bytes(),
+        20 * dws_uts::NODE_WIRE_BYTES
+    );
     assert!(Msg::StealRequest { seq: 0 }.wire_bytes() < 64);
 }
 
@@ -60,7 +61,10 @@ fn two_rank_run_moves_work_and_finishes() {
     let r = run_experiment(&cfg);
     assert!(r.completed);
     let s = &r.stats.per_rank;
-    assert!(s[1].nodes_received > 0, "rank 1 must obtain work by stealing");
+    assert!(
+        s[1].nodes_received > 0,
+        "rank 1 must obtain work by stealing"
+    );
     assert!(s[0].nodes_given > 0);
     assert_eq!(s[0].nodes_processed + s[1].nodes_processed, seq);
 }
@@ -246,7 +250,11 @@ fn config_validation_catches_mistakes() {
     c.jitter = -1.0;
     assert!(c.validate().is_err());
     let mut c = base();
-    c.workload.spec = TreeSpec::Binomial { b0: 0, m: 2, q: 0.5 };
+    c.workload.spec = TreeSpec::Binomial {
+        b0: 0,
+        m: 2,
+        q: 0.5,
+    };
     assert!(c.validate().is_err());
 }
 

@@ -1,0 +1,923 @@
+//! Machine-readable exporters: a dependency-free JSON tree, a Chrome
+//! trace-event writer, and histogram/link-matrix serializers.
+//!
+//! The workspace carries no external crates, so JSON is hand-rolled: a
+//! small [`JsonValue`] tree with an escaping writer and a
+//! recursive-descent [`parse`] — the parser exists so tests (and
+//! downstream tools) can validate what the writer produced without a
+//! serde dependency.
+//!
+//! The Chrome exporter targets the [trace-event format] consumed by
+//! `chrome://tracing` and Perfetto: one thread track per rank carrying
+//! `B`/`E` "working" phases from the activity trace, async `b`/`e`
+//! pairs per steal attempt keyed by trace ID, and `i` instants for
+//! protocol recovery events (timeouts, retransmits, token
+//! regenerations).
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::histogram::{Histogram, LatencyHistograms};
+use crate::span::{SpanKind, SpanTrace};
+use crate::trace::ActivityTrace;
+use std::fmt;
+
+/// A JSON document tree. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Look up a member of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_num().filter(|n| *n >= 0.0).map(|n| n as u64)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) if n.is_finite() => write!(f, "{n}"),
+            JsonValue::Num(_) => f.write_str("null"),
+            JsonValue::Str(s) => write_escaped(f, s),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Parse a JSON document. Returns the root value or a positioned error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        b: input.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{lit}' at offset {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at offset {}", c as char, self.i)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let cp = self.hex4()?;
+                            // Decode a surrogate pair if one follows;
+                            // otherwise accept the BMP code point.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.b[self.i..].starts_with(b"\\u") {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xd800) << 10)
+                                        + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("bad unicode escape near offset {}", self.i)
+                            })?);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.i + 4 > self.b.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.b[self.i..self.i + 4]).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(text, 16)
+            .map_err(|_| format!("bad \\u escape at offset {}", self.i))?;
+        self.i += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Serialize one histogram: summary statistics plus non-empty buckets.
+pub fn histogram_json(h: &Histogram) -> JsonValue {
+    JsonValue::obj(vec![
+        ("count", h.count().into()),
+        ("sum", JsonValue::Num(h.sum() as f64)),
+        ("min", h.min().into()),
+        ("max", h.max().into()),
+        ("mean", h.mean().into()),
+        ("p50", h.p50().into()),
+        ("p90", h.p90().into()),
+        ("p99", h.p99().into()),
+        (
+            "buckets",
+            JsonValue::Arr(
+                h.buckets()
+                    .into_iter()
+                    .map(|(lo, hi, c)| JsonValue::Arr(vec![lo.into(), hi.into(), c.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialize the full set of run histograms, keyed by metric name.
+pub fn histograms_json(h: &LatencyHistograms) -> JsonValue {
+    JsonValue::Obj(
+        h.named()
+            .iter()
+            .map(|(name, hist)| (name.to_string(), histogram_json(hist)))
+            .collect(),
+    )
+}
+
+/// Serialize a per-link load matrix: `links` maps a printable link
+/// label (e.g. `"(1,0,0,0,0,0)+x"`) to traffic units routed over it.
+pub fn link_matrix_json(links: &[(String, u64)], hotspot_factor: f64) -> JsonValue {
+    let total: u64 = links.iter().map(|(_, u)| u).sum();
+    JsonValue::obj(vec![
+        ("links_used", links.len().into()),
+        ("total_link_units", total.into()),
+        ("hotspot_factor", hotspot_factor.into()),
+        (
+            "links",
+            JsonValue::Arr(
+                links
+                    .iter()
+                    .map(|(label, units)| {
+                        JsonValue::obj(vec![
+                            ("link", label.as_str().into()),
+                            ("units", (*units).into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Predicate selecting one span kind.
+type KindPred = fn(&SpanKind) -> bool;
+
+/// Span counts per kind — the machine-readable reconciliation surface.
+pub fn span_counts_json(spans: &SpanTrace) -> JsonValue {
+    let kinds: [(&str, KindPred); 13] = [
+        ("steal_request_sent", |k| {
+            matches!(k, SpanKind::StealRequestSent { .. })
+        }),
+        ("steal_request_recv", |k| {
+            matches!(k, SpanKind::StealRequestRecv { .. })
+        }),
+        ("steal_reply_sent", |k| {
+            matches!(k, SpanKind::StealReplySent { .. })
+        }),
+        ("steal_ok", |k| matches!(k, SpanKind::StealOk { .. })),
+        ("steal_empty", |k| matches!(k, SpanKind::StealEmpty { .. })),
+        ("steal_timeout", |k| {
+            matches!(k, SpanKind::StealTimeout { .. })
+        }),
+        ("steal_abandoned", |k| {
+            matches!(k, SpanKind::StealAbandoned { .. })
+        }),
+        ("transfer_acked", |k| {
+            matches!(k, SpanKind::TransferAcked { .. })
+        }),
+        ("retransmit", |k| matches!(k, SpanKind::Retransmit { .. })),
+        ("token_hop", |k| matches!(k, SpanKind::TokenHop { .. })),
+        ("token_regenerated", |k| {
+            matches!(k, SpanKind::TokenRegenerated { .. })
+        }),
+        ("session_end", |k| matches!(k, SpanKind::SessionEnd { .. })),
+        ("done", |k| matches!(k, SpanKind::Done)),
+    ];
+    JsonValue::Obj(
+        kinds
+            .iter()
+            .map(|(name, pred)| (name.to_string(), spans.count(pred).into()))
+            .collect(),
+    )
+}
+
+/// Microseconds for a Chrome trace `ts` field.
+fn us(ns: u64) -> JsonValue {
+    JsonValue::Num(ns as f64 / 1000.0)
+}
+
+fn event(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts_ns: u64,
+    rank: usize,
+    extra: Vec<(&str, JsonValue)>,
+) -> JsonValue {
+    let mut pairs = vec![
+        ("name", JsonValue::from(name)),
+        ("cat", JsonValue::from(cat)),
+        ("ph", JsonValue::from(ph)),
+        ("ts", us(ts_ns)),
+        ("pid", JsonValue::from(0u64)),
+        ("tid", JsonValue::from(rank)),
+    ];
+    pairs.extend(extra);
+    JsonValue::obj(pairs)
+}
+
+fn async_extra(trace: u64) -> (&'static str, JsonValue) {
+    // Chrome matches async b/e events on (cat, id); a hex string id
+    // sidesteps f64 precision limits on wide trace IDs.
+    ("id", JsonValue::Str(format!("{trace:x}")))
+}
+
+fn outcome_args(outcome: &str) -> (&'static str, JsonValue) {
+    ("args", JsonValue::obj(vec![("outcome", outcome.into())]))
+}
+
+/// Export a run as Chrome trace-event JSON, loadable in
+/// `chrome://tracing` or Perfetto.
+///
+/// One thread track per rank: `B`/`E` "working" phases come from the
+/// (skew-corrected) `activity` trace, with any phase still open at
+/// `makespan_ns` closed there; steal attempts appear as async `b`/`e`
+/// pairs matched on the attempt's trace ID (attempts left open by a
+/// crash close at `makespan_ns` with outcome `"unresolved"`); protocol
+/// recovery shows up as `i` instants.
+pub fn chrome_trace(
+    spans: &SpanTrace,
+    activity: Option<&ActivityTrace>,
+    makespan_ns: u64,
+) -> JsonValue {
+    let mut events: Vec<(u64, JsonValue)> = Vec::new();
+    let n_ranks = activity
+        .map(|a| a.n_ranks() as usize)
+        .unwrap_or(0)
+        .max(spans.n_ranks());
+
+    // Track-naming metadata so the viewer shows "rank N", not "tid N".
+    for rank in 0..n_ranks {
+        events.push((
+            0,
+            event(
+                "thread_name",
+                "__metadata",
+                "M",
+                0,
+                rank,
+                vec![(
+                    "args",
+                    JsonValue::obj(vec![("name", format!("rank {rank}").into())]),
+                )],
+            ),
+        ));
+    }
+
+    // Working phases from the activity trace.
+    if let Some(trace) = activity {
+        let sorted = trace.sorted();
+        let mut open: Vec<bool> = vec![false; trace.n_ranks() as usize];
+        for t in sorted.transitions() {
+            let rank = t.rank as usize;
+            if t.active && !open[rank] {
+                events.push((
+                    t.at_ns,
+                    event("working", "activity", "B", t.at_ns, rank, vec![]),
+                ));
+                open[rank] = true;
+            } else if !t.active && open[rank] {
+                events.push((
+                    t.at_ns,
+                    event("working", "activity", "E", t.at_ns, rank, vec![]),
+                ));
+                open[rank] = false;
+            }
+        }
+        for (rank, is_open) in open.iter().enumerate() {
+            if *is_open {
+                events.push((
+                    makespan_ns,
+                    event("working", "activity", "E", makespan_ns, rank, vec![]),
+                ));
+            }
+        }
+    }
+
+    // Steal attempts as async pairs; recovery machinery as instants.
+    let mut open_attempts: Vec<(usize, u64)> = Vec::new();
+    for r in spans.records() {
+        match r.kind {
+            SpanKind::StealRequestSent { victim } => {
+                open_attempts.push((r.rank, r.trace));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal",
+                        "steal",
+                        "b",
+                        r.at_ns,
+                        r.rank,
+                        vec![
+                            async_extra(r.trace),
+                            ("args", JsonValue::obj(vec![("victim", victim.into())])),
+                        ],
+                    ),
+                ));
+            }
+            SpanKind::StealOk { nodes, .. } => {
+                open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal",
+                        "steal",
+                        "e",
+                        r.at_ns,
+                        r.rank,
+                        vec![
+                            async_extra(r.trace),
+                            (
+                                "args",
+                                JsonValue::obj(vec![
+                                    ("outcome", "ok".into()),
+                                    ("nodes", nodes.into()),
+                                ]),
+                            ),
+                        ],
+                    ),
+                ));
+            }
+            SpanKind::StealEmpty { .. } => {
+                open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal",
+                        "steal",
+                        "e",
+                        r.at_ns,
+                        r.rank,
+                        vec![async_extra(r.trace), outcome_args("empty")],
+                    ),
+                ));
+            }
+            SpanKind::StealTimeout { .. } => {
+                open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal",
+                        "steal",
+                        "e",
+                        r.at_ns,
+                        r.rank,
+                        vec![async_extra(r.trace), outcome_args("timeout")],
+                    ),
+                ));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal timeout",
+                        "recovery",
+                        "i",
+                        r.at_ns,
+                        r.rank,
+                        vec![("s", "t".into())],
+                    ),
+                ));
+            }
+            SpanKind::StealAbandoned { .. } => {
+                open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
+                events.push((
+                    r.at_ns,
+                    event(
+                        "steal",
+                        "steal",
+                        "e",
+                        r.at_ns,
+                        r.rank,
+                        vec![async_extra(r.trace), outcome_args("abandoned")],
+                    ),
+                ));
+            }
+            SpanKind::StealRequestRecv { .. } | SpanKind::StealReplySent { .. } => {
+                events.push((
+                    r.at_ns,
+                    event(
+                        "service",
+                        "steal",
+                        "n",
+                        r.at_ns,
+                        r.rank,
+                        vec![async_extra(r.trace)],
+                    ),
+                ));
+            }
+            SpanKind::Retransmit { .. } => {
+                events.push((
+                    r.at_ns,
+                    event(
+                        "retransmit",
+                        "recovery",
+                        "i",
+                        r.at_ns,
+                        r.rank,
+                        vec![("s", "t".into())],
+                    ),
+                ));
+            }
+            SpanKind::TokenRegenerated { .. } => {
+                events.push((
+                    r.at_ns,
+                    event(
+                        "token regenerated",
+                        "recovery",
+                        "i",
+                        r.at_ns,
+                        r.rank,
+                        vec![("s", "t".into())],
+                    ),
+                ));
+            }
+            SpanKind::TransferAcked { .. }
+            | SpanKind::TokenHop { .. }
+            | SpanKind::SessionEnd { .. }
+            | SpanKind::Done => {}
+        }
+    }
+    // Attempts a crash left open: close them so every b has an e.
+    for (rank, trace) in open_attempts {
+        events.push((
+            makespan_ns,
+            event(
+                "steal",
+                "steal",
+                "e",
+                makespan_ns,
+                rank,
+                vec![async_extra(trace), outcome_args("unresolved")],
+            ),
+        ));
+    }
+
+    events.sort_by_key(|&(ts, _)| ts);
+    JsonValue::obj(vec![
+        (
+            "traceEvents",
+            JsonValue::Arr(events.into_iter().map(|(_, e)| e).collect()),
+        ),
+        ("displayTimeUnit", "ns".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{trace_id, SpanRecord};
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = JsonValue::obj(vec![
+            ("name", "he said \"hi\"\n".into()),
+            ("n", JsonValue::Num(42.5)),
+            ("neg", JsonValue::Num(-3.0)),
+            ("flag", true.into()),
+            ("nothing", JsonValue::Null),
+            (
+                "arr",
+                JsonValue::Arr(vec![1u64.into(), "two".into(), JsonValue::Arr(vec![])]),
+            ),
+            ("empty_obj", JsonValue::Obj(vec![])),
+        ]);
+        let text = doc.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("n").unwrap().as_num(), Some(42.5));
+        assert_eq!(back.get("name").unwrap().as_str(), Some("he said \"hi\"\n"));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let v = parse(" { \"a\" : [ 1 , 2.5e1 , \"\\u0041\\t\" ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_num(), Some(25.0));
+        assert_eq!(arr[2].as_str(), Some("A\t"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn histogram_json_totals_match() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let j = histogram_json(&h);
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(4));
+        let buckets = j.get("buckets").unwrap().as_arr().unwrap();
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.as_arr().unwrap()[2].as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 4);
+        // And it survives a writer→parser round trip.
+        parse(&j.to_string()).unwrap();
+    }
+
+    fn sample_spans() -> SpanTrace {
+        let id = trace_id(0, 0);
+        SpanTrace::from_per_rank(vec![
+            vec![
+                SpanRecord {
+                    at_ns: 100,
+                    rank: 0,
+                    trace: id,
+                    kind: SpanKind::StealRequestSent { victim: 1 },
+                },
+                SpanRecord {
+                    at_ns: 900,
+                    rank: 0,
+                    trace: id,
+                    kind: SpanKind::StealOk {
+                        victim: 1,
+                        rtt_ns: 800,
+                        nodes: 4,
+                    },
+                },
+            ],
+            vec![SpanRecord {
+                at_ns: 500,
+                rank: 1,
+                trace: id,
+                kind: SpanKind::StealRequestRecv { thief: 0 },
+            }],
+        ])
+    }
+
+    #[test]
+    fn chrome_trace_pairs_async_events() {
+        let mut activity = ActivityTrace::new(2);
+        activity.record(0, 0, true);
+        activity.record(1, 200, true);
+        activity.record(0, 1000, false);
+        // rank 1 still active at makespan: must be closed by exporter.
+        let doc = chrome_trace(&sample_spans(), Some(&activity), 1500);
+        let text = doc.to_string();
+        let parsed = parse(&text).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let count_ph = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .count()
+        };
+        assert_eq!(count_ph("B"), 2);
+        assert_eq!(count_ph("E"), 2);
+        assert_eq!(count_ph("b"), 1);
+        assert_eq!(count_ph("e"), 1);
+        assert_eq!(count_ph("n"), 1);
+        assert_eq!(count_ph("M"), 2);
+    }
+
+    #[test]
+    fn chrome_trace_closes_attempts_left_open() {
+        let spans = SpanTrace::from_per_rank(vec![vec![SpanRecord {
+            at_ns: 100,
+            rank: 0,
+            trace: trace_id(0, 0),
+            kind: SpanKind::StealRequestSent { victim: 1 },
+        }]]);
+        let doc = chrome_trace(&spans, None, 1000);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let closes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("e"))
+            .collect();
+        assert_eq!(closes.len(), 1);
+        assert_eq!(
+            closes[0]
+                .get("args")
+                .and_then(|a| a.get("outcome"))
+                .and_then(|o| o.as_str()),
+            Some("unresolved")
+        );
+    }
+
+    #[test]
+    fn link_matrix_reports_totals() {
+        let links = vec![
+            ("(0,0,0,0,0,0)+x".to_string(), 7u64),
+            ("(1,0,0,0,0,0)+y".to_string(), 3),
+        ];
+        let j = link_matrix_json(&links, 2.1);
+        assert_eq!(j.get("links_used").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("total_link_units").unwrap().as_u64(), Some(10));
+        parse(&j.to_string()).unwrap();
+    }
+
+    #[test]
+    fn span_counts_cover_every_kind_recorded() {
+        let j = span_counts_json(&sample_spans());
+        assert_eq!(j.get("steal_request_sent").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("steal_ok").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("steal_request_recv").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("steal_empty").unwrap().as_u64(), Some(0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Log-bucketed latency histograms.
+//!
+//! Gast et al. ("A new analysis of Work Stealing with latency",
+//! arXiv:1805.00857) argue that per-request latency *distributions*,
+//! not means, explain steal performance: a protocol whose p99 steal
+//! round trip is 50× its p50 behaves nothing like one with a tight
+//! distribution of the same mean. This module provides the fixed-size
+//! power-of-two-bucketed histogram the tracing layer aggregates into:
+//! recording is two array ops (no allocation, no floating point), so
+//! it is cheap enough to sit on the simulator's per-message path.
+//!
+//! Quantiles are bucket-resolved: `quantile(q)` returns the inclusive
+//! upper bound of the bucket holding the q-th sample (clamped to the
+//! observed maximum), which over-estimates by at most 2× — plenty for
+//! the order-of-magnitude comparisons latency work calls for.
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds the value 0; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a sample.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[inline]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket-resolved `q`-quantile (`q` in `[0, 1]`): the upper
+    /// bound of the bucket containing the `ceil(q·count)`-th smallest
+    /// sample, clamped to the observed maximum. Returns 0 when empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolved).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket-resolved).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket-resolved).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` rows,
+    /// ascending — the machine-readable shape of the distribution.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (lo, bucket_hi(i), c)
+            })
+            .collect()
+    }
+}
+
+/// The latency distributions one traced run yields, keyed to the
+/// protocol phases the paper's figures reason about.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistograms {
+    /// Steal round trip: request sent → reply received (work or not),
+    /// in nanoseconds. Timed-out requests never contribute — their
+    /// latency is the timeout itself, visible in `backoff_doublings`.
+    pub steal_rtt_ns: Histogram,
+    /// Network delivery latency per message (send → arrival), in
+    /// nanoseconds, as scheduled by the engine — includes FIFO
+    /// pushback, contention, jitter and injected spikes.
+    pub msg_delivery_ns: Histogram,
+    /// Exponential-backoff depth at each steal-request timeout (1 =
+    /// first consecutive timeout). Dimensionless.
+    pub backoff_doublings: Histogram,
+    /// Work-discovery session duration in nanoseconds (paper §V-A,
+    /// Figure 10).
+    pub session_ns: Histogram,
+}
+
+impl LatencyHistograms {
+    /// Named views of every histogram, for uniform export.
+    pub fn named(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("steal_rtt_ns", &self.steal_rtt_ns),
+            ("msg_delivery_ns", &self.msg_delivery_ns),
+            ("backoff_doublings", &self.backoff_doublings),
+            ("session_ns", &self.session_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_hi(0), 0);
+        assert_eq!(bucket_hi(1), 1);
+        assert_eq!(bucket_hi(2), 3);
+        assert_eq!(bucket_hi(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(1_000_000); // bucket [2^19, 2^20-1]
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p90(), 15);
+        // The 100th sample is the millionth-ns outlier; its bucket's
+        // upper bound clamps to the observed max.
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.p99(), 15);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.sum(), 112);
+    }
+
+    #[test]
+    fn buckets_report_nonempty_rows() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(9);
+        h.record(12);
+        let rows = h.buckets();
+        assert_eq!(rows, vec![(0, 0, 1), (8, 15, 2)]);
+        let total: u64 = rows.iter().map(|r| r.2).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_fraction() {
+        Histogram::new().quantile(1.5);
+    }
+}

@@ -10,6 +10,13 @@
 //!   starting/ending latencies `SL(x)` / `EL(x)` of §III;
 //! - [`steal_stats`] — failed steals, search time, and work-discovery
 //!   sessions (§V-A);
+//! - [`span`] — causal per-steal-attempt tracing with a
+//!   zero-cost-when-disabled [`Tracer`] hook;
+//! - [`histogram`] — log-bucketed latency histograms (p50/p90/p99/max)
+//!   for steal round trips, message delivery, backoff depth and
+//!   session durations;
+//! - [`export`] — dependency-free JSON, Chrome trace-event output and
+//!   machine-readable run reports;
 //! - [`report`] — efficiency/speedup math, text tables, CSV output and
 //!   terminal ASCII charts for regenerating the paper's figures.
 //!
@@ -30,15 +37,21 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod histogram;
 pub mod lifestory;
 pub mod occupancy;
 pub mod report;
+pub mod span;
 pub mod steal_stats;
 pub mod summary;
 pub mod trace;
 
+pub use export::JsonValue;
+pub use histogram::{Histogram, LatencyHistograms};
 pub use occupancy::OccupancyCurve;
 pub use report::{ascii_chart, render_table, write_csv, Perf};
+pub use span::{trace_id, SpanKind, SpanRecord, SpanTrace, Tracer};
 pub use steal_stats::{RunStats, StealStats};
 pub use summary::Summary;
-pub use trace::{ActivityTrace, Transition};
+pub use trace::{ActivityTrace, SortedTrace, Transition};

@@ -15,7 +15,7 @@
 //! processes have work happens 5% of the execution time after beginning
 //! has SL(10%) = 5%".
 
-use crate::trace::ActivityTrace;
+use crate::trace::{ActivityTrace, SortedTrace};
 
 /// The `workers(t)` step function of one run.
 #[derive(Debug, Clone)]
@@ -31,23 +31,44 @@ pub struct OccupancyCurve {
 impl OccupancyCurve {
     /// Build the curve from a trace and the run's total duration.
     ///
+    /// Sorts internally; when busy-time accounting is also needed,
+    /// sort once with [`ActivityTrace::sorted`] and use
+    /// [`from_sorted`](Self::from_sorted) instead.
+    ///
     /// # Panics
     /// Panics if the trace fails validation ([`ActivityTrace::check`]).
     pub fn from_trace(trace: &ActivityTrace, total_ns: u64) -> Self {
         trace
             .check()
             .unwrap_or_else(|e| panic!("invalid activity trace: {e}"));
-        let mut deltas: Vec<(u64, i32)> = trace
-            .transitions()
-            .iter()
-            .map(|t| (t.at_ns, if t.active { 1 } else { -1 }))
-            .collect();
-        deltas.sort_by_key(|&(t, d)| (t, -d));
-        let mut steps = Vec::with_capacity(deltas.len() + 1);
+        Self::from_sorted(&trace.sorted(), total_ns)
+    }
+
+    /// Build the curve from an already-sorted trace, sharing the one
+    /// sorted pass with [`SortedTrace::busy_ns_per_rank`]. The caller
+    /// is responsible for having validated the underlying trace
+    /// ([`ActivityTrace::check`]); [`from_trace`](Self::from_trace)
+    /// does both.
+    ///
+    /// Same-timestamp transitions are netted before the step is
+    /// emitted, so only the settled worker count at each instant is
+    /// recorded regardless of within-timestamp ordering.
+    pub fn from_sorted(sorted: &SortedTrace, total_ns: u64) -> Self {
+        let transitions = sorted.transitions();
+        let mut steps = Vec::with_capacity(transitions.len() + 1);
         steps.push((0u64, 0u32));
         let mut current: i64 = 0;
-        for (t, d) in deltas {
-            current += d as i64;
+        let mut i = 0;
+        while i < transitions.len() {
+            let t = transitions[i].at_ns;
+            // Net all deltas at this instant so an idle→active swap at
+            // the same nanosecond never shows a transient dip.
+            let mut delta: i64 = 0;
+            while i < transitions.len() && transitions[i].at_ns == t {
+                delta += if transitions[i].active { 1 } else { -1 };
+                i += 1;
+            }
+            current += delta;
             debug_assert!(current >= 0, "negative worker count at {t}");
             let w = current.max(0) as u32;
             match steps.last_mut() {
@@ -57,7 +78,7 @@ impl OccupancyCurve {
         }
         Self {
             steps,
-            n_ranks: trace.n_ranks(),
+            n_ranks: sorted.n_ranks(),
             total_ns,
         }
     }
@@ -108,7 +129,10 @@ impl OccupancyCurve {
     /// in nanoseconds; `None` if it never does.
     pub fn first_reach_ns(&self, x: f64) -> Option<u64> {
         let need = self.required_workers(x);
-        self.steps.iter().find(|&&(_, w)| w >= need).map(|&(t, _)| t)
+        self.steps
+            .iter()
+            .find(|&&(_, w)| w >= need)
+            .map(|&(t, _)| t)
     }
 
     /// Last time occupancy is at least `x`, in nanoseconds; `None` if
@@ -185,7 +209,10 @@ impl OccupancyCurve {
     }
 
     fn required_workers(&self, x: f64) -> u32 {
-        assert!((0.0..=1.0).contains(&x), "occupancy fraction {x} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "occupancy fraction {x} outside [0,1]"
+        );
         (x * self.n_ranks as f64).ceil().max(1.0) as u32
     }
 }
@@ -282,6 +309,26 @@ mod tests {
         let c = OccupancyCurve::from_trace(&tr, 30);
         assert_eq!(c.workers_at(10), 2);
         assert_eq!(c.workers_at(20), 0);
+    }
+
+    #[test]
+    fn from_sorted_shares_the_single_sorted_pass() {
+        let mut tr = ActivityTrace::new(4);
+        for (r, t) in [(0u32, 0u64), (1, 10), (2, 20), (3, 30)] {
+            tr.record(r, t, true);
+        }
+        for (r, t) in [(3u32, 70u64), (2, 80), (1, 90), (0, 100)] {
+            tr.record(r, t, false);
+        }
+        let sorted = tr.sorted();
+        let via_sorted = OccupancyCurve::from_sorted(&sorted, 100);
+        let via_trace = OccupancyCurve::from_trace(&tr, 100);
+        for t in [0u64, 5, 10, 35, 75, 100] {
+            assert_eq!(via_sorted.workers_at(t), via_trace.workers_at(t));
+        }
+        assert_eq!(via_sorted.busy_integral_ns(), 280);
+        // ...and the same sorted pass answers busy time.
+        assert_eq!(sorted.busy_ns_per_rank(100), vec![100, 80, 60, 40]);
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn write_csv<W: std::io::Write>(
     writeln!(
         w,
         "{}",
-        header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

@@ -1,0 +1,482 @@
+//! Causal spans for the steal protocol.
+//!
+//! Every steal attempt gets a **trace ID** minted by the thief and
+//! reconstructible by the victim from the wire fields it already
+//! receives, so a single attempt's request → service → reply →
+//! (timeout → retransmit → ack) chain can be stitched back together
+//! across ranks without widening any message. Token-ring and
+//! termination events ride the same record stream so a post-mortem can
+//! interleave protocol recovery with steal traffic.
+//!
+//! The paper can only be reproduced if observation is free: recording
+//! happens through [`Tracer`], a zero-cost-when-disabled hook — a
+//! disabled tracer is a `None` and `record` is one branch; no timers,
+//! messages, or RNG draws depend on it, so the simulated event
+//! schedule is bit-for-bit identical with tracing on or off.
+//!
+//! Spans are emitted at exactly the sites where the scheduler bumps
+//! its [`StealStats`](crate::StealStats) counters, which is what makes
+//! [`SpanTrace::reconcile`] an exact (not statistical) cross-check.
+
+use crate::histogram::LatencyHistograms;
+
+/// Width of the per-thief sequence-number field in a trace ID.
+const SEQ_BITS: u32 = 40;
+
+/// Mint the trace ID for a steal attempt: the thief's rank in the high
+/// bits, its per-thief request sequence number in the low 40.
+///
+/// The victim computes the same ID from the `(from, seq)` fields on the
+/// wire, so both sides of an attempt tag their spans identically with
+/// no protocol change.
+#[inline]
+pub fn trace_id(thief: usize, seq: u64) -> u64 {
+    ((thief as u64) << SEQ_BITS) | (seq & ((1u64 << SEQ_BITS) - 1))
+}
+
+/// What happened at one point of a steal attempt (or of the
+/// termination machinery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Thief sent a steal request to `victim`.
+    StealRequestSent {
+        /// Rank the request was addressed to.
+        victim: usize,
+    },
+    /// Victim received (and serviced) a steal request from `thief`.
+    StealRequestRecv {
+        /// Rank that asked for work.
+        thief: usize,
+    },
+    /// Victim sent its reply carrying `nodes` tree nodes (0 = refusal).
+    StealReplySent {
+        /// Rank the reply goes back to.
+        thief: usize,
+        /// Tree nodes in the reply; 0 for an empty-handed refusal.
+        nodes: u64,
+    },
+    /// Thief's request was answered with work after `rtt_ns`.
+    StealOk {
+        /// Rank that supplied the work.
+        victim: usize,
+        /// Request-to-reply round trip in nanoseconds.
+        rtt_ns: u64,
+        /// Tree nodes received.
+        nodes: u64,
+    },
+    /// Thief's request was answered empty-handed after `rtt_ns`.
+    StealEmpty {
+        /// Rank that refused.
+        victim: usize,
+        /// Request-to-reply round trip in nanoseconds.
+        rtt_ns: u64,
+    },
+    /// Thief's request timed out; this was consecutive timeout number
+    /// `backoff_doublings` (1 = first), so the next retry waits
+    /// `2^backoff_doublings`× longer.
+    StealTimeout {
+        /// Rank the timed-out request had been sent to.
+        victim: usize,
+        /// Consecutive-timeout depth at this event.
+        backoff_doublings: u64,
+    },
+    /// Thief reached termination with this request still in flight;
+    /// the attempt is charged as failed without a reply ever arriving.
+    StealAbandoned {
+        /// Rank the abandoned request had been sent to.
+        victim: usize,
+    },
+    /// Victim received the ack for work transfer `xfer` from `thief`.
+    TransferAcked {
+        /// Rank that acknowledged.
+        thief: usize,
+        /// Transfer ID being acknowledged.
+        xfer: u64,
+    },
+    /// A reliable send (work transfer or token hop) was retransmitted.
+    Retransmit {
+        /// Destination rank of the retransmission.
+        to: usize,
+        /// Transfer ID (work) or token generation (ring) being retried.
+        xfer: u64,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u64,
+    },
+    /// This rank forwarded the termination token to `to`.
+    TokenHop {
+        /// Next rank on the ring.
+        to: usize,
+        /// Token generation number.
+        generation: u64,
+    },
+    /// Rank 0's watchdog regenerated a lost termination token.
+    TokenRegenerated {
+        /// Generation number of the regenerated token.
+        generation: u64,
+    },
+    /// A work-discovery session closed after `dur_ns`.
+    SessionEnd {
+        /// Session duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// This rank learned the computation is over.
+    Done,
+}
+
+/// One timestamped span record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global simulation time of the event, in nanoseconds.
+    pub at_ns: u64,
+    /// Rank that recorded the event.
+    pub rank: usize,
+    /// Trace ID linking both sides of a steal attempt; 0 for events
+    /// outside any attempt (sessions, token ring, Done).
+    pub trace: u64,
+    /// What happened.
+    pub kind: SpanKind,
+}
+
+/// Per-rank span buffer behind a [`Tracer`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanBuf {
+    records: Vec<SpanRecord>,
+}
+
+/// The recording hook a scheduler carries. Disabled (`Tracer::off`) it
+/// is a `None` and every `record` call is a single branch; no other
+/// scheduler behavior may depend on it.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<SpanBuf>,
+}
+
+impl Tracer {
+    /// A disabled tracer: records nothing, costs one branch per call.
+    pub fn off() -> Self {
+        Self { buf: None }
+    }
+
+    /// An enabled tracer accumulating spans in memory.
+    pub fn on() -> Self {
+        Self {
+            buf: Some(SpanBuf::default()),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Record one span (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, at_ns: u64, rank: usize, trace: u64, kind: SpanKind) {
+        if let Some(buf) = &mut self.buf {
+            buf.records.push(SpanRecord {
+                at_ns,
+                rank,
+                trace,
+                kind,
+            });
+        }
+    }
+
+    /// Take the accumulated records, leaving the tracer disabled.
+    pub fn take(&mut self) -> Vec<SpanRecord> {
+        self.buf.take().map(|b| b.records).unwrap_or_default()
+    }
+
+    /// The accumulated records (empty when disabled).
+    pub fn records(&self) -> &[SpanRecord] {
+        self.buf
+            .as_ref()
+            .map(|b| b.records.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// All spans of one run, merged across ranks.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTrace {
+    records: Vec<SpanRecord>,
+    n_ranks: usize,
+}
+
+impl SpanTrace {
+    /// Build from per-rank record batches (index = rank).
+    pub fn from_per_rank(per_rank: Vec<Vec<SpanRecord>>) -> Self {
+        let n_ranks = per_rank.len();
+        let mut records: Vec<SpanRecord> = per_rank.into_iter().flatten().collect();
+        records.sort_by_key(|r| (r.at_ns, r.rank));
+        Self { records, n_ranks }
+    }
+
+    /// All records, time-ordered (ties broken by rank).
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Number of ranks the trace covers.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Count records on `rank` matching `pred`.
+    pub fn count_rank<F: Fn(&SpanKind) -> bool>(&self, rank: usize, pred: F) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.rank == rank && pred(&r.kind))
+            .count() as u64
+    }
+
+    /// Count records matching `pred` across all ranks.
+    pub fn count<F: Fn(&SpanKind) -> bool>(&self, pred: F) -> u64 {
+        self.records.iter().filter(|r| pred(&r.kind)).count() as u64
+    }
+
+    /// Exact cross-check against the scheduler's own counters: for
+    /// every rank, span counts must equal the [`StealStats`] fields
+    /// incremented at the same program points. Any mismatch means the
+    /// tracer and the counters disagree about what happened — a bug.
+    ///
+    /// [`StealStats`]: crate::StealStats
+    pub fn reconcile(&self, stats: &crate::RunStats) -> Result<(), String> {
+        for (rank, s) in stats.per_rank.iter().enumerate() {
+            let checks: [(&str, u64, u64); 7] = [
+                (
+                    "steal_attempts",
+                    s.steal_attempts,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::StealRequestSent { .. })),
+                ),
+                (
+                    "steals_ok",
+                    s.steals_ok,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::StealOk { .. })),
+                ),
+                (
+                    "steals_failed",
+                    s.steals_failed,
+                    self.count_rank(rank, |k| {
+                        matches!(
+                            k,
+                            SpanKind::StealEmpty { .. }
+                                | SpanKind::StealTimeout { .. }
+                                | SpanKind::StealAbandoned { .. }
+                        )
+                    }),
+                ),
+                (
+                    "steal_timeouts",
+                    s.steal_timeouts,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::StealTimeout { .. })),
+                ),
+                (
+                    "retransmits",
+                    s.retransmits,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::Retransmit { .. })),
+                ),
+                (
+                    "token_regenerations",
+                    s.token_regenerations,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::TokenRegenerated { .. })),
+                ),
+                (
+                    "sessions",
+                    s.sessions,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::SessionEnd { .. })),
+                ),
+            ];
+            for (name, counter, spans) in checks {
+                if counter != spans {
+                    return Err(format!(
+                        "rank {rank}: {name} counter {counter} != {spans} matching spans"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive the latency distributions the spans carry. The message
+    /// delivery histogram lives in the network layer, not here —
+    /// merge a `NetTrace`'s histogram into the result if you have one.
+    pub fn histograms(&self) -> LatencyHistograms {
+        let mut h = LatencyHistograms::default();
+        for r in &self.records {
+            match r.kind {
+                SpanKind::StealOk { rtt_ns, .. } | SpanKind::StealEmpty { rtt_ns, .. } => {
+                    h.steal_rtt_ns.record(rtt_ns)
+                }
+                SpanKind::StealTimeout {
+                    backoff_doublings, ..
+                } => h.backoff_doublings.record(backoff_doublings),
+                SpanKind::SessionEnd { dur_ns } => h.session_ns.record(dur_ns),
+                _ => {}
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunStats, StealStats};
+
+    #[test]
+    fn trace_ids_are_reconstructible_and_distinct() {
+        assert_eq!(trace_id(3, 7), trace_id(3, 7));
+        assert_ne!(trace_id(3, 7), trace_id(3, 8));
+        assert_ne!(trace_id(3, 7), trace_id(4, 7));
+        // rank survives in the high bits
+        assert_eq!(trace_id(1023, 0) >> 40, 1023);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        assert!(!t.enabled());
+        t.record(5, 0, 1, SpanKind::Done);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_accumulates() {
+        let mut t = Tracer::on();
+        assert!(t.enabled());
+        t.record(
+            5,
+            0,
+            trace_id(0, 1),
+            SpanKind::StealRequestSent { victim: 1 },
+        );
+        t.record(9, 0, 0, SpanKind::Done);
+        let recs = t.take();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at_ns, 5);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_rank() {
+        let r0 = vec![SpanRecord {
+            at_ns: 10,
+            rank: 0,
+            trace: 0,
+            kind: SpanKind::Done,
+        }];
+        let r1 = vec![
+            SpanRecord {
+                at_ns: 5,
+                rank: 1,
+                trace: 0,
+                kind: SpanKind::SessionEnd { dur_ns: 5 },
+            },
+            SpanRecord {
+                at_ns: 10,
+                rank: 1,
+                trace: 0,
+                kind: SpanKind::Done,
+            },
+        ];
+        let trace = SpanTrace::from_per_rank(vec![r0, r1]);
+        let at: Vec<(u64, usize)> = trace.records().iter().map(|r| (r.at_ns, r.rank)).collect();
+        assert_eq!(at, vec![(5, 1), (10, 0), (10, 1)]);
+        assert_eq!(trace.n_ranks(), 2);
+    }
+
+    fn attempt(rank: usize, victim: usize, seq: u64, at: u64, ok: bool) -> Vec<SpanRecord> {
+        let id = trace_id(rank, seq);
+        vec![
+            SpanRecord {
+                at_ns: at,
+                rank,
+                trace: id,
+                kind: SpanKind::StealRequestSent { victim },
+            },
+            SpanRecord {
+                at_ns: at + 100,
+                rank,
+                trace: id,
+                kind: if ok {
+                    SpanKind::StealOk {
+                        victim,
+                        rtt_ns: 100,
+                        nodes: 4,
+                    }
+                } else {
+                    SpanKind::StealEmpty {
+                        victim,
+                        rtt_ns: 100,
+                    }
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_counts() {
+        let mut r0 = attempt(0, 1, 0, 10, true);
+        r0.extend(attempt(0, 1, 1, 300, false));
+        r0.push(SpanRecord {
+            at_ns: 500,
+            rank: 0,
+            trace: 0,
+            kind: SpanKind::SessionEnd { dur_ns: 490 },
+        });
+        let trace = SpanTrace::from_per_rank(vec![r0, vec![]]);
+        let stats = RunStats::new(vec![
+            StealStats {
+                steal_attempts: 2,
+                steals_ok: 1,
+                steals_failed: 1,
+                sessions: 1,
+                ..StealStats::default()
+            },
+            StealStats::default(),
+        ]);
+        trace.reconcile(&stats).unwrap();
+    }
+
+    #[test]
+    fn reconcile_rejects_mismatch() {
+        let trace = SpanTrace::from_per_rank(vec![attempt(0, 1, 0, 10, true)]);
+        let stats = RunStats::new(vec![StealStats {
+            steal_attempts: 2, // trace only has 1
+            steals_ok: 1,
+            steals_failed: 1,
+            ..StealStats::default()
+        }]);
+        let err = trace.reconcile(&stats).unwrap_err();
+        assert!(err.contains("steal_attempts"), "{err}");
+    }
+
+    #[test]
+    fn histograms_pick_up_rtt_backoff_sessions() {
+        let mut recs = attempt(0, 1, 0, 10, true);
+        recs.push(SpanRecord {
+            at_ns: 400,
+            rank: 0,
+            trace: trace_id(0, 1),
+            kind: SpanKind::StealTimeout {
+                victim: 1,
+                backoff_doublings: 2,
+            },
+        });
+        recs.push(SpanRecord {
+            at_ns: 600,
+            rank: 0,
+            trace: 0,
+            kind: SpanKind::SessionEnd { dur_ns: 590 },
+        });
+        let h = SpanTrace::from_per_rank(vec![recs]).histograms();
+        assert_eq!(h.steal_rtt_ns.count(), 1);
+        assert_eq!(h.steal_rtt_ns.max(), 100);
+        assert_eq!(h.backoff_doublings.count(), 1);
+        assert_eq!(h.backoff_doublings.max(), 2);
+        assert_eq!(h.session_ns.count(), 1);
+        assert_eq!(h.msg_delivery_ns.count(), 0);
+    }
+}

@@ -56,7 +56,11 @@ impl ActivityTrace {
     #[inline]
     pub fn record(&mut self, rank: u32, at_ns: u64, active: bool) {
         debug_assert!(rank < self.n_ranks);
-        self.transitions.push(Transition { rank, at_ns, active });
+        self.transitions.push(Transition {
+            rank,
+            at_ns,
+            active,
+        });
     }
 
     /// All transitions, in recording order.
@@ -124,14 +128,63 @@ impl ActivityTrace {
         Ok(self.transitions.len())
     }
 
+    /// Sort the trace once, by `(time, rank)`, for post-mortem
+    /// analysis. Both busy-time accounting
+    /// ([`SortedTrace::busy_ns_per_rank`]) and occupancy-curve
+    /// construction ([`OccupancyCurve::from_sorted`]) consume the same
+    /// sorted pass, so analyzing a large trace costs one sort instead
+    /// of one per question.
+    ///
+    /// The sort is stable, so each rank's transitions keep their
+    /// recording order at equal timestamps.
+    ///
+    /// [`OccupancyCurve::from_sorted`]: crate::OccupancyCurve::from_sorted
+    pub fn sorted(&self) -> SortedTrace {
+        let mut transitions = self.transitions.clone();
+        transitions.sort_by_key(|t| (t.at_ns, t.rank));
+        SortedTrace {
+            transitions,
+            n_ranks: self.n_ranks,
+        }
+    }
+
+    /// Total busy time per rank, assuming the run ends at `end_ns` (an
+    /// active rank at the end is counted busy until then).
+    ///
+    /// Convenience wrapper that sorts internally; when also building an
+    /// occupancy curve, call [`sorted`](Self::sorted) once and share
+    /// the result.
+    pub fn busy_ns_per_rank(&self, end_ns: u64) -> Vec<u64> {
+        self.sorted().busy_ns_per_rank(end_ns)
+    }
+}
+
+/// A trace whose transitions are sorted by `(time, rank)` — the shared
+/// single sorted pass behind every post-mortem computation.
+#[derive(Debug, Clone)]
+pub struct SortedTrace {
+    transitions: Vec<Transition>,
+    n_ranks: u32,
+}
+
+impl SortedTrace {
+    /// Number of ranks the trace covers.
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    /// Transitions in `(time, rank)` order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
     /// Total busy time per rank, assuming the run ends at `end_ns` (an
     /// active rank at the end is counted busy until then).
     pub fn busy_ns_per_rank(&self, end_ns: u64) -> Vec<u64> {
         let mut busy = vec![0u64; self.n_ranks as usize];
         let mut since: Vec<Option<u64>> = vec![None; self.n_ranks as usize];
-        let mut sorted: Vec<&Transition> = self.transitions.iter().collect();
-        sorted.sort_by_key(|t| (t.at_ns, t.rank));
-        for t in sorted {
+        for t in &self.transitions {
             let r = t.rank as usize;
             match (t.active, since[r]) {
                 (true, None) => since[r] = Some(t.at_ns),
@@ -216,6 +269,32 @@ mod tests {
         let mut open = ActivityTrace::new(1);
         open.record(0, 20, true);
         assert_eq!(open.busy_ns_per_rank(120), vec![100]);
+    }
+
+    #[test]
+    fn sorted_trace_matches_direct_busy_accounting() {
+        // Record out of time order; sorted() must put it right.
+        let mut t = ActivityTrace::new(2);
+        t.record(1, 50, true);
+        t.record(0, 0, true);
+        t.record(1, 150, false);
+        t.record(0, 100, false);
+        let sorted = t.sorted();
+        let at: Vec<u64> = sorted.transitions().iter().map(|tr| tr.at_ns).collect();
+        assert_eq!(at, vec![0, 50, 100, 150]);
+        assert_eq!(sorted.busy_ns_per_rank(200), t.busy_ns_per_rank(200));
+        assert_eq!(sorted.busy_ns_per_rank(200), vec![100, 100]);
+    }
+
+    #[test]
+    fn sorted_is_stable_within_a_rank() {
+        // Two same-time transitions of one rank keep recording order.
+        let mut t = ActivityTrace::new(1);
+        t.record(0, 10, true);
+        t.record(0, 10, false);
+        let sorted = t.sorted();
+        assert!(sorted.transitions()[0].active);
+        assert!(!sorted.transitions()[1].active);
     }
 
     #[test]

@@ -115,8 +115,8 @@ fn run_worker(
     let mut stats = WorkerStats::default();
     let mut children: Vec<Node> = Vec::new();
     // Cheap xorshift per worker, seeded distinctly.
-    let mut rng_state =
-        (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed_mix.fetch_add(1, Ordering::Relaxed);
+    let mut rng_state = (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ seed_mix.fetch_add(1, Ordering::Relaxed);
     let mut next_rand = move || {
         rng_state ^= rng_state << 13;
         rng_state ^= rng_state >> 7;

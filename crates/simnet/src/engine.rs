@@ -28,7 +28,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::fault::{FaultPlan, FaultStats};
-use crate::observer::{EventKind as ObsKind, EventLog, EventRecord};
+use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, NetTrace};
 use crate::rng::DetRng;
 use crate::time::SimTime;
 
@@ -200,6 +200,9 @@ struct Kernel<M> {
     n_ranks: u32,
     /// Optional event log for debugging/analysis.
     log: Option<EventLog>,
+    /// Optional network trace: delivery-latency histogram plus a
+    /// per-pair traffic matrix. `None` costs one branch per send.
+    net_trace: Option<NetTrace>,
     /// Fault schedule; `fault_active` caches `fault.is_active()` so the
     /// fault-free path pays a single branch and zero RNG draws.
     fault: FaultPlan,
@@ -221,6 +224,13 @@ impl<M> Kernel<M> {
     fn crashed(&self, rank: Rank, at: SimTime) -> bool {
         self.crash_at[rank as usize].is_some_and(|t| at.ns() >= t)
     }
+
+    /// Record a fault-injection outcome in the event log, if attached.
+    fn log_fault(&mut self, kind: ObsKind) {
+        if let Some(log) = &mut self.log {
+            log.record(EventRecord { at: self.now, kind });
+        }
+    }
 }
 
 impl<M: Clone> Kernel<M> {
@@ -238,16 +248,27 @@ impl<M: Clone> Kernel<M> {
             if self.fault.in_brownout(from, depart_ns) || self.fault.in_brownout(to, depart_ns) {
                 self.fault_stats.brownout_drops += 1;
                 self.messages_sent += 1;
+                self.log_fault(ObsKind::Dropped {
+                    from,
+                    to,
+                    brownout: true,
+                });
                 return;
             }
             if u_drop < self.fault.drop_prob {
                 self.fault_stats.dropped += 1;
                 self.messages_sent += 1;
+                self.log_fault(ObsKind::Dropped {
+                    from,
+                    to,
+                    brownout: false,
+                });
                 return;
             }
             if u_spike < self.fault.spike_prob {
                 spike_ns = self.fault.spike_ns(self.fault_rng.next_f64());
                 self.fault_stats.spiked += 1;
+                self.log_fault(ObsKind::Delayed { from, to, spike_ns });
             }
             duplicate = u_dup < self.fault.dup_prob;
         }
@@ -276,10 +297,17 @@ impl<M: Clone> Kernel<M> {
                 },
             });
         }
+        if let Some(nt) = &mut self.net_trace {
+            // Network latency as experienced by the message: scheduled
+            // arrival minus departure, so FIFO pushback and spikes are
+            // included.
+            nt.record(from, to, bytes as u64, at.ns() - depart_ns);
+        }
         if duplicate {
             // The duplicate rides one tick behind the original and is
             // exempt from FIFO ordering: it is a fault, not a message.
             self.fault_stats.duplicated += 1;
+            self.log_fault(ObsKind::Duplicated { from, to });
             self.push(
                 at + 1,
                 EventKind::Deliver {
@@ -456,6 +484,7 @@ impl<A: Actor> Simulation<A> {
                 messages_sent: 0,
                 n_ranks: n,
                 log: None,
+                net_trace: None,
                 fault: config.fault,
                 fault_active,
                 // One stream below net_rng: never collides with a rank
@@ -513,6 +542,10 @@ impl<A: Actor> Simulation<A> {
                         // The destination died before this arrived; the
                         // bytes hit a dead NIC.
                         self.kernel.fault_stats.crash_lost_deliveries += 1;
+                        self.kernel.log_fault(ObsKind::CrashLost {
+                            rank: to,
+                            timer: false,
+                        });
                     } else {
                         self.messages_delivered += 1;
                         if let Some(log) = &mut self.kernel.log {
@@ -527,6 +560,8 @@ impl<A: Actor> Simulation<A> {
                 EventKind::Timer { rank, token } => {
                     if self.kernel.fault_active && self.kernel.crashed(rank, ev.time) {
                         self.kernel.fault_stats.crash_lost_timers += 1;
+                        self.kernel
+                            .log_fault(ObsKind::CrashLost { rank, timer: true });
                     } else {
                         self.timers_fired += 1;
                         if let Some(log) = &mut self.kernel.log {
@@ -602,6 +637,18 @@ impl<A: Actor> Simulation<A> {
     /// The attached event log, if any.
     pub fn event_log(&self) -> Option<&EventLog> {
         self.kernel.log.as_ref()
+    }
+
+    /// Attach a network trace (delivery-latency histogram + per-pair
+    /// traffic matrix). Call before `run`; unattached, the engine pays
+    /// one branch per send and records nothing.
+    pub fn attach_net_trace(&mut self) {
+        self.kernel.net_trace = Some(NetTrace::default());
+    }
+
+    /// The attached network trace, if any.
+    pub fn net_trace(&self) -> Option<&NetTrace> {
+        self.kernel.net_trace.as_ref()
     }
 
     fn dispatch_start(&mut self, rank: Rank) {
@@ -835,7 +882,10 @@ mod tests {
         sim.attach_log(64);
         sim.run();
         let log = sim.event_log().expect("attached");
-        assert_eq!(log.count_matching(|r| matches!(r.kind, Obs::Sent { .. })), 3);
+        assert_eq!(
+            log.count_matching(|r| matches!(r.kind, Obs::Sent { .. })),
+            3
+        );
         assert_eq!(
             log.count_matching(|r| matches!(r.kind, Obs::Delivered { .. })),
             3
@@ -846,6 +896,52 @@ mod tests {
                 assert_eq!(deliver_at.ns(), rec.at.ns() + 100);
             }
         }
+    }
+
+    #[test]
+    fn net_trace_measures_scheduled_latency() {
+        let actors = vec![
+            PingPong {
+                hops_left: 3,
+                received: vec![],
+            },
+            PingPong {
+                hops_left: 0,
+                received: vec![],
+            },
+        ];
+        let mut sim = Simulation::new(actors, ConstantLatency(250), SimConfig::default());
+        sim.attach_net_trace();
+        sim.run();
+        let nt = sim.net_trace().expect("attached");
+        assert_eq!(nt.messages(), 3);
+        // Constant latency, no contention: every delivery takes 250ns.
+        assert_eq!(nt.delivery_histogram().min(), 250);
+        assert_eq!(nt.delivery_histogram().max(), 250);
+        let total: u64 = nt.pair_tallies().map(|(_, t)| t.messages).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn net_trace_absence_changes_nothing() {
+        let run = |trace: bool| {
+            let actors = vec![
+                PingPong {
+                    hops_left: 5,
+                    received: vec![],
+                },
+                PingPong {
+                    hops_left: 0,
+                    received: vec![],
+                },
+            ];
+            let mut sim = Simulation::new(actors, ConstantLatency(99), SimConfig::default());
+            if trace {
+                sim.attach_net_trace();
+            }
+            sim.run()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -897,10 +993,7 @@ mod tests {
 
     #[test]
     fn delayed_sends_arrive_spaced_and_ordered() {
-        let actors = vec![
-            DelayedSender { got: vec![] },
-            DelayedSender { got: vec![] },
-        ];
+        let actors = vec![DelayedSender { got: vec![] }, DelayedSender { got: vec![] }];
         let mut sim = Simulation::new(actors, ConstantLatency(1_000), SimConfig::default());
         sim.run();
         assert_eq!(
@@ -926,10 +1019,7 @@ mod tests {
             }
         }
         let seen = Rc::new(RefCell::new(Vec::new()));
-        let actors = vec![
-            DelayedSender { got: vec![] },
-            DelayedSender { got: vec![] },
-        ];
+        let actors = vec![DelayedSender { got: vec![] }, DelayedSender { got: vec![] }];
         let mut sim = Simulation::new(actors, Probe(Rc::clone(&seen)), SimConfig::default());
         sim.run();
         // Departure times include the extra delays.

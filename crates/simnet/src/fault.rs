@@ -261,8 +261,12 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_probabilities() {
-        assert!(FaultPlan::message_faults(1.0, 0.0, 0.0).validate(4).is_err());
-        assert!(FaultPlan::message_faults(-0.1, 0.0, 0.0).validate(4).is_err());
+        assert!(FaultPlan::message_faults(1.0, 0.0, 0.0)
+            .validate(4)
+            .is_err());
+        assert!(FaultPlan::message_faults(-0.1, 0.0, 0.0)
+            .validate(4)
+            .is_err());
     }
 
     #[test]
@@ -337,8 +341,14 @@ mod tests {
     fn crash_time_takes_earliest() {
         let plan = FaultPlan {
             crashes: vec![
-                Crash { rank: 2, at_ns: 500 },
-                Crash { rank: 2, at_ns: 300 },
+                Crash {
+                    rank: 2,
+                    at_ns: 500,
+                },
+                Crash {
+                    rank: 2,
+                    at_ns: 300,
+                },
             ],
             ..FaultPlan::default()
         };

@@ -49,10 +49,8 @@ pub mod observer;
 pub mod rng;
 pub mod time;
 
-pub use engine::{
-    Actor, ConstantLatency, Ctx, LatencyFn, Rank, RunReport, SimConfig, Simulation,
-};
+pub use engine::{Actor, ConstantLatency, Ctx, LatencyFn, Rank, RunReport, SimConfig, Simulation};
 pub use fault::{Brownout, Crash, FaultPlan, FaultStats, SlowdownWindow};
-pub use observer::{EventLog, EventRecord};
+pub use observer::{EventKind, EventLog, EventRecord, NetTrace, PairTally};
 pub use rng::DetRng;
 pub use time::{SimTime, MS, SEC, US};

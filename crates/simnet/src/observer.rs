@@ -7,6 +7,8 @@
 //! [`Simulation::attach_log`](crate::Simulation::attach_log).
 
 use crate::time::SimTime;
+use dws_metrics::Histogram;
+use std::collections::HashMap;
 
 /// One observed engine event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,40 @@ pub enum EventKind {
         rank: u32,
         /// Token passed at arming time.
         token: u64,
+    },
+    /// Fault injection dropped a message outright.
+    Dropped {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank.
+        to: u32,
+        /// True if the loss came from a brownout window rather than
+        /// the random drop probability.
+        brownout: bool,
+    },
+    /// Fault injection duplicated a message; the copy rides one tick
+    /// behind the original.
+    Duplicated {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank.
+        to: u32,
+    },
+    /// Fault injection stretched a message's latency by a spike.
+    Delayed {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank.
+        to: u32,
+        /// Extra nanoseconds added on top of the modelled latency.
+        spike_ns: u64,
+    },
+    /// An event addressed to a crashed rank was discarded.
+    CrashLost {
+        /// The dead rank.
+        rank: u32,
+        /// True for a timer, false for a message delivery.
+        timer: bool,
     },
 }
 
@@ -85,6 +121,9 @@ impl EventLog {
     }
 
     /// The retained window, oldest first.
+    ///
+    /// Allocates a fresh `Vec`; iterate with [`iter`](Self::iter) to
+    /// walk the window without copying it.
     pub fn window(&self) -> Vec<EventRecord> {
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.next..]);
@@ -92,9 +131,66 @@ impl EventLog {
         out
     }
 
+    /// Iterate the retained window, oldest first, without allocating:
+    /// the ring buffer's two halves are chained in place.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        self.buf[self.next..]
+            .iter()
+            .chain(self.buf[..self.next].iter())
+    }
+
     /// Count retained events matching a predicate.
     pub fn count_matching<F: Fn(&EventRecord) -> bool>(&self, f: F) -> usize {
         self.buf.iter().filter(|r| f(r)).count()
+    }
+}
+
+/// Per-pair traffic tally of a [`NetTrace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairTally {
+    /// Messages scheduled from this source to this destination.
+    pub messages: u64,
+    /// Total wire bytes across those messages.
+    pub bytes: u64,
+}
+
+/// Network-level trace the engine feeds when attached via
+/// [`Simulation::attach_net_trace`](crate::Simulation::attach_net_trace):
+/// a delivery-latency histogram plus a sparse (source, destination)
+/// traffic matrix. Recording happens at send time, once the delivery
+/// is scheduled, so the measured latency includes FIFO pushback,
+/// contention, jitter and injected spikes; dropped messages never
+/// appear.
+#[derive(Debug, Clone, Default)]
+pub struct NetTrace {
+    delivery_ns: Histogram,
+    pairs: HashMap<(u32, u32), PairTally>,
+}
+
+impl NetTrace {
+    /// Record one scheduled delivery.
+    #[inline]
+    pub fn record(&mut self, from: u32, to: u32, bytes: u64, latency_ns: u64) {
+        self.delivery_ns.record(latency_ns);
+        let t = self.pairs.entry((from, to)).or_default();
+        t.messages += 1;
+        t.bytes += bytes;
+    }
+
+    /// The send→arrival latency distribution.
+    pub fn delivery_histogram(&self) -> &Histogram {
+        &self.delivery_ns
+    }
+
+    /// The traffic matrix, as `((from, to), tally)` pairs in
+    /// unspecified order; sort before presenting.
+    pub fn pair_tallies(&self) -> impl Iterator<Item = (&(u32, u32), &PairTally)> {
+        self.pairs.iter()
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.delivery_ns.count()
     }
 }
 
@@ -148,5 +244,46 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         EventLog::new(0);
+    }
+
+    #[test]
+    fn iter_matches_window_across_wraparound() {
+        let mut log = EventLog::new(3);
+        for t in 0..5 {
+            log.record(rec(t));
+            let via_iter: Vec<EventRecord> = log.iter().copied().collect();
+            assert_eq!(via_iter, log.window());
+        }
+    }
+
+    #[test]
+    fn net_trace_tallies_pairs_and_latency() {
+        let mut nt = NetTrace::default();
+        nt.record(0, 1, 100, 1_000);
+        nt.record(0, 1, 50, 3_000);
+        nt.record(2, 0, 8, 500);
+        assert_eq!(nt.messages(), 3);
+        assert_eq!(nt.delivery_histogram().max(), 3_000);
+        let mut pairs: Vec<_> = nt.pair_tallies().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        assert_eq!(
+            pairs,
+            vec![
+                (
+                    (0, 1),
+                    PairTally {
+                        messages: 2,
+                        bytes: 150
+                    }
+                ),
+                (
+                    (2, 0),
+                    PairTally {
+                        messages: 1,
+                        bytes: 8
+                    }
+                ),
+            ]
+        );
     }
 }

@@ -130,7 +130,11 @@ mod tests {
         let mut uniq = firsts.clone();
         uniq.sort();
         uniq.dedup();
-        assert_eq!(uniq.len(), firsts.len(), "rank streams collided: {firsts:?}");
+        assert_eq!(
+            uniq.len(),
+            firsts.len(),
+            "rank streams collided: {firsts:?}"
+        );
         // And differ from the base stream.
         assert_ne!(DetRng::new(7).next_u64(), DetRng::for_rank(7, 0).next_u64());
     }

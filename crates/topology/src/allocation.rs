@@ -119,8 +119,7 @@ fn compact_rectangle(machine: &Machine, count: u32) -> Vec<NodeId> {
                     for a in 0..crate::coord::CUBE_A {
                         for c in 0..crate::coord::CUBE_C {
                             nodes.push(
-                                machine
-                                    .node_id(crate::coord::TofuCoord::new(x, y, z, a, b, c)),
+                                machine.node_id(crate::coord::TofuCoord::new(x, y, z, a, b, c)),
                             );
                             if nodes.len() == count as usize {
                                 break 'outer;
@@ -204,7 +203,11 @@ mod tests {
             let mut seen = a.nodes().to_vec();
             seen.sort();
             seen.dedup();
-            assert_eq!(seen.len(), count as usize, "duplicate nodes for count {count}");
+            assert_eq!(
+                seen.len(),
+                count as usize,
+                "duplicate nodes for count {count}"
+            );
         }
     }
 

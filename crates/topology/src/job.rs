@@ -116,8 +116,7 @@ impl Job {
     /// nodes in 6-D Tofu space (0.0 when they share a node).
     #[inline]
     pub fn euclidean(&self, i: Rank, j: Rank) -> f64 {
-        self.rank_coords[i as usize]
-            .euclidean(&self.rank_coords[j as usize], self.machine.dims())
+        self.rank_coords[i as usize].euclidean(&self.rank_coords[j as usize], self.machine.dims())
     }
 
     /// Network hops between the ranks' nodes.
@@ -185,7 +184,10 @@ mod tests {
         let job = Job::compact(16, RankMapping::Grouped { ppn: 8 });
         let close = job.latency_ns(0, 1, 64);
         let far = job.latency_ns(0, 127, 64);
-        assert!(close < far, "same-node {close} should beat cross-node {far}");
+        assert!(
+            close < far,
+            "same-node {close} should beat cross-node {far}"
+        );
     }
 
     #[test]

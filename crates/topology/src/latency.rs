@@ -121,7 +121,9 @@ impl LatencyParams {
             || self.same_cube_ns > self.same_rack_ns
             || self.same_rack_ns > self.inter_rack_ns
         {
-            return Err("latency classes must be ordered node<=blade<=cube<=rack<=inter-rack".into());
+            return Err(
+                "latency classes must be ordered node<=blade<=cube<=rack<=inter-rack".into(),
+            );
         }
         Ok(())
     }
@@ -215,9 +217,7 @@ mod tests {
         let origin = coord(&m, 0);
         let near = TofuCoord::new(1, 0, 8, 0, 0, 0);
         let far = TofuCoord::new(4, 4, 8, 0, 0, 0);
-        assert!(
-            model.latency_ns(&m, origin, near, 64) < model.latency_ns(&m, origin, far, 64)
-        );
+        assert!(model.latency_ns(&m, origin, near, 64) < model.latency_ns(&m, origin, far, 64));
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use coord::TofuCoord;
 pub use job::Job;
 pub use latency::{LatencyModel, LatencyParams, LinkClass};
 pub use machine::{Machine, NodeId};
-pub use routing::{route, Link, LinkLoad};
 pub use mapping::{Rank, RankMapping};
+pub use routing::{route, Link, LinkLoad};

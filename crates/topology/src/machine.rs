@@ -137,8 +137,7 @@ impl Machine {
             "coordinate {coord:?} outside machine dims {:?}",
             self.dims
         );
-        let cube_idx =
-            coord.x as u32 + dx as u32 * (coord.y as u32 + dy as u32 * coord.z as u32);
+        let cube_idx = coord.x as u32 + dx as u32 * (coord.y as u32 + dy as u32 * coord.z as u32);
         let in_cube =
             coord.c as u32 + CUBE_C as u32 * (coord.a as u32 + CUBE_A as u32 * coord.b as u32);
         NodeId(cube_idx * NODES_PER_CUBE + in_cube)

@@ -126,7 +126,10 @@ impl LinkLoad {
     /// The heaviest `n` links, descending.
     pub fn hottest(&self, n: usize) -> Vec<(Link, u64)> {
         let mut v: Vec<(Link, u64)> = self.loads.iter().map(|(l, &u)| (*l, u)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+        });
         v.truncate(n);
         v
     }

@@ -1,7 +1,10 @@
 fn main() {
     for w in dws_uts::presets::all() {
         if let Some(s) = dws_uts::search::search_with_limit(&w, 30_000_000) {
-            println!("{:10} nodes={} leaves={} depth={}", w.name, s.nodes, s.leaves, s.max_depth);
+            println!(
+                "{:10} nodes={} leaves={} depth={}",
+                w.name, s.nodes, s.leaves, s.max_depth
+            );
         } else {
             println!("{:10} > 30M nodes (skipped)", w.name);
         }

@@ -186,7 +186,9 @@ pub fn all() -> Vec<Workload> {
 
 /// Look a preset up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -97,7 +97,11 @@ mod tests {
         // q = 0: only the root's b0 children exist.
         let w = Workload {
             name: "manual",
-            spec: TreeSpec::Binomial { b0: 5, m: 2, q: 0.0 },
+            spec: TreeSpec::Binomial {
+                b0: 5,
+                m: 2,
+                q: 0.0,
+            },
             seed: 1,
             gen_rounds: 1,
             base_node_ns: 1,
@@ -125,7 +129,11 @@ mod tests {
             (22_235, 11_367, 158),
             "T3SIM-S drifted"
         );
-        assert_eq!(s, search(&presets::t3sim_s()), "search must be deterministic");
+        assert_eq!(
+            s,
+            search(&presets::t3sim_s()),
+            "search must be deterministic"
+        );
     }
 
     #[test]
@@ -157,7 +165,11 @@ mod tests {
         };
         let s = search(&w);
         assert!(s.nodes > 1);
-        assert!(s.max_depth <= 6, "gen_mx must cap depth, got {}", s.max_depth);
+        assert!(
+            s.max_depth <= 6,
+            "gen_mx must cap depth, got {}",
+            s.max_depth
+        );
         assert!(s.leaves > 0 && s.leaves < s.nodes);
     }
 

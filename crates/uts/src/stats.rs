@@ -165,7 +165,11 @@ mod tests {
         // every root subtree is exactly one leaf -> perfectly even.
         let w = Workload {
             name: "even",
-            spec: TreeSpec::Binomial { b0: 50, m: 2, q: 0.0 },
+            spec: TreeSpec::Binomial {
+                b0: 50,
+                m: 2,
+                q: 0.0,
+            },
             seed: 3,
             gen_rounds: 1,
             base_node_ns: 1,
@@ -201,6 +205,9 @@ mod tests {
             "profile length {} vs expected {expected}",
             shape.frontier_profile.len()
         );
-        assert!(shape.frontier_profile.iter().all(|&f| f <= shape.peak_frontier));
+        assert!(shape
+            .frontier_profile
+            .iter()
+            .all(|&f| f <= shape.peak_frontier));
     }
 }

@@ -389,7 +389,10 @@ mod tests {
             q: 0.499995,
         };
         let e = spec.expected_binomial_subtree().expect("subcritical");
-        assert!((e - 100_000.0).abs() < 1.0, "T3XXL subtree mean ~1e5, got {e}");
+        assert!(
+            (e - 100_000.0).abs() < 1.0,
+            "T3XXL subtree mean ~1e5, got {e}"
+        );
         let sup = TreeSpec::Binomial {
             b0: 1,
             m: 2,
@@ -401,7 +404,13 @@ mod tests {
     #[test]
     fn check_rejects_bad_parameters() {
         assert!(bin(1.5).check().is_err());
-        assert!(TreeSpec::Binomial { b0: 0, m: 2, q: 0.5 }.check().is_err());
+        assert!(TreeSpec::Binomial {
+            b0: 0,
+            m: 2,
+            q: 0.5
+        }
+        .check()
+        .is_err());
         assert!(TreeSpec::Geometric {
             b0: -1.0,
             gen_mx: 5,

@@ -25,8 +25,7 @@ fn main() {
         };
         let reference = run(VictimPolicy::RoundRobin);
         let tofu = run(VictimPolicy::DistanceSkewed { alpha: 1.0 });
-        let improvement = 100.0
-            * (reference.makespan.ns() as f64 - tofu.makespan.ns() as f64)
+        let improvement = 100.0 * (reference.makespan.ns() as f64 - tofu.makespan.ns() as f64)
             / reference.makespan.ns() as f64;
         rows.push(vec![
             rounds.to_string(),

@@ -15,7 +15,10 @@ use dws::uts::presets;
 fn main() {
     let ranks = 256u32;
     let workload = presets::t3wl();
-    println!("tree {} on {ranks} ranks (1/N), Rand-Half stealing\n", workload.name);
+    println!(
+        "tree {} on {ranks} ranks (1/N), Rand-Half stealing\n",
+        workload.name
+    );
     let mut rows = Vec::new();
     for threshold in [None, Some(4u32), Some(16), Some(64)] {
         let mut cfg = ExperimentConfig::new(workload.clone(), ranks)

@@ -11,7 +11,10 @@ use dws::uts::{presets, search};
 
 fn main() {
     let workload = presets::t3sim_l();
-    println!("workload: {} (binomial, seed {})", workload.name, workload.seed);
+    println!(
+        "workload: {} (binomial, seed {})",
+        workload.name, workload.seed
+    );
 
     // 1. Sequential ground truth.
     let seq = search::search(&workload);

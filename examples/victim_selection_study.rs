@@ -25,10 +25,22 @@ fn main() {
     let strategies: [(&str, VictimPolicy, StealAmount); 6] = [
         ("Reference", VictimPolicy::RoundRobin, StealAmount::OneChunk),
         ("Rand", VictimPolicy::Uniform, StealAmount::OneChunk),
-        ("Tofu", VictimPolicy::DistanceSkewed { alpha: 1.0 }, StealAmount::OneChunk),
-        ("Reference Half", VictimPolicy::RoundRobin, StealAmount::Half),
+        (
+            "Tofu",
+            VictimPolicy::DistanceSkewed { alpha: 1.0 },
+            StealAmount::OneChunk,
+        ),
+        (
+            "Reference Half",
+            VictimPolicy::RoundRobin,
+            StealAmount::Half,
+        ),
         ("Rand Half", VictimPolicy::Uniform, StealAmount::Half),
-        ("Tofu Half", VictimPolicy::DistanceSkewed { alpha: 1.0 }, StealAmount::Half),
+        (
+            "Tofu Half",
+            VictimPolicy::DistanceSkewed { alpha: 1.0 },
+            StealAmount::Half,
+        ),
     ];
     let mut rows = Vec::new();
     let mut reference_ns = None;
@@ -43,7 +55,10 @@ fn main() {
             name.to_string(),
             format!("{:.1}", r.perf.speedup()),
             format!("{:.3}", r.perf.efficiency()),
-            format!("{:+.1}%", 100.0 * (base as f64 - r.makespan.ns() as f64) / base as f64),
+            format!(
+                "{:+.1}%",
+                100.0 * (base as f64 - r.makespan.ns() as f64) / base as f64
+            ),
             r.stats.failed_steals().to_string(),
             format!("{:.0}", r.stats.avg_session_ns() / 1000.0),
             format!("{:.1}", r.stats.avg_search_ns() / 1e6),

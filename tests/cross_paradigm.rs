@@ -69,8 +69,7 @@ fn shmem_distributed_and_sequential_agree() {
 fn same_seed_reproduces_bit_identical_runs() {
     let workload = presets::t3sim_xs();
     let run = || {
-        let mut cfg = ExperimentConfig::new(workload.clone(), 8)
-            .with_victim(VictimPolicy::Uniform);
+        let mut cfg = ExperimentConfig::new(workload.clone(), 8).with_victim(VictimPolicy::Uniform);
         cfg.jitter = 0.3;
         cfg.clock_skew_max_ns = 10_000;
         run_experiment(&cfg)
@@ -90,14 +89,16 @@ fn same_seed_reproduces_bit_identical_runs() {
 fn different_seed_changes_schedule_not_count() {
     let workload = presets::t3sim_xs();
     let run = |seed: u64| {
-        let mut cfg = ExperimentConfig::new(workload.clone(), 8)
-            .with_victim(VictimPolicy::Uniform);
+        let mut cfg = ExperimentConfig::new(workload.clone(), 8).with_victim(VictimPolicy::Uniform);
         cfg.seed = seed;
         run_experiment(&cfg)
     };
     let a = run(1);
     let b = run(2);
-    assert_eq!(a.total_nodes, b.total_nodes, "tree identity is seed-independent");
+    assert_eq!(
+        a.total_nodes, b.total_nodes,
+        "tree identity is seed-independent"
+    );
     assert_ne!(
         a.stats.total().steal_attempts,
         b.stats.total().steal_attempts,

@@ -371,11 +371,27 @@ fn faulty_runs_are_deterministic() {
         let b = run_experiment(&cfg);
         assert!(a.completed, "case {case}: did not terminate");
         assert_eq!(a.total_nodes, b.total_nodes, "case {case}: totals differ");
-        assert_eq!(a.makespan.ns(), b.makespan.ns(), "case {case}: makespan differs");
-        assert_eq!(a.report.events, b.report.events, "case {case}: schedule differs");
-        assert_eq!(a.report.messages, b.report.messages, "case {case}: traffic differs");
-        assert_eq!(a.stats.per_rank, b.stats.per_rank, "case {case}: counters differ");
-        let (fa, fb) = (a.fault.as_ref().expect("report"), b.fault.as_ref().expect("report"));
+        assert_eq!(
+            a.makespan.ns(),
+            b.makespan.ns(),
+            "case {case}: makespan differs"
+        );
+        assert_eq!(
+            a.report.events, b.report.events,
+            "case {case}: schedule differs"
+        );
+        assert_eq!(
+            a.report.messages, b.report.messages,
+            "case {case}: traffic differs"
+        );
+        assert_eq!(
+            a.stats.per_rank, b.stats.per_rank,
+            "case {case}: counters differ"
+        );
+        let (fa, fb) = (
+            a.fault.as_ref().expect("report"),
+            b.fault.as_ref().expect("report"),
+        );
         assert_eq!(fa.stats, fb.stats, "case {case}: fault stats differ");
         assert_eq!(fa.crashed_ranks, fb.crashed_ranks, "case {case}");
         assert_eq!(

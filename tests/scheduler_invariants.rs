@@ -23,7 +23,10 @@ fn conservation_under_noise() {
         .check_conservation()
         .expect("work conserved across steals");
     let total = r.stats.total();
-    assert!(total.nodes_given > 0, "an unbalanced tree must force steals");
+    assert!(
+        total.nodes_given > 0,
+        "an unbalanced tree must force steals"
+    );
     assert_eq!(total.nodes_given, total.nodes_received);
 }
 

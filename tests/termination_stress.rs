@@ -145,7 +145,10 @@ fn randomized_fault_schedules_never_hang() {
         let crashes = cfg.fault_plan.crashes.len();
         let r = run_bounded(cfg);
         if crashes == 0 {
-            assert_eq!(r.total_nodes, expect, "case {case}: lost nodes without a crash");
+            assert_eq!(
+                r.total_nodes, expect,
+                "case {case}: lost nodes without a crash"
+            );
         }
     }
 }
