@@ -16,32 +16,49 @@
 use dws_core::{
     run_experiment, AliasTable, ChunkedStack, ExperimentConfig, StealAmount, VictimPolicy,
 };
-use dws_metrics::JsonValue;
+use dws_metrics::perflab::{self, BenchMetric, BenchRecord, Polarity};
 use dws_simnet::{Actor, ConstantLatency, Ctx, DetRng, Rank, SimConfig, Simulation};
 use dws_topology::{Job, RankMapping};
 use dws_uts::{presets, sha1::Sha1, Node, RngState};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Results collected for the machine-readable `BENCH_micro.json`.
-static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+/// Counting allocator so allocation-heavy regressions show up in the
+/// `allocs_per_iter` metrics of the bench record.
+#[global_allocator]
+static ALLOC: dws_simnet::CountingAlloc = dws_simnet::CountingAlloc;
 
-/// Time `f` (which runs `iters` inner iterations per call) and print
-/// the best per-iteration time across `batches` timed batches.
+/// Per-batch ns/iter samples, collected for `BENCH_micro.json`.
+static RESULTS: Mutex<Vec<(String, Vec<f64>)>> = Mutex::new(Vec::new());
+
+/// Trial seed from `--trial-seed`: offsets every seeded RNG below so
+/// repeated CI trials exercise slightly different (but deterministic)
+/// inputs. Excluded from the config fingerprint.
+static TRIAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+fn trial_seed() -> u64 {
+    TRIAL_SEED.load(Ordering::Relaxed)
+}
+
+/// Timed batches per benchmark; doubles as the record's trial count.
+const BATCHES: usize = 7;
+
+/// Time `f` (which runs `iters` inner iterations per call): print the
+/// best per-iteration time across the batches (the minimum is the
+/// stablest location estimator for short loops), and buffer all batch
+/// samples so the bench record can carry a mean and 95% CI.
 fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
-    const BATCHES: usize = 7;
     // Warm-up batch: populate caches and branch predictors.
     f();
-    let mut best = f64::INFINITY;
+    let mut samples = Vec::with_capacity(BATCHES);
     for _ in 0..BATCHES {
         let start = Instant::now();
         f();
-        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
-        if ns < best {
-            best = ns;
-        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let unit = if best >= 1e6 {
         format!("{:.3} ms", best / 1e6)
     } else if best >= 1e3 {
@@ -53,7 +70,7 @@ fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
     RESULTS
         .lock()
         .expect("results mutex")
-        .push((name.to_string(), best));
+        .push((name.to_string(), samples));
 }
 
 fn bench_sha1() {
@@ -71,7 +88,7 @@ fn bench_sha1() {
 fn bench_uts_generation() {
     println!("-- uts --");
     let spec = presets::t3xxl().spec;
-    let root = spec.root(316);
+    let root = spec.root(316i32.wrapping_add(trial_seed() as i32));
     bench("uts/spawn_child", 100_000, || {
         let mut i = 0u32;
         for _ in 0..100_000 {
@@ -87,7 +104,8 @@ fn bench_uts_generation() {
         }
     });
     bench("uts/sequential_search_xs_tree", 1, || {
-        let w = presets::t3sim_xs();
+        let mut w = presets::t3sim_xs();
+        w.seed = w.seed.wrapping_add(trial_seed() as i32);
         black_box(dws_uts::search(&w).nodes);
     });
 }
@@ -139,7 +157,7 @@ fn bench_victim_selection() {
     ];
     for (name, policy) in policies {
         let mut selector = policy.build(&job, 0, 2048);
-        let mut rng = DetRng::new(7);
+        let mut rng = DetRng::new(7 ^ trial_seed());
         bench(&format!("victim/draw_{name}"), 100_000, || {
             for _ in 0..100_000 {
                 black_box(selector.next_victim(&mut rng));
@@ -147,7 +165,7 @@ fn bench_victim_selection() {
         });
     }
     let mut rejection = VictimPolicy::DistanceSkewed { alpha: 1.0 }.build(&job, 0, 0);
-    let mut rng = DetRng::new(7);
+    let mut rng = DetRng::new(7 ^ trial_seed());
     bench("victim/draw_skew_rejection", 100_000, || {
         for _ in 0..100_000 {
             black_box(rejection.next_victim(&mut rng));
@@ -213,6 +231,7 @@ fn bench_end_to_end() {
         let mut cfg = ExperimentConfig::new(presets::t3sim_xs(), 16)
             .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
             .with_steal(StealAmount::Half);
+        cfg.seed = cfg.seed.wrapping_add(trial_seed());
         cfg.collect_trace = false;
         black_box(run_experiment(&cfg).total_nodes);
     });
@@ -225,45 +244,84 @@ fn bench_end_to_end() {
     });
 }
 
-/// Write collected results as a machine-readable report, one object
-/// per benchmark with its best observed per-iteration time.
-fn write_report(path: &str) -> std::io::Result<()> {
+/// Fold the collected batch samples into a [`BenchRecord`]: one metric
+/// per benchmark (mean ns/iter with a 95% CI across batches), plus the
+/// process-wide allocation count and peak RSS. The fingerprint hashes
+/// the benchmark names that ran, so filtered runs do not diff against
+/// full ones — but deliberately not the trial seed.
+fn build_record(started: Instant) -> BenchRecord {
     let results = RESULTS.lock().expect("results mutex");
-    let doc = JsonValue::obj(vec![
-        ("bench", "micro".into()),
-        ("unit", "ns_per_iter".into()),
-        (
-            "results",
-            JsonValue::Arr(
-                results
-                    .iter()
-                    .map(|(name, ns)| {
-                        JsonValue::obj(vec![
-                            ("name", name.as_str().into()),
-                            ("ns_per_iter", (*ns).into()),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ]);
+    let mut metrics: Vec<BenchMetric> = results
+        .iter()
+        .map(|(name, samples)| {
+            BenchMetric::from_samples(name, "ns/iter", Polarity::LowerIsBetter, samples)
+        })
+        .collect();
+    metrics.push(BenchMetric::point(
+        "wall_s_total",
+        "s",
+        Polarity::LowerIsBetter,
+        started.elapsed().as_secs_f64(),
+    ));
+    metrics.push(BenchMetric::point(
+        "allocs_total",
+        "count",
+        Polarity::LowerIsBetter,
+        dws_simnet::allocation_count() as f64,
+    ));
+    if let Some(rss) = perflab::peak_rss_bytes() {
+        metrics.push(BenchMetric::point(
+            "peak_rss_bytes",
+            "B",
+            Polarity::LowerIsBetter,
+            rss as f64,
+        ));
+    }
+    let names: String = results.iter().map(|(n, _)| n.as_str()).collect();
+    BenchRecord {
+        schema: perflab::BENCH_SCHEMA_VERSION,
+        bench: "micro".to_string(),
+        git_rev: perflab::git_rev(),
+        fingerprint: perflab::fingerprint(&names),
+        trial_seed: trial_seed(),
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        trials: BATCHES as u64,
+        metrics,
+    }
+}
+
+fn write_record(path: &str, record: &BenchRecord) -> std::io::Result<()> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(path, format!("{doc}\n"))
+    std::fs::write(path, format!("{}\n", record.to_json()))
 }
 
 fn main() {
+    let started = Instant::now();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut only: Vec<String> = Vec::new();
     let mut json_path: Option<String> = Some("results/BENCH_micro.json".to_string());
+    let mut trajectory: Option<String> = None;
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_path = it.next().or(json_path),
             "--no-json" => json_path = None,
+            "--trajectory" => trajectory = it.next(),
+            "--trial-seed" => {
+                let seed: u64 = it
+                    .next()
+                    .expect("--trial-seed needs a value")
+                    .parse()
+                    .expect("--trial-seed must be an integer");
+                TRIAL_SEED.store(seed, Ordering::Relaxed);
+            }
             _ => only.push(a),
         }
     }
@@ -289,10 +347,17 @@ fn main() {
     if run("end_to_end") {
         bench_end_to_end();
     }
+    let record = build_record(started);
     if let Some(path) = json_path {
-        match write_report(&path) {
+        match write_record(&path, &record) {
             Ok(()) => println!("[results written to {path}]"),
             Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = trajectory {
+        match perflab::append_record(&path, &record) {
+            Ok(()) => println!("[record appended to {path}]"),
+            Err(e) => eprintln!("warning: could not append to {path}: {e}"),
         }
     }
 }

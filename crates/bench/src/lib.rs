@@ -26,10 +26,13 @@
 //! ```
 
 use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, StealAmount, VictimPolicy};
+use dws_metrics::perflab::{self, BenchMetric, BenchRecord, Polarity};
 use dws_metrics::{ascii_chart, render_table, write_csv};
 use dws_topology::RankMapping;
 use dws_uts::Workload;
 use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Command-line options shared by every figure binary.
 #[derive(Debug, Clone)]
@@ -40,17 +43,24 @@ pub struct FigArgs {
     pub csv_dir: Option<PathBuf>,
     /// Seed override for variance studies.
     pub seed: u64,
+    /// Append this figure's [`BenchRecord`] to a trajectory file.
+    pub trajectory: Option<PathBuf>,
+    /// When the binary started, for the wall-clock bench metric.
+    pub started: Instant,
 }
 
 impl FigArgs {
     /// Parse from `std::env::args`: recognizes `--full`,
-    /// `--no-csv`, `--csv-dir <dir>`, `--seed <n>`.
+    /// `--no-csv`, `--csv-dir <dir>`, `--seed <n>`,
+    /// `--trajectory <path>`.
     pub fn parse() -> Self {
         let mut args = std::env::args().skip(1);
         let mut out = Self {
             full: false,
             csv_dir: Some(PathBuf::from("results")),
             seed: 0xD15_7EA1,
+            trajectory: None,
+            started: Instant::now(),
         };
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -67,10 +77,14 @@ impl FigArgs {
                         .parse()
                         .expect("--seed must be an integer");
                 }
+                "--trajectory" => {
+                    let path = args.next().expect("--trajectory needs a value");
+                    out.trajectory = Some(PathBuf::from(path));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --full (paper-scale ranks)  --no-csv  \
-                         --csv-dir <dir>  --seed <n>"
+                         --csv-dir <dir>  --seed <n>  --trajectory <path>"
                     );
                     std::process::exit(0);
                 }
@@ -162,6 +176,18 @@ pub const MAPPINGS: &[RankMapping] = &[
     RankMapping::Grouped { ppn: 8 },
 ];
 
+/// One simulated run, buffered so [`emit`] can fold the whole figure
+/// into a single [`BenchRecord`] for the trajectory store.
+struct RunSample {
+    makespan_ns: f64,
+    speedup: f64,
+    events: f64,
+    wall_s: f64,
+    fingerprint: String,
+}
+
+static RUNS: Mutex<Vec<RunSample>> = Mutex::new(Vec::new());
+
 /// Run one configured experiment, echoing progress to stderr.
 pub fn run_logged(cfg: &ExperimentConfig) -> ExperimentResult {
     let started = std::time::Instant::now();
@@ -171,13 +197,100 @@ pub fn run_logged(cfg: &ExperimentConfig) -> ExperimentResult {
         cfg.mapping.rank_count(cfg.n_nodes)
     );
     let r = run_experiment(cfg);
+    let wall = started.elapsed();
     eprintln!(
         "makespan={} speedup={:.1} ({:.1?})",
         r.makespan,
         r.perf.speedup(),
-        started.elapsed()
+        wall
     );
+    RUNS.lock()
+        .expect("sample buffer poisoned")
+        .push(RunSample {
+            makespan_ns: r.makespan.ns() as f64,
+            speedup: r.perf.speedup(),
+            events: r.report.events as f64,
+            wall_s: wall.as_secs_f64(),
+            fingerprint: r.fingerprint.clone(),
+        });
     r
+}
+
+/// Fold every run the binary performed into one [`BenchRecord`].
+///
+/// The makespan/speedup metrics aggregate across *heterogeneous*
+/// configurations (the figure's whole sweep), so their CI captures the
+/// sweep's spread, not sampling noise — a coarse but stable signature
+/// of the simulated results. The wall/throughput metrics track the
+/// harness itself. The fingerprint hashes every run's config
+/// fingerprint in order, so any change to what the figure sweeps
+/// shows up as a config change in `dws diff`.
+fn figure_record(args: &FigArgs, fig_id: &str) -> BenchRecord {
+    let samples = std::mem::take(&mut *RUNS.lock().expect("sample buffer poisoned"));
+    let wall_s = args.started.elapsed().as_secs_f64();
+    let mut metrics = vec![BenchMetric::point(
+        "wall_s_total",
+        "s",
+        Polarity::LowerIsBetter,
+        wall_s,
+    )];
+    let fingerprint = if samples.is_empty() {
+        perflab::fingerprint(fig_id)
+    } else {
+        let makespans: Vec<f64> = samples.iter().map(|s| s.makespan_ns).collect();
+        let speedups: Vec<f64> = samples.iter().map(|s| s.speedup).collect();
+        let sim_wall: f64 = samples.iter().map(|s| s.wall_s).sum();
+        let events: f64 = samples.iter().map(|s| s.events).sum();
+        metrics.push(BenchMetric::point(
+            "sim_runs",
+            "count",
+            Polarity::Neutral,
+            samples.len() as f64,
+        ));
+        metrics.push(BenchMetric::from_samples(
+            "makespan_ns",
+            "ns",
+            Polarity::LowerIsBetter,
+            &makespans,
+        ));
+        metrics.push(BenchMetric::from_samples(
+            "speedup",
+            "x",
+            Polarity::HigherIsBetter,
+            &speedups,
+        ));
+        if sim_wall > 0.0 {
+            metrics.push(BenchMetric::point(
+                "events_per_sec",
+                "1/s",
+                Polarity::HigherIsBetter,
+                events / sim_wall,
+            ));
+        }
+        let combined: String = samples.iter().map(|s| s.fingerprint.as_str()).collect();
+        perflab::fingerprint(&combined)
+    };
+    if let Some(rss) = perflab::peak_rss_bytes() {
+        metrics.push(BenchMetric::point(
+            "peak_rss_bytes",
+            "B",
+            Polarity::LowerIsBetter,
+            rss as f64,
+        ));
+    }
+    BenchRecord {
+        schema: perflab::BENCH_SCHEMA_VERSION,
+        bench: fig_id.to_string(),
+        git_rev: perflab::git_rev(),
+        fingerprint,
+        trial_seed: args.seed,
+        unix_time_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        trials: samples.len().max(1) as u64,
+        metrics,
+    }
 }
 
 /// Emit a figure: aligned table on stdout, optional ASCII chart, CSV
@@ -201,6 +314,18 @@ pub fn emit(
         let file = std::fs::File::create(&path).expect("cannot create CSV file");
         write_csv(std::io::BufWriter::new(file), header, rows).expect("cannot write CSV");
         println!("[csv written to {}]", path.display());
+    }
+    let record = figure_record(args, fig_id);
+    if let Some(dir) = &args.csv_dir {
+        let path = dir.join(format!("{fig_id}.record.json"));
+        std::fs::write(&path, format!("{}\n", record.to_json()))
+            .expect("cannot write bench record");
+        println!("[bench record written to {}]", path.display());
+    }
+    if let Some(traj) = &args.trajectory {
+        perflab::append_record(&traj.to_string_lossy(), &record)
+            .expect("cannot append to trajectory");
+        println!("[bench record appended to {}]", traj.display());
     }
 }
 
@@ -237,6 +362,8 @@ mod tests {
             full: false,
             csv_dir: None,
             seed: 0,
+            trajectory: None,
+            started: Instant::now(),
         };
         let full = FigArgs {
             full: true,

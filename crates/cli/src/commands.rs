@@ -5,6 +5,7 @@ use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, FaultToleranc
 use dws_simnet::{Brownout, Crash, FaultPlan, SlowdownWindow};
 
 use dws_metrics::export::link_matrix_json;
+use dws_metrics::perflab::{self, BenchMetric, BenchRecord, MetricDelta, Verdict};
 use dws_metrics::{lifestory, render_table, write_csv, JsonValue, Summary};
 use dws_topology::routing::Link;
 use dws_topology::{Job, LatencyParams};
@@ -219,11 +220,12 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         .chain(["csv", "trace", "json", "links"].iter())
         .copied()
         .collect();
-    let flags = parse(rest, &valued, &["lifestory", "fault-tolerant"])?;
+    let flags = parse(rest, &valued, &["lifestory", "fault-tolerant", "profile"])?;
     let mut cfg = config_from(&flags)?;
     // Any observability artifact turns the span/network tracer on.
     cfg.collect_spans =
         flags.get("trace").is_some() || flags.get("json").is_some() || flags.get("links").is_some();
+    cfg.profile = flags.has("profile");
     eprintln!(
         "running {} on {} nodes ({} ranks), tree {}...",
         cfg.label(),
@@ -301,6 +303,9 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         if let Some(trace) = &r.trace {
             println!("\n{}", lifestory::render(trace, r.makespan.ns(), 72, 24));
         }
+    }
+    if r.profile.is_some() {
+        print_profile(&r);
     }
     if let Some(path) = flags.get("csv") {
         let header = [
@@ -641,6 +646,267 @@ pub fn topo(rest: &[String]) -> Result<(), String> {
         .collect();
     println!("nearest ranks     : {}", near.join(" "));
     println!("farthest ranks    : {}", far.join(" "));
+    Ok(())
+}
+
+/// Render the engine self-profile of a run: per-phase wall time,
+/// throughput, allocation rate, peak RSS.
+fn print_profile(r: &ExperimentResult) {
+    let p = r.profile.as_ref().expect("print_profile needs a profile");
+    println!();
+    println!(
+        "profile       : {:.1} ms wall, {} events, {:.0} events/s",
+        p.wall_ns as f64 / 1e6,
+        p.events,
+        p.events_per_sec()
+    );
+    if p.allocs > 0 {
+        println!(
+            "allocations   : {} total, {:.2} per event",
+            p.allocs,
+            p.allocs_per_event()
+        );
+    } else {
+        println!("allocations   : unavailable (counting allocator not installed)");
+    }
+    if p.peak_rss_bytes > 0 {
+        println!(
+            "peak RSS      : {:.1} MiB",
+            p.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    let rows: Vec<Vec<String>> = p
+        .phases
+        .iter()
+        .map(|(name, calls, total_ns)| {
+            let per_call = if *calls > 0 {
+                *total_ns as f64 / *calls as f64
+            } else {
+                0.0
+            };
+            vec![
+                name.clone(),
+                calls.to_string(),
+                format!("{:.2}", *total_ns as f64 / 1e6),
+                format!("{per_call:.0}"),
+                format!("{:.1}", 100.0 * *total_ns as f64 / p.wall_ns.max(1) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["phase", "calls", "total ms", "ns/call", "% of wall"],
+            &rows
+        )
+    );
+}
+
+/// `dws profile` — run one experiment with the engine self-profiler on
+/// and report where the harness itself spends host time.
+pub fn profile(rest: &[String]) -> Result<(), String> {
+    let valued: Vec<&str> = CONFIG_FLAGS
+        .iter()
+        .chain(["json"].iter())
+        .copied()
+        .collect();
+    let flags = parse(rest, &valued, &["spans", "fault-tolerant"])?;
+    let mut cfg = config_from(&flags)?;
+    cfg.profile = true;
+    // `--spans` turns the causal tracer on so the trace_record phase
+    // measures real recording cost (off, the phase stays near zero).
+    cfg.collect_spans = flags.has("spans");
+    eprintln!(
+        "profiling {} on {} nodes ({} ranks), tree {}...",
+        cfg.label(),
+        cfg.n_nodes,
+        cfg.mapping.rank_count(cfg.n_nodes),
+        cfg.workload.name
+    );
+    let r = run_experiment(&cfg);
+    println!("configuration : {}", r.label);
+    println!("fingerprint   : {}", r.fingerprint);
+    println!("makespan      : {}", r.makespan);
+    println!("speedup       : {:.1}", r.perf.speedup());
+    print_profile(&r);
+    if let Some(path) = flags.get("json") {
+        write_json(path, &r.json_report())?;
+        println!("[run report written to {path}]");
+    }
+    Ok(())
+}
+
+/// One side of a `dws diff`: its comparable metrics, its config
+/// fingerprint when known, and a human label.
+struct DiffSide {
+    metrics: Vec<BenchMetric>,
+    fingerprint: Option<String>,
+    label: String,
+}
+
+/// Load a diffable artifact. `spec` is a path to a run report
+/// (`dws run --json`), a single bench record, or a trajectory file —
+/// optionally suffixed `@N` to pick entry `N` of a trajectory
+/// (negative counts from the end; a bare trajectory means `@-1`).
+fn load_diff_side(spec: &str) -> Result<DiffSide, String> {
+    let (path, index) = match spec.rsplit_once('@') {
+        Some((p, idx)) if idx.parse::<i64>().is_ok() && !p.is_empty() => {
+            (p, Some(idx.parse::<i64>().expect("checked")))
+        }
+        _ => (spec, None),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let from_record = |rec: &BenchRecord, label: String| DiffSide {
+        metrics: rec.metrics.clone(),
+        fingerprint: Some(rec.fingerprint.clone()),
+        label,
+    };
+    let pick = |records: &[BenchRecord], idx: i64| -> Result<DiffSide, String> {
+        let n = records.len() as i64;
+        let at = if idx < 0 { n + idx } else { idx };
+        if at < 0 || at >= n {
+            return Err(format!(
+                "{spec}: index {idx} out of range (trajectory has {n} entries)"
+            ));
+        }
+        let rec = &records[at as usize];
+        Ok(from_record(
+            rec,
+            format!("{path}@{at} ({}, {})", rec.bench, rec.git_rev),
+        ))
+    };
+    if let Some(idx) = index {
+        return pick(&perflab::read_trajectory(path)?, idx);
+    }
+    if let Ok(doc) = dws_metrics::export::parse(text.trim()) {
+        if perflab::is_run_report(&doc) {
+            let label = doc
+                .get("label")
+                .and_then(|v| v.as_str())
+                .unwrap_or("run report");
+            return Ok(DiffSide {
+                metrics: perflab::metrics_from_run_report(&doc),
+                fingerprint: perflab::fingerprint_of_doc(&doc),
+                label: format!("{path} ({label})"),
+            });
+        }
+        if let Ok(rec) = BenchRecord::from_json(&doc) {
+            let label = format!("{path} ({}, {})", rec.bench, rec.git_rev);
+            return Ok(from_record(&rec, label));
+        }
+    }
+    // Multi-line trajectory without an index: compare its latest entry.
+    pick(
+        &perflab::parse_trajectory(&text).map_err(|e| format!("{path}: {e}"))?,
+        -1,
+    )
+}
+
+/// Compact number formatting for the diff table.
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e7 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// `dws diff <a> <b>` — per-metric deltas between two runs with a
+/// noise-aware verdict. Exits 2 when any metric regresses, so CI can
+/// gate on it.
+pub fn diff(rest: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut flag_args: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            flag_args.push(a.clone());
+            if a == "--tol" {
+                if let Some(v) = it.next() {
+                    flag_args.push(v.clone());
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let flags = parse(&flag_args, &["tol"], &[])?;
+    let tol: f64 = flags.parse_or("tol", 0.02)?;
+    if !(0.0..10.0).contains(&tol) {
+        return Err(format!("--tol {tol} outside [0, 10)"));
+    }
+    let [a_spec, b_spec] = paths[..] else {
+        return Err("diff needs exactly two artifacts: dws diff <a> <b> [--tol f]".into());
+    };
+    let a = load_diff_side(a_spec)?;
+    let b = load_diff_side(b_spec)?;
+    println!("A: {}", a.label);
+    println!("B: {}", b.label);
+    if let (Some(fa), Some(fb)) = (&a.fingerprint, &b.fingerprint) {
+        if fa != fb {
+            println!(
+                "note: config fingerprints differ ({fa} vs {fb}) — deltas may \
+                 reflect configuration changes, not code changes"
+            );
+        }
+    }
+    let deltas = perflab::compare(&a.metrics, &b.metrics, tol);
+    if deltas.is_empty() {
+        return Err("the two artifacts share no metric names — nothing to compare".into());
+    }
+    let skipped = a.metrics.len().max(b.metrics.len()) - deltas.len();
+    if skipped > 0 {
+        println!("({skipped} metrics present on only one side were skipped)");
+    }
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d: &MetricDelta| {
+            vec![
+                d.name.clone(),
+                fmt_num(d.a),
+                fmt_num(d.b),
+                format!("{:+.2}%", 100.0 * d.rel),
+                fmt_num(d.threshold),
+                d.verdict.label().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["metric", "A", "B", "delta", "threshold", "verdict"],
+            &rows
+        )
+    );
+    let regressions = deltas
+        .iter()
+        .filter(|d| d.verdict == Verdict::Regression)
+        .count();
+    let improvements = deltas
+        .iter()
+        .filter(|d| d.verdict == Verdict::Improvement)
+        .count();
+    let overall = if regressions > 0 {
+        "REGRESSION"
+    } else if improvements > 0 {
+        "improvement"
+    } else {
+        "within-noise"
+    };
+    println!(
+        "verdict: {overall} ({regressions} regressed, {improvements} improved, \
+         {} within noise, tol {tol})",
+        deltas.len() - regressions - improvements
+    );
+    if regressions > 0 {
+        // Exit 2 distinguishes "a metric regressed" from usage errors
+        // (exit 1), so CI can gate precisely.
+        std::process::exit(2);
+    }
     Ok(())
 }
 

@@ -13,6 +13,12 @@
 mod args;
 mod commands;
 
+/// Counting allocator so `dws profile` can report allocations-per-event.
+/// Delegates straight to the system allocator; the only overhead is one
+/// relaxed atomic increment per allocation.
+#[global_allocator]
+static ALLOC: dws_simnet::CountingAlloc = dws_simnet::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match argv.split_first() {
@@ -30,6 +36,8 @@ fn main() {
         "tree" => commands::tree(rest),
         "topo" | "topology" => commands::topo(rest),
         "shmem" => commands::shmem(rest),
+        "profile" => commands::profile(rest),
+        "diff" => commands::diff(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -91,5 +99,20 @@ commands:
           --nodes <n> [--mapping <m>] [--rank <r>]
   shmem   run the threaded shared-memory executor
           --tree <preset> --workers <n>
+  profile run once with the engine self-profiler on: per-phase wall
+          time (dispatch, fault_eval, victim_draw, trace_record),
+          events/sec, allocations per event, peak RSS
+          (accepts the same configuration flags as run)
+          --spans              also enable the causal tracer so the
+                               trace_record phase measures real cost
+          --json <path>        write the run report (includes profile)
+  diff    compare two runs or bench records metric by metric
+          dws diff <a> <b> [--tol <f>]
+          each side is a run report (dws run --json), a bench record,
+          or a trajectory file; <path>@N picks trajectory entry N
+          (negative counts from the end; bare trajectory means @-1)
+          verdict per metric: regression / improvement / within-noise,
+          significant iff |delta| > max(ci95_a + ci95_b, tol*|a|)
+          exit code 2 if any metric regressed (for CI gating)
   help    this text"
 }

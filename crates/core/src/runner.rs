@@ -17,15 +17,18 @@
 use crate::scheduler::{Counters, FaultToleranceCfg, SchedulerCfg, StealAmount, Worker};
 use crate::victim::VictimPolicy;
 use dws_metrics::export::{chrome_trace, histograms_json, span_counts_json};
+use dws_metrics::perflab::{self, ProfileReport};
 use dws_metrics::{
     ActivityTrace, JsonValue, LatencyHistograms, OccupancyCurve, Perf, RunStats, SpanTrace,
     StealStats,
 };
+use dws_simnet::profiler::{allocation_count, PerfProbe};
 use dws_simnet::{FaultPlan, FaultStats, NetTrace, RunReport, SimConfig, SimTime, Simulation};
 use dws_topology::routing::LinkLoad;
 use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
 use dws_uts::{Node, Workload};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Full description of one experiment.
 #[derive(Debug, Clone)]
@@ -104,6 +107,11 @@ pub struct ExperimentConfig {
     /// active, off otherwise (so fault-free runs never pay for it).
     /// Set explicitly to measure protocol overhead on a clean network.
     pub fault_tolerance: Option<FaultToleranceCfg>,
+    /// Engine self-profiling: wall-clock phase timers, events/sec and
+    /// allocations-per-event, reported in the run report's `profile`
+    /// section. Off by default; like tracing, turning it on changes
+    /// not a single simulated event.
+    pub profile: bool,
 }
 
 impl ExperimentConfig {
@@ -139,6 +147,7 @@ impl ExperimentConfig {
             expect_nodes: None,
             fault_plan: FaultPlan::default(),
             fault_tolerance: None,
+            profile: false,
         }
     }
 
@@ -230,6 +239,134 @@ impl ExperimentConfig {
             }
         })
     }
+
+    /// Canonical JSON description of everything that shapes the
+    /// simulated outcome — including the full fault plan, so two runs
+    /// under different fault schedules never fingerprint as "same
+    /// config". Observability switches (`collect_trace`,
+    /// `collect_spans`, `profile`) are deliberately excluded: they are
+    /// proven not to perturb the schedule, and reports taken with and
+    /// without them must stay diffable as the same configuration.
+    pub fn config_json(&self) -> JsonValue {
+        let opt_u64 = |v: Option<u64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+        let mut pairs: Vec<(&str, JsonValue)> = vec![
+            ("label", self.label().into()),
+            ("seed", self.seed.into()),
+            (
+                "workload",
+                JsonValue::obj(vec![
+                    ("name", self.workload.name.into()),
+                    ("spec", format!("{:?}", self.workload.spec).into()),
+                    ("tree_seed", f64::from(self.workload.seed).into()),
+                    ("gen_rounds", self.workload.gen_rounds.into()),
+                    ("base_node_ns", self.workload.base_node_ns.into()),
+                ]),
+            ),
+            ("n_nodes", self.n_nodes.into()),
+            ("n_ranks", self.mapping.rank_count(self.n_nodes).into()),
+            ("mapping", self.mapping.label().into()),
+            ("alloc", format!("{:?}", self.alloc).into()),
+            ("latency", format!("{:?}", self.latency).into()),
+            ("victim", self.victim.label().into()),
+            ("steal", self.steal.label().into()),
+            ("chunk_size", self.chunk_size.into()),
+            ("poll_interval", self.poll_interval.into()),
+            ("retry_delay_ns", self.retry_delay_ns.into()),
+            ("probe_backoff_ns", self.probe_backoff_ns.into()),
+            ("msg_handle_ns", self.msg_handle_ns.into()),
+            ("package_chunk_ns", self.package_chunk_ns.into()),
+            (
+                "lifeline_threshold",
+                self.lifeline_threshold
+                    .map(JsonValue::from)
+                    .unwrap_or(JsonValue::Null),
+            ),
+            ("nic_occupancy_ns", self.nic_occupancy_ns.into()),
+            ("nic_bytes_per_ns", self.nic_bytes_per_ns.into()),
+            (
+                "link_level_network",
+                match self.link_level_network {
+                    Some((link, overhead)) => JsonValue::Arr(vec![link.into(), overhead.into()]),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("jitter", self.jitter.into()),
+            ("clock_skew_max_ns", self.clock_skew_max_ns.into()),
+            ("max_sim_time_ns", opt_u64(self.max_sim_time_ns)),
+            ("max_events", opt_u64(self.max_events)),
+            ("fault_plan", fault_plan_json(&self.fault_plan)),
+            (
+                "fault_tolerance",
+                match self.effective_fault_tolerance() {
+                    Some(ft) => format!("{ft:?}").into(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ];
+        let fingerprint = perflab::fingerprint(&JsonValue::obj(pairs.clone()).to_string());
+        pairs.insert(0, ("fingerprint", fingerprint.into()));
+        JsonValue::obj(pairs)
+    }
+
+    /// The configuration fingerprint alone (see
+    /// [`config_json`](Self::config_json)).
+    pub fn fingerprint(&self) -> String {
+        self.config_json()
+            .get("fingerprint")
+            .and_then(|v| v.as_str())
+            .expect("config_json always embeds a fingerprint")
+            .to_string()
+    }
+}
+
+/// The complete fault plan as JSON — every knob that changes what the
+/// network does to the run, so it lands in the config fingerprint.
+fn fault_plan_json(plan: &FaultPlan) -> JsonValue {
+    JsonValue::obj(vec![
+        ("active", plan.is_active().into()),
+        ("drop_prob", plan.drop_prob.into()),
+        ("dup_prob", plan.dup_prob.into()),
+        ("spike_prob", plan.spike_prob.into()),
+        ("spike_min_ns", plan.spike_min_ns.into()),
+        ("spike_alpha", plan.spike_alpha.into()),
+        ("spike_cap_ns", plan.spike_cap_ns.into()),
+        (
+            "slowdowns",
+            JsonValue::Arr(
+                plan.slowdowns
+                    .iter()
+                    .map(|w| {
+                        JsonValue::Arr(vec![
+                            w.rank.into(),
+                            w.from_ns.into(),
+                            w.until_ns.into(),
+                            w.factor.into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "brownouts",
+            JsonValue::Arr(
+                plan.brownouts
+                    .iter()
+                    .map(|b| {
+                        JsonValue::Arr(vec![b.rank.into(), b.from_ns.into(), b.until_ns.into()])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "crashes",
+            JsonValue::Arr(
+                plan.crashes
+                    .iter()
+                    .map(|c| JsonValue::Arr(vec![c.rank.into(), c.at_ns.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Everything a figure needs from one run.
@@ -264,6 +401,13 @@ pub struct ExperimentResult {
     /// The placed job (rank → coordinate), kept for offline routing
     /// analysis of the network trace.
     pub job: Arc<Job>,
+    /// The full configuration as JSON, fingerprint included — what the
+    /// run report's `config` section carries.
+    pub config: JsonValue,
+    /// Configuration fingerprint (see [`ExperimentConfig::config_json`]).
+    pub fingerprint: String,
+    /// Engine self-profile, when the run was profiled.
+    pub profile: Option<ProfileReport>,
 }
 
 /// What the faults actually did to one run.
@@ -352,7 +496,37 @@ impl ExperimentResult {
                 "per_rank",
                 JsonValue::Arr(self.stats.per_rank.iter().map(steal_stats_json).collect()),
             ),
+            ("config", self.config.clone()),
         ];
+        if let Some(occ) = self.occupancy() {
+            let latency = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+            pairs.push((
+                "occupancy",
+                JsonValue::obj(vec![
+                    ("w_max", occ.w_max().into()),
+                    ("average", occ.average_occupancy().into()),
+                    (
+                        "sl",
+                        JsonValue::obj(vec![
+                            ("25", latency(occ.starting_latency(0.25))),
+                            ("50", latency(occ.starting_latency(0.50))),
+                            ("90", latency(occ.starting_latency(0.90))),
+                        ]),
+                    ),
+                    (
+                        "el",
+                        JsonValue::obj(vec![
+                            ("25", latency(occ.ending_latency(0.25))),
+                            ("50", latency(occ.ending_latency(0.50))),
+                            ("90", latency(occ.ending_latency(0.90))),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(profile) = &self.profile {
+            pairs.push(("profile", profile.to_json()));
+        }
         if let Some(h) = self.latency_histograms() {
             pairs.push(("histograms", histograms_json(&h)));
         }
@@ -508,6 +682,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         fault_tolerance: cfg.effective_fault_tolerance(),
     });
     let ft_on = sched.fault_tolerance.is_some();
+    let probe = if cfg.profile {
+        Some(Arc::new(PerfProbe::new()))
+    } else {
+        None
+    };
     let workers: Vec<Worker> = (0..n_ranks)
         .map(|me| {
             let selector = cfg.victim.build(&job, me, cfg.alias_threshold);
@@ -518,6 +697,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             }
             if cfg.collect_spans {
                 w = w.with_tracing();
+            }
+            if let Some(p) = &probe {
+                w = w.with_profiler(Arc::clone(p));
             }
             w
         })
@@ -555,7 +737,28 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     if cfg.collect_spans {
         sim.attach_net_trace();
     }
+    if let Some(p) = &probe {
+        sim.attach_profiler(Arc::clone(p));
+    }
+    // Wall-clock and allocation accounting bracket only the simulation
+    // loop; both reads are no-ops for the simulated schedule.
+    let allocs_before = probe.as_ref().map(|_| allocation_count());
+    let wall_start = probe.as_ref().map(|_| Instant::now());
     let report = sim.run_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
+    let profile = probe.as_ref().map(|p| ProfileReport {
+        wall_ns: wall_start
+            .expect("wall_start set whenever probe is")
+            .elapsed()
+            .as_nanos() as u64,
+        events: report.events,
+        allocs: allocation_count() - allocs_before.expect("allocs_before set whenever probe is"),
+        peak_rss_bytes: perflab::peak_rss_bytes().unwrap_or(0),
+        phases: p
+            .snapshot()
+            .into_iter()
+            .map(|(name, calls, total_ns)| (name.to_string(), calls, total_ns))
+            .collect(),
+    });
     let crashed_ranks = sim.crashed_ranks();
     let is_crashed = |r: usize| crashed_ranks.contains(&(r as u32));
     // Crashed ranks can never observe termination; a run is complete
@@ -691,6 +894,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         None
     };
     let net = sim.net_trace().cloned();
+    let config = cfg.config_json();
+    let fingerprint = config
+        .get("fingerprint")
+        .and_then(|v| v.as_str())
+        .expect("config_json always embeds a fingerprint")
+        .to_string();
     ExperimentResult {
         label: cfg.label(),
         n_ranks,
@@ -706,6 +915,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         spans,
         net,
         job,
+        config,
+        fingerprint,
+        profile,
     }
 }
 

@@ -42,6 +42,7 @@ use crate::stack::{Chunk, ChunkedStack};
 use crate::termination::{TerminationState, Token, TokenAction};
 use crate::victim::VictimSelector;
 use dws_metrics::{trace_id, SpanKind, SpanRecord, Tracer};
+use dws_simnet::profiler::{prof_record, prof_start, PerfProbe, Phase};
 use dws_simnet::{Actor, Ctx, Rank};
 use dws_topology::Job;
 use dws_uts::{Node, TreeSpec, Workload, NODE_WIRE_BYTES};
@@ -416,6 +417,10 @@ pub struct Worker {
     /// recorded at exactly the sites that bump [`Counters`], which is
     /// what lets `SpanTrace::reconcile` cross-check them exactly.
     tracer: Tracer,
+    /// Optional self-profiling probe shared with the engine. Only ever
+    /// reads the host clock; one branch per site when absent, so the
+    /// event schedule is identical with profiling on or off.
+    probe: Option<Arc<PerfProbe>>,
     /// Statistics counters.
     pub counters: Counters,
 }
@@ -479,6 +484,7 @@ impl Worker {
             watchdog_attempts: 0,
             crash_seen: false,
             tracer: Tracer::off(),
+            probe: None,
             counters: Counters::default(),
             cfg,
         }
@@ -496,12 +502,25 @@ impl Worker {
         self.tracer.records()
     }
 
+    /// Share the engine's self-profiling probe with this rank (builder
+    /// style): victim draws and span-record time get phase-accounted.
+    pub fn with_profiler(mut self, probe: Arc<PerfProbe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Record one span at the current global time (no-op when tracing
     /// is off).
     #[inline]
     fn span(&mut self, ctx: &Ctx<'_, Msg>, trace: u64, kind: SpanKind) {
+        let t0 = if self.tracer.enabled() {
+            prof_start(&self.probe)
+        } else {
+            None
+        };
         self.tracer
             .record(ctx.now().ns(), ctx.me() as usize, trace, kind);
+        prof_record(&self.probe, Phase::TraceRecord, t0);
     }
 
     /// Attach the topology latency model so fault-tolerance timeouts
@@ -795,8 +814,10 @@ impl Worker {
     fn go_idle(&mut self, ctx: &mut Ctx<'_, Msg>) {
         debug_assert!(self.stack.is_empty() && !self.computing);
         if self.traced_active {
+            let t0 = prof_start(&self.probe);
             self.trace.push((ctx.local_now().ns(), false));
             self.traced_active = false;
+            prof_record(&self.probe, Phase::TraceRecord, t0);
         }
         self.search_since_ns = Some(ctx.now().ns());
         if self.passive() {
@@ -838,14 +859,17 @@ impl Worker {
             self.span(ctx, 0, SpanKind::SessionEnd { dur_ns: dur });
         }
         if !self.traced_active {
+            let t0 = prof_start(&self.probe);
             self.trace.push((ctx.local_now().ns(), true));
             self.traced_active = true;
+            prof_record(&self.probe, Phase::TraceRecord, t0);
         }
         self.start_batch(ctx);
     }
 
     fn send_steal_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
         debug_assert!(self.outstanding.is_none());
+        let t_draw = prof_start(&self.probe);
         let mut victim = self.selector.next_victim(ctx.rng());
         debug_assert_ne!(victim, ctx.me());
         if self.ft_on() && ctx.is_crashed(victim) {
@@ -862,10 +886,14 @@ impl Worker {
                 let me = ctx.me();
                 match (0..n).find(|&r| r != me && !ctx.is_crashed(r)) {
                     Some(live) => victim = live,
-                    None => return, // nobody left to steal from
+                    None => {
+                        prof_record(&self.probe, Phase::VictimDraw, t_draw);
+                        return; // nobody left to steal from
+                    }
                 }
             }
         }
+        prof_record(&self.probe, Phase::VictimDraw, t_draw);
         let seq = self.req_seq;
         self.req_seq += 1;
         self.outstanding = Some(victim);

@@ -18,7 +18,10 @@
 //! - [`export`] — dependency-free JSON, Chrome trace-event output and
 //!   machine-readable run reports;
 //! - [`report`] — efficiency/speedup math, text tables, CSV output and
-//!   terminal ASCII charts for regenerating the paper's figures.
+//!   terminal ASCII charts for regenerating the paper's figures;
+//! - [`perflab`] — benchmark trajectory records ([`BenchRecord`]),
+//!   repeated-trial 95% confidence intervals, and noise-aware
+//!   cross-run regression diffing for `dws diff`.
 //!
 //! ## Example: computing a starting latency
 //!
@@ -41,6 +44,7 @@ pub mod export;
 pub mod histogram;
 pub mod lifestory;
 pub mod occupancy;
+pub mod perflab;
 pub mod report;
 pub mod span;
 pub mod steal_stats;
@@ -50,6 +54,7 @@ pub mod trace;
 pub use export::JsonValue;
 pub use histogram::{Histogram, LatencyHistograms};
 pub use occupancy::OccupancyCurve;
+pub use perflab::{BenchMetric, BenchRecord, MetricDelta, Polarity, ProfileReport, Verdict};
 pub use report::{ascii_chart, render_table, write_csv, Perf};
 pub use span::{trace_id, SpanKind, SpanRecord, SpanTrace, Tracer};
 pub use steal_stats::{RunStats, StealStats};

@@ -27,8 +27,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
+use std::sync::Arc;
+
 use crate::fault::{FaultPlan, FaultStats};
 use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, NetTrace};
+use crate::profiler::{prof_record, prof_start, PerfProbe, Phase};
 use crate::rng::DetRng;
 use crate::time::SimTime;
 
@@ -211,6 +214,9 @@ struct Kernel<M> {
     fault_stats: FaultStats,
     /// Scheduled crash time per rank (`None` = immortal).
     crash_at: Vec<Option<u64>>,
+    /// Optional self-profiling probe; only ever reads the host clock,
+    /// never simulated state. `None` costs one branch per site.
+    profiler: Option<Arc<PerfProbe>>,
 }
 
 impl<M> Kernel<M> {
@@ -227,9 +233,21 @@ impl<M> Kernel<M> {
 
     /// Record a fault-injection outcome in the event log, if attached.
     fn log_fault(&mut self, kind: ObsKind) {
-        if let Some(log) = &mut self.log {
-            log.record(EventRecord { at: self.now, kind });
+        let at = self.now;
+        self.log_event(at, kind);
+    }
+
+    /// Record an engine event in the event log, if attached; the
+    /// append is accounted to the trace-record profile phase.
+    fn log_event(&mut self, at: SimTime, kind: ObsKind) {
+        if self.log.is_none() {
+            return;
         }
+        let t0 = prof_start(&self.profiler);
+        if let Some(log) = &mut self.log {
+            log.record(EventRecord { at, kind });
+        }
+        prof_record(&self.profiler, Phase::TraceRecord, t0);
     }
 }
 
@@ -239,6 +257,7 @@ impl<M: Clone> Kernel<M> {
         let mut spike_ns = 0u64;
         let mut duplicate = false;
         if self.fault_active {
+            let t0 = prof_start(&self.profiler);
             // Fixed draw order — drop, spike, dup — one draw each per
             // send, so the fault schedule is a pure function of the
             // seed and the send sequence, independent of outcomes.
@@ -248,6 +267,7 @@ impl<M: Clone> Kernel<M> {
             if self.fault.in_brownout(from, depart_ns) || self.fault.in_brownout(to, depart_ns) {
                 self.fault_stats.brownout_drops += 1;
                 self.messages_sent += 1;
+                prof_record(&self.profiler, Phase::FaultEval, t0);
                 self.log_fault(ObsKind::Dropped {
                     from,
                     to,
@@ -258,6 +278,7 @@ impl<M: Clone> Kernel<M> {
             if u_drop < self.fault.drop_prob {
                 self.fault_stats.dropped += 1;
                 self.messages_sent += 1;
+                prof_record(&self.profiler, Phase::FaultEval, t0);
                 self.log_fault(ObsKind::Dropped {
                     from,
                     to,
@@ -268,9 +289,12 @@ impl<M: Clone> Kernel<M> {
             if u_spike < self.fault.spike_prob {
                 spike_ns = self.fault.spike_ns(self.fault_rng.next_f64());
                 self.fault_stats.spiked += 1;
-                self.log_fault(ObsKind::Delayed { from, to, spike_ns });
             }
             duplicate = u_dup < self.fault.dup_prob;
+            prof_record(&self.profiler, Phase::FaultEval, t0);
+            if spike_ns > 0 {
+                self.log_fault(ObsKind::Delayed { from, to, spike_ns });
+            }
         }
         let mut delay = (self.latency)(from, to, bytes, depart_ns);
         if self.jitter > 0.0 {
@@ -286,6 +310,11 @@ impl<M: Clone> Kernel<M> {
         };
         self.fifo.insert(key, at);
         self.messages_sent += 1;
+        let t_rec = if self.log.is_some() || self.net_trace.is_some() {
+            prof_start(&self.profiler)
+        } else {
+            None
+        };
         if let Some(log) = &mut self.log {
             log.record(EventRecord {
                 at: self.now,
@@ -303,6 +332,7 @@ impl<M: Clone> Kernel<M> {
             // included.
             nt.record(from, to, bytes as u64, at.ns() - depart_ns);
         }
+        prof_record(&self.profiler, Phase::TraceRecord, t_rec);
         if duplicate {
             // The duplicate rides one tick behind the original and is
             // exempt from FIFO ordering: it is a fault, not a message.
@@ -492,6 +522,7 @@ impl<A: Actor> Simulation<A> {
                 fault_rng: DetRng::for_rank(config.seed, u32::MAX - 1),
                 fault_stats: FaultStats::default(),
                 crash_at,
+                profiler: None,
             },
             rank_rngs,
             skews,
@@ -548,12 +579,8 @@ impl<A: Actor> Simulation<A> {
                         });
                     } else {
                         self.messages_delivered += 1;
-                        if let Some(log) = &mut self.kernel.log {
-                            log.record(EventRecord {
-                                at: ev.time,
-                                kind: ObsKind::Delivered { from, to },
-                            });
-                        }
+                        self.kernel
+                            .log_event(ev.time, ObsKind::Delivered { from, to });
                         self.dispatch_message(to, from, msg);
                     }
                 }
@@ -564,12 +591,8 @@ impl<A: Actor> Simulation<A> {
                             .log_fault(ObsKind::CrashLost { rank, timer: true });
                     } else {
                         self.timers_fired += 1;
-                        if let Some(log) = &mut self.kernel.log {
-                            log.record(EventRecord {
-                                at: ev.time,
-                                kind: ObsKind::Timer { rank, token },
-                            });
-                        }
+                        self.kernel
+                            .log_event(ev.time, ObsKind::Timer { rank, token });
                         self.dispatch_timer(rank, token);
                     }
                 }
@@ -651,8 +674,17 @@ impl<A: Actor> Simulation<A> {
         self.kernel.net_trace.as_ref()
     }
 
+    /// Attach a self-profiling probe (shared with the schedulers via
+    /// `Arc`). Call before `run`; unattached, every instrumentation
+    /// site costs one branch and the schedule is unaffected either
+    /// way — the probe only reads the host clock.
+    pub fn attach_profiler(&mut self, probe: Arc<PerfProbe>) {
+        self.kernel.profiler = Some(probe);
+    }
+
     fn dispatch_start(&mut self, rank: Rank) {
         let i = rank as usize;
+        let t0 = prof_start(&self.kernel.profiler);
         let mut ctx = Ctx {
             kernel: &mut self.kernel,
             me: rank,
@@ -660,10 +692,12 @@ impl<A: Actor> Simulation<A> {
             skew_ns: self.skews[i],
         };
         self.actors[i].on_start(&mut ctx);
+        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
     }
 
     fn dispatch_message(&mut self, rank: Rank, from: Rank, msg: A::Msg) {
         let i = rank as usize;
+        let t0 = prof_start(&self.kernel.profiler);
         let mut ctx = Ctx {
             kernel: &mut self.kernel,
             me: rank,
@@ -671,10 +705,12 @@ impl<A: Actor> Simulation<A> {
             skew_ns: self.skews[i],
         };
         self.actors[i].on_message(&mut ctx, from, msg);
+        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
     }
 
     fn dispatch_timer(&mut self, rank: Rank, token: u64) {
         let i = rank as usize;
+        let t0 = prof_start(&self.kernel.profiler);
         let mut ctx = Ctx {
             kernel: &mut self.kernel,
             me: rank,
@@ -682,6 +718,7 @@ impl<A: Actor> Simulation<A> {
             skew_ns: self.skews[i],
         };
         self.actors[i].on_timer(&mut ctx, token);
+        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
     }
 }
 

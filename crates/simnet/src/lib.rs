@@ -46,11 +46,13 @@
 pub mod engine;
 pub mod fault;
 pub mod observer;
+pub mod profiler;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Actor, ConstantLatency, Ctx, LatencyFn, Rank, RunReport, SimConfig, Simulation};
 pub use fault::{Brownout, Crash, FaultPlan, FaultStats, SlowdownWindow};
 pub use observer::{EventKind, EventLog, EventRecord, NetTrace, PairTally};
+pub use profiler::{allocation_count, CountingAlloc, PerfProbe, Phase};
 pub use rng::DetRng;
 pub use time::{SimTime, MS, SEC, US};

@@ -1,9 +1,11 @@
-#!/bin/sh
-# Regenerate every table/figure at default (compressed) scale.
+#!/bin/bash
+# Regenerate every table/figure at default (compressed) scale, then
+# consolidate each figure's bench record into the trajectory store.
 # Usage: ./run_all_figures.sh [--full]
-set -e
+set -euo pipefail
 cd "$(dirname "$0")"
 cargo build --release -p dws-bench 2>/dev/null
+rm -f results/*.record.json
 for bin in table1 fig02_efficiency_small fig03_reference_large fig04_latency_small \
            fig05_latency_large fig06_random_speedup fig07_failed_steals_rand \
            fig08_skew_pdf fig09_tofu_speedup fig10_session_duration fig11_steal_half \
@@ -13,4 +15,8 @@ for bin in table1 fig02_efficiency_small fig03_reference_large fig04_latency_sma
     echo "=== $bin ==="
     ./target/release/$bin "$@" | tee results/$bin.out
 done
+# One trajectory entry per figure run: the per-binary records are
+# single-line JSON, so concatenation is valid JSON-lines.
+cat results/*.record.json >> results/BENCH_trajectory.json
+echo "[figure records appended to results/BENCH_trajectory.json]"
 echo "ALL FIGURES DONE"
