@@ -289,6 +289,7 @@ fn build_record(started: Instant) -> BenchRecord {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         trials: BATCHES as u64,
+        threads: 1,
         metrics,
     }
 }

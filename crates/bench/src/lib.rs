@@ -45,6 +45,8 @@ pub struct FigArgs {
     pub seed: u64,
     /// Append this figure's [`BenchRecord`] to a trajectory file.
     pub trajectory: Option<PathBuf>,
+    /// Simulation worker threads for every run (`--threads`).
+    pub threads: u32,
     /// When the binary started, for the wall-clock bench metric.
     pub started: Instant,
 }
@@ -52,7 +54,7 @@ pub struct FigArgs {
 impl FigArgs {
     /// Parse from `std::env::args`: recognizes `--full`,
     /// `--no-csv`, `--csv-dir <dir>`, `--seed <n>`,
-    /// `--trajectory <path>`.
+    /// `--trajectory <path>`, `--threads <n>`.
     pub fn parse() -> Self {
         let mut args = std::env::args().skip(1);
         let mut out = Self {
@@ -60,6 +62,7 @@ impl FigArgs {
             csv_dir: Some(PathBuf::from("results")),
             seed: 0xD15_7EA1,
             trajectory: None,
+            threads: 1,
             started: Instant::now(),
         };
         while let Some(a) = args.next() {
@@ -81,10 +84,19 @@ impl FigArgs {
                     let path = args.next().expect("--trajectory needs a value");
                     out.trajectory = Some(PathBuf::from(path));
                 }
+                "--threads" => {
+                    out.threads = args
+                        .next()
+                        .expect("--threads needs a value")
+                        .parse()
+                        .expect("--threads must be an integer");
+                    assert!(out.threads >= 1, "--threads must be at least 1");
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --full (paper-scale ranks)  --no-csv  \
-                         --csv-dir <dir>  --seed <n>  --trajectory <path>"
+                         --csv-dir <dir>  --seed <n>  --trajectory <path>  \
+                         --threads <n>"
                     );
                     std::process::exit(0);
                 }
@@ -134,6 +146,7 @@ impl FigArgs {
     pub fn config(&self, workload: Workload, n_nodes: u32) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::new(workload, n_nodes);
         cfg.seed = self.seed;
+        cfg.threads = self.threads;
         cfg
     }
 }
@@ -289,6 +302,7 @@ fn figure_record(args: &FigArgs, fig_id: &str) -> BenchRecord {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         trials: samples.len().max(1) as u64,
+        threads: args.threads,
         metrics,
     }
 }
@@ -363,6 +377,7 @@ mod tests {
             csv_dir: None,
             seed: 0,
             trajectory: None,
+            threads: 1,
             started: Instant::now(),
         };
         let full = FigArgs {

@@ -37,6 +37,7 @@ const CONFIG_FLAGS: &[&str] = &[
     "fault-brownout",
     "fault-slowdown",
     "fault-timeout-mult",
+    "threads",
 ];
 
 fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
@@ -162,6 +163,19 @@ fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
         let mut ft = cfg.effective_fault_tolerance().unwrap_or_default();
         ft.timeout_mult = mult;
         cfg.fault_tolerance = Some(ft);
+    }
+    if let Some(threads) = flags.parse_opt::<u32>("threads")? {
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        let ranks = cfg.mapping.rank_count(cfg.n_nodes);
+        if threads > ranks {
+            eprintln!(
+                "warning: --threads {threads} exceeds the job's {ranks} ranks; \
+                 extra threads will idle"
+            );
+        }
+        cfg.threads = threads;
     }
     // Surface config mistakes (bad probabilities, unknown ranks, a
     // rank-0 crash) as CLI errors instead of a panic inside the run.
@@ -700,6 +714,31 @@ fn print_profile(r: &ExperimentResult) {
             &rows
         )
     );
+    if !p.shards.is_empty() {
+        let rows: Vec<Vec<String>> = p
+            .shards
+            .iter()
+            .map(|(shard, ranks, events, windows, busy_ns, wait_ns)| {
+                let turnaround = busy_ns + wait_ns;
+                vec![
+                    shard.to_string(),
+                    ranks.to_string(),
+                    events.to_string(),
+                    windows.to_string(),
+                    format!("{:.2}", *busy_ns as f64 / 1e6),
+                    format!("{:.2}", *wait_ns as f64 / 1e6),
+                    format!("{:.1}", 100.0 * *busy_ns as f64 / turnaround.max(1) as f64),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["shard", "ranks", "events", "windows", "busy ms", "wait ms", "% busy"],
+                &rows
+            )
+        );
+    }
 }
 
 /// `dws profile` — run one experiment with the engine self-profiler on

@@ -69,6 +69,8 @@ commands:
           --gen-rounds <n>     SHA rounds per node creation (default 1)
           --jitter <f>         latency jitter fraction
           --skew-ns <n>        max per-rank clock skew
+          --threads <n>        simulation worker threads (default 1);
+                               results are bit-identical for every n
           --lifestory          print the per-rank activity chart
           --csv <path>         write per-rank statistics as CSV
           --fault-drop/-dup/-spike <p> message fault probabilities
@@ -101,7 +103,9 @@ commands:
           --tree <preset> --workers <n>
   profile run once with the engine self-profiler on: per-phase wall
           time (dispatch, fault_eval, victim_draw, trace_record),
-          events/sec, allocations per event, peak RSS
+          events/sec, allocations per event, peak RSS, and — when
+          --threads > 1 — a per-shard table (ranks, events, windows,
+          busy vs barrier-wait time)
           (accepts the same configuration flags as run)
           --spans              also enable the causal tracer so the
                                trace_record phase measures real cost

@@ -1,4 +1,4 @@
-//! NIC-contended network model.
+//! Contended network models (NIC-level and link-level).
 //!
 //! Each compute node has **one** network interface, shared by every
 //! rank placed on it. When several MPI processes per node generate
@@ -8,25 +8,27 @@
 //! a single process per node" (§I) hinges on exactly this contention,
 //! which a pure point-to-point latency function cannot express.
 //!
-//! The model keeps, per node, the time its NIC becomes free in each
-//! direction. A message departing at `t` from a node whose transmit
-//! NIC is busy until `t' > t` waits `t' − t`, then occupies the NIC for
-//! an `occupancy` window (fixed overhead plus serialization of its
-//! bytes); reception mirrors this on the destination node. With one
-//! rank per node the queues are almost always empty and the model
-//! degrades to the plain topology latency.
-//!
-//! State is interior-mutable ([`RefCell`]) because the simulator calls
-//! the latency oracle through `&self`; the simulation is
-//! single-threaded and calls in send order, which is what the
-//! first-come-first-served bookkeeping assumes.
+//! Both models implement [`NetworkModel`], which splits a delivery into
+//! an **egress** half (transmit queueing plus wire time, charged on the
+//! sender's shard in send order) and an **ingress** half (receive-NIC
+//! admission, charged on the destination's shard in arrival order).
+//! The split is what lets the parallel engine run contended models
+//! deterministically: each half only touches state owned by one node,
+//! and node-aligned sharding guarantees a single shard ever mutates it.
 
-use dws_simnet::LatencyFn;
+use dws_simnet::NetworkModel;
 use dws_topology::Job;
-use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Per-direction NIC occupancy bookkeeping for every node of a job.
+///
+/// The model keeps, per node, the time its NIC becomes free in each
+/// direction. A message departing at `t` from a node whose transmit
+/// NIC is busy until `t' > t` waits `t' − t`, then occupies the NIC for
+/// an `occupancy` window (fixed overhead plus serialization of its
+/// bytes); reception mirrors this on the destination node. With one
+/// rank per node the queues are almost always empty and the model
+/// degrades to the plain topology latency.
 pub struct NicContendedNetwork {
     job: Arc<Job>,
     /// Fixed NIC occupancy per message, nanoseconds.
@@ -34,9 +36,9 @@ pub struct NicContendedNetwork {
     /// NIC serialization bandwidth, bytes per nanosecond.
     bytes_per_ns: f64,
     /// Transmit-side free time per *node* (indexed by node id).
-    tx_free: RefCell<Vec<u64>>,
+    tx_free: Vec<u64>,
     /// Receive-side free time per *node*.
-    rx_free: RefCell<Vec<u64>>,
+    rx_free: Vec<u64>,
 }
 
 impl NicContendedNetwork {
@@ -48,8 +50,8 @@ impl NicContendedNetwork {
             job,
             occupancy_ns,
             bytes_per_ns,
-            tx_free: RefCell::new(vec![0u64; n_nodes]),
-            rx_free: RefCell::new(vec![0u64; n_nodes]),
+            tx_free: vec![0u64; n_nodes],
+            rx_free: vec![0u64; n_nodes],
         }
     }
 
@@ -58,30 +60,39 @@ impl NicContendedNetwork {
     }
 }
 
-impl LatencyFn for NicContendedNetwork {
-    fn latency_ns(&self, from: u32, to: u32, bytes: usize, now_ns: u64) -> u64 {
+impl NetworkModel for NicContendedNetwork {
+    fn egress_ns(&mut self, from: u32, to: u32, bytes: usize, depart_ns: u64) -> u64 {
         // Server-occupancy queueing: an uncontended message pays only
         // the wire latency (whose software/NIC overhead the topology
-        // model already includes), but every message reserves both
-        // NICs for an occupancy window, delaying whoever comes next.
+        // model already includes), but every message reserves the
+        // transmit NIC for an occupancy window, delaying whoever comes
+        // next.
         let occ = self.occupancy(bytes);
         let src = self.job.node_of(from).index();
-        let dst = self.job.node_of(to).index();
-        let depart = {
-            let mut tx = self.tx_free.borrow_mut();
-            let start = tx[src].max(now_ns);
-            tx[src] = start + occ;
-            start
-        };
+        let start = self.tx_free[src].max(depart_ns);
+        self.tx_free[src] = start + occ;
         let wire = self.job.latency_ns(from, to, bytes);
-        let arrival = depart + wire;
-        let delivered = {
-            let mut rx = self.rx_free.borrow_mut();
-            let start = rx[dst].max(arrival);
-            rx[dst] = start + occ;
-            start
-        };
-        delivered - now_ns
+        start + wire - depart_ns
+    }
+
+    fn ingress_ns(&mut self, to: u32, bytes: usize, arrival_ns: u64) -> u64 {
+        let occ = self.occupancy(bytes);
+        let dst = self.job.node_of(to).index();
+        let start = self.rx_free[dst].max(arrival_ns);
+        self.rx_free[dst] = start + occ;
+        start - arrival_ns
+    }
+
+    fn replicate(&self) -> Box<dyn NetworkModel> {
+        // Replicas partition ranks node-aligned, so each per-node slot
+        // is only ever touched by one replica; fresh zeroed state is
+        // exactly the serial model's initial state restricted to that
+        // shard's nodes.
+        Box::new(Self::new(
+            Arc::clone(&self.job),
+            self.occupancy_ns,
+            self.bytes_per_ns,
+        ))
     }
 }
 
@@ -96,6 +107,10 @@ impl LatencyFn for NicContendedNetwork {
 /// queue up behind each other, which is precisely the effect that makes
 /// distant steals expensive on a loaded torus.
 ///
+/// Link state is global (two distant node pairs can share a bisection
+/// link), so the model reports `shardable() == false` and the parallel
+/// engine runs it on a single shard.
+///
 /// Costs O(hops) per message plus a hash lookup per link, so it is the
 /// high-fidelity/slow option; `ablation_network_model` compares it to
 /// the mean-field default.
@@ -108,7 +123,7 @@ pub struct LinkContendedNetwork {
     /// Software/NIC overhead per message (sender + receiver halves).
     overhead_ns: u64,
     /// Free time per directed link.
-    free: RefCell<std::collections::HashMap<dws_topology::Link, u64>>,
+    free: std::collections::HashMap<dws_topology::Link, u64>,
 }
 
 impl LinkContendedNetwork {
@@ -120,13 +135,13 @@ impl LinkContendedNetwork {
             link_latency_ns,
             bytes_per_ns,
             overhead_ns,
-            free: RefCell::new(std::collections::HashMap::new()),
+            free: std::collections::HashMap::new(),
         }
     }
 }
 
-impl LatencyFn for LinkContendedNetwork {
-    fn latency_ns(&self, from: u32, to: u32, bytes: usize, now_ns: u64) -> u64 {
+impl NetworkModel for LinkContendedNetwork {
+    fn egress_ns(&mut self, from: u32, to: u32, bytes: usize, depart_ns: u64) -> u64 {
         let src = self.job.coord_of(from);
         let dst = self.job.coord_of(to);
         let occupancy = (bytes as f64 / self.bytes_per_ns) as u64;
@@ -134,16 +149,30 @@ impl LatencyFn for LinkContendedNetwork {
             // Same node: shared-memory transport, no links involved.
             return self.overhead_ns + occupancy;
         }
-        let mut cursor = now_ns + self.overhead_ns / 2;
-        let mut free = self.free.borrow_mut();
+        let mut cursor = depart_ns + self.overhead_ns / 2;
         for link in dws_topology::route(self.job.machine(), src, dst) {
-            let link_free = free.entry(link).or_insert(0);
+            let link_free = self.free.entry(link).or_insert(0);
             // Wait for the link, then traverse it.
             let start = cursor.max(*link_free);
             *link_free = start + occupancy;
             cursor = start + self.link_latency_ns + occupancy;
         }
-        cursor + self.overhead_ns / 2 - now_ns
+        cursor + self.overhead_ns / 2 - depart_ns
+    }
+
+    fn replicate(&self) -> Box<dyn NetworkModel> {
+        Box::new(Self::new(
+            Arc::clone(&self.job),
+            self.link_latency_ns,
+            self.bytes_per_ns,
+            self.overhead_ns,
+        ))
+    }
+
+    fn shardable(&self) -> bool {
+        // Distant node pairs share bisection links, so per-link state
+        // cannot be partitioned by node; run serial.
+        false
     }
 }
 
@@ -156,20 +185,27 @@ mod tests {
         Arc::new(Job::compact(2, RankMapping::Grouped { ppn: 8 }))
     }
 
+    /// Full send→handled delay: egress at `now`, ingress at arrival.
+    fn full(net: &mut dyn NetworkModel, from: u32, to: u32, bytes: usize, now: u64) -> u64 {
+        let e = net.egress_ns(from, to, bytes, now);
+        let i = net.ingress_ns(to, bytes, now + e);
+        e + i
+    }
+
     #[test]
     fn uncontended_message_pays_only_wire_latency() {
         let job = grouped_job();
-        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let mut net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
         let wire = job.latency_ns(0, 8, 64);
-        assert_eq!(net.latency_ns(0, 8, 64, 0), wire);
+        assert_eq!(full(&mut net, 0, 8, 64, 0), wire);
     }
 
     #[test]
     fn simultaneous_sends_from_one_node_serialize() {
         let job = grouped_job();
-        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let mut net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
         // Ranks 0..8 share node 0; all send to node 1 at t=0.
-        let delays: Vec<u64> = (0..8).map(|r| net.latency_ns(r, 8, 64, 0)).collect();
+        let delays: Vec<u64> = (0..8).map(|r| full(&mut net, r, 8, 64, 0)).collect();
         for pair in delays.windows(2) {
             assert!(
                 pair[1] > pair[0],
@@ -183,11 +219,11 @@ mod tests {
     #[test]
     fn sends_from_distinct_nodes_do_not_tx_queue() {
         let job = Arc::new(Job::compact(4, RankMapping::OneToOne));
-        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let mut net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
         // Ranks 1, 2, 3 each on their own node, all sending to rank 0:
         // they share only the destination NIC.
-        let d1 = net.latency_ns(1, 0, 64, 0);
-        let d2 = net.latency_ns(2, 0, 64, 0);
+        let d1 = full(&mut net, 1, 0, 64, 0);
+        let d2 = full(&mut net, 2, 0, 64, 0);
         let _ = d1;
         // Second message queues at most one rx occupancy behind the
         // first (plus any wire-time difference).
@@ -203,17 +239,29 @@ mod tests {
     #[test]
     fn nic_frees_up_over_time() {
         let job = grouped_job();
-        let net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
-        let first = net.latency_ns(0, 8, 64, 0);
+        let mut net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let first = full(&mut net, 0, 8, 64, 0);
         // Long after the burst, a new message sees an idle NIC again.
-        let later = net.latency_ns(0, 8, 64, 1_000_000);
+        let later = full(&mut net, 0, 8, 64, 1_000_000);
         assert_eq!(first, later);
+    }
+
+    #[test]
+    fn replica_starts_from_idle_state() {
+        let job = grouped_job();
+        let mut net = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let first = full(&mut net, 0, 8, 64, 0);
+        let busy = full(&mut net, 0, 8, 64, 0);
+        assert!(busy > first, "second send should queue");
+        // A shard replica sees its nodes idle, like a fresh model.
+        let mut replica = net.replicate();
+        assert_eq!(full(replica.as_mut(), 0, 8, 64, 0), first);
     }
 
     #[test]
     fn link_model_scales_with_hops() {
         let job = Arc::new(Job::compact(512, RankMapping::OneToOne));
-        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
+        let mut net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
         // A farther destination crosses more links, each adding its
         // latency.
         let mut best: Option<(u32, u32)> = None;
@@ -227,8 +275,8 @@ mod tests {
         }
         let (far, far_hops) = best.expect("some rank");
         let near = (1..512u32).min_by_key(|&j| job.hops(0, j)).expect("near");
-        let near_lat = net.latency_ns(0, near, 64, 0);
-        let far_lat = net.latency_ns(0, far, 64, 0);
+        let near_lat = net.egress_ns(0, near, 64, 0);
+        let far_lat = net.egress_ns(0, far, 64, 0);
         assert!(
             far_lat > near_lat,
             "{far_hops}-hop path {far_lat} must beat {near_lat}"
@@ -238,26 +286,35 @@ mod tests {
     #[test]
     fn link_model_queues_shared_links() {
         let job = Arc::new(Job::compact(512, RankMapping::OneToOne));
-        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 0.005, 0);
+        let mut net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 0.005, 0);
         // Two big messages from rank 0 to the same destination at the
         // same instant share every link: the second queues.
-        let first = net.latency_ns(0, 100, 10_000, 0);
-        let second = net.latency_ns(0, 100, 10_000, 0);
+        let first = net.egress_ns(0, 100, 10_000, 0);
+        let second = net.egress_ns(0, 100, 10_000, 0);
         assert!(
             second > first,
             "second message must queue ({second} vs {first})"
         );
         // After a long quiet period links are free again.
-        let later = net.latency_ns(0, 100, 10_000, u64::MAX / 2);
+        let later = net.egress_ns(0, 100, 10_000, u64::MAX / 2);
         assert_eq!(later, first);
     }
 
     #[test]
     fn link_model_same_node_is_cheap() {
         let job = grouped_job(); // ranks 0..8 share node 0
-        let net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
-        let intra = net.latency_ns(0, 1, 64, 0);
-        let inter = net.latency_ns(0, 8, 64, 0);
+        let mut net = LinkContendedNetwork::new(Arc::clone(&job), 1_000, 5.0, 400);
+        let intra = net.egress_ns(0, 1, 64, 0);
+        let inter = net.egress_ns(0, 8, 64, 0);
         assert!(intra < inter);
+    }
+
+    #[test]
+    fn link_model_is_not_shardable() {
+        let job = grouped_job();
+        let nic = NicContendedNetwork::new(Arc::clone(&job), 500, 5.0);
+        let link = LinkContendedNetwork::new(job, 1_000, 5.0, 400);
+        assert!(NetworkModel::shardable(&nic));
+        assert!(!NetworkModel::shardable(&link));
     }
 }

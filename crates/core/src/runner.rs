@@ -23,7 +23,10 @@ use dws_metrics::{
     StealStats,
 };
 use dws_simnet::profiler::{allocation_count, PerfProbe};
-use dws_simnet::{FaultPlan, FaultStats, NetTrace, RunReport, SimConfig, SimTime, Simulation};
+use dws_simnet::{
+    FaultPlan, FaultStats, NetTrace, NetworkModel, ParallelConfig, PureNetwork, RunReport,
+    SimConfig, SimTime, Simulation,
+};
 use dws_topology::routing::LinkLoad;
 use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
 use dws_uts::{Node, Workload};
@@ -112,6 +115,13 @@ pub struct ExperimentConfig {
     /// section. Off by default; like tracing, turning it on changes
     /// not a single simulated event.
     pub profile: bool,
+    /// Simulation worker threads. The engine shards ranks node-aligned
+    /// across this many OS threads and advances them in conservative
+    /// lookahead windows; the schedule is bit-identical for every
+    /// value, so — like the observability switches — `threads` is
+    /// excluded from the config fingerprint. Link-level networks keep
+    /// global per-link state and silently run on one thread.
+    pub threads: u32,
 }
 
 impl ExperimentConfig {
@@ -148,6 +158,7 @@ impl ExperimentConfig {
             fault_plan: FaultPlan::default(),
             fault_tolerance: None,
             profile: false,
+            threads: 1,
         }
     }
 
@@ -209,6 +220,9 @@ impl ExperimentConfig {
         if self.nic_bytes_per_ns <= 0.0 {
             return Err("nic_bytes_per_ns must be positive".into());
         }
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
         if !(0.0..10.0).contains(&self.jitter) {
             return Err(format!("jitter {} outside [0, 10)", self.jitter));
         }
@@ -244,9 +258,10 @@ impl ExperimentConfig {
     /// simulated outcome — including the full fault plan, so two runs
     /// under different fault schedules never fingerprint as "same
     /// config". Observability switches (`collect_trace`,
-    /// `collect_spans`, `profile`) are deliberately excluded: they are
-    /// proven not to perturb the schedule, and reports taken with and
-    /// without them must stay diffable as the same configuration.
+    /// `collect_spans`, `profile`) and the `threads` count are
+    /// deliberately excluded: they are proven not to perturb the
+    /// schedule, and reports taken with and without them must stay
+    /// diffable as the same configuration.
     pub fn config_json(&self) -> JsonValue {
         let opt_u64 = |v: Option<u64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
         let mut pairs: Vec<(&str, JsonValue)> = vec![
@@ -710,30 +725,30 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         clock_skew_max_ns: cfg.clock_skew_max_ns,
         fault: cfg.fault_plan.clone(),
     };
-    let mut sim: Simulation<Worker> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network {
-        Simulation::new(
-            workers,
-            crate::network::LinkContendedNetwork::new(
-                Arc::clone(&job),
-                link_ns,
-                cfg.nic_bytes_per_ns,
-                overhead_ns,
-            ),
-            sim_cfg,
-        )
+    let net: Box<dyn NetworkModel> = if let Some((link_ns, overhead_ns)) = cfg.link_level_network {
+        Box::new(crate::network::LinkContendedNetwork::new(
+            Arc::clone(&job),
+            link_ns,
+            cfg.nic_bytes_per_ns,
+            overhead_ns,
+        ))
     } else if cfg.nic_occupancy_ns > 0 {
-        Simulation::new(
-            workers,
-            crate::network::NicContendedNetwork::new(
-                Arc::clone(&job),
-                cfg.nic_occupancy_ns,
-                cfg.nic_bytes_per_ns,
-            ),
-            sim_cfg,
-        )
+        Box::new(crate::network::NicContendedNetwork::new(
+            Arc::clone(&job),
+            cfg.nic_occupancy_ns,
+            cfg.nic_bytes_per_ns,
+        ))
     } else {
-        Simulation::new(workers, JobLatency(Arc::clone(&job)), sim_cfg)
+        Box::new(PureNetwork(JobLatency(Arc::clone(&job))))
     };
+    let mut sim: Simulation<Worker> = Simulation::with_network(workers, net, sim_cfg);
+    // Always run windowed (even at one thread) with a node-aligned
+    // shard map, so the schedule is the same function of the config for
+    // every thread count.
+    sim.configure_parallel(
+        ParallelConfig::new(cfg.threads, job.lookahead_ns())
+            .with_shard_map(node_aligned_shards(&job, cfg.threads)),
+    );
     if cfg.collect_spans {
         sim.attach_net_trace();
     }
@@ -744,7 +759,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     // loop; both reads are no-ops for the simulated schedule.
     let allocs_before = probe.as_ref().map(|_| allocation_count());
     let wall_start = probe.as_ref().map(|_| Instant::now());
-    let report = sim.run_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
+    let report = sim.run_parallel_with_limits(cfg.max_sim_time_ns.map(SimTime), cfg.max_events);
     let profile = probe.as_ref().map(|p| ProfileReport {
         wall_ns: wall_start
             .expect("wall_start set whenever probe is")
@@ -757,6 +772,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             .snapshot()
             .into_iter()
             .map(|(name, calls, total_ns)| (name.to_string(), calls, total_ns))
+            .collect(),
+        shards: sim
+            .shard_profiles()
+            .into_iter()
+            .map(|s| (s.shard, s.ranks, s.events, s.windows, s.busy_ns, s.wait_ns))
             .collect(),
     });
     let crashed_ranks = sim.crashed_ranks();
@@ -921,8 +941,29 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
 }
 
+/// Shard map keeping every rank of a physical node on one shard — the
+/// precondition under which per-node NIC state needs no cross-shard
+/// synchronization. Nodes are striped over shards in node-id order, so
+/// the map is a pure function of the placement and the thread count.
+fn node_aligned_shards(job: &Arc<Job>, threads: u32) -> Vec<u32> {
+    let n_ranks = job.n_ranks();
+    let mut nodes: Vec<u32> = (0..n_ranks).map(|r| job.node_of(r).0).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let n_nodes = nodes.len() as u64;
+    (0..n_ranks)
+        .map(|r| {
+            let idx = nodes
+                .binary_search(&job.node_of(r).0)
+                .expect("rank's node is in the node list") as u64;
+            (idx * threads.max(1) as u64 / n_nodes) as u32
+        })
+        .collect()
+}
+
 /// Newtype forwarding latency queries to the placed job (orphan-rule
 /// helper so `Simulation` can own it).
+#[derive(Clone)]
 struct JobLatency(Arc<Job>);
 
 impl dws_simnet::LatencyFn for JobLatency {

@@ -834,10 +834,11 @@ impl Worker {
         if ctx.me() == 0 && self.term.should_launch_probe(self.passive()) {
             self.launch_probe(ctx);
         }
-        if self.ft_on() && self.outstanding.is_some() {
+        if self.outstanding.is_some() {
             // A request is already out (we were reactivated by pushed
-            // work while it was in flight); its reply or timeout will
-            // drive the next attempt.
+            // work while it was in flight — a buddy may hold a stale
+            // lifeline registration from an earlier dormancy); its
+            // reply or timeout will drive the next attempt.
             return;
         }
         self.send_steal_request(ctx);

@@ -1,0 +1,131 @@
+//! The parallel engine's headline invariant, checked end-to-end: a full
+//! work-stealing experiment produces a **bit-identical** outcome for
+//! every simulation thread count — same makespan, same per-rank steal
+//! counters, same spans, same machine-readable report — across seeds,
+//! fault plans, and rank mappings.
+
+use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, VictimPolicy};
+use dws_simnet::{Crash, FaultPlan};
+use dws_topology::RankMapping;
+use dws_uts::{TreeSpec, Workload};
+
+fn workload(b0: u32) -> Workload {
+    Workload {
+        name: "par-det",
+        spec: TreeSpec::Binomial { b0, m: 2, q: 0.47 },
+        seed: 19,
+        gen_rounds: 1,
+        base_node_ns: 1_000,
+    }
+}
+
+fn run_at(cfg: &ExperimentConfig, threads: u32) -> ExperimentResult {
+    let mut cfg = cfg.clone();
+    cfg.threads = threads;
+    run_experiment(&cfg)
+}
+
+/// Compare two runs field by field, down to the serialized report.
+fn assert_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan differs");
+    assert_eq!(a.total_nodes, b.total_nodes, "{what}: node count differs");
+    assert_eq!(a.completed, b.completed, "{what}: completion differs");
+    assert_eq!(
+        a.report.events, b.report.events,
+        "{what}: event count differs"
+    );
+    assert_eq!(
+        a.report.messages, b.report.messages,
+        "{what}: message count differs"
+    );
+    assert_eq!(
+        a.stats.per_rank, b.stats.per_rank,
+        "{what}: per-rank steal stats differ"
+    );
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "{what}: config fingerprint differs (threads must not be in it)"
+    );
+    assert_eq!(
+        a.json_report().to_string(),
+        b.json_report().to_string(),
+        "{what}: serialized run report differs"
+    );
+}
+
+#[test]
+fn report_is_identical_across_thread_counts() {
+    for seed in [7u64, 0xBEEF] {
+        for mapping in [RankMapping::OneToOne, RankMapping::RoundRobin { ppn: 4 }] {
+            let mut cfg = ExperimentConfig::new(workload(900), 8).with_mapping(mapping);
+            cfg.seed = seed;
+            cfg.victim = VictimPolicy::Uniform;
+            cfg.jitter = 0.2;
+            cfg.clock_skew_max_ns = 1_500;
+            cfg.collect_spans = true;
+            let baseline = run_at(&cfg, 1);
+            for threads in [2, 3, 8] {
+                let parallel = run_at(&cfg, threads);
+                assert_identical(
+                    &baseline,
+                    &parallel,
+                    &format!("seed {seed} {} threads {threads}", cfg.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_are_identical_across_thread_counts() {
+    let mut plan = FaultPlan::message_faults(0.05, 0.02, 0.05);
+    plan.crashes.push(Crash {
+        rank: 5,
+        at_ns: 400_000,
+    });
+    let mut cfg = ExperimentConfig::new(workload(1200), 8)
+        .with_mapping(RankMapping::Grouped { ppn: 2 })
+        .with_victim(VictimPolicy::Uniform);
+    cfg.fault_plan = plan;
+    cfg.collect_spans = true;
+    let baseline = run_at(&cfg, 1);
+    let fr = baseline.fault.as_ref().expect("fault plan was active");
+    assert!(
+        fr.stats.dropped + fr.stats.spiked + fr.stats.duplicated > 0,
+        "faults must actually fire for this test to mean anything"
+    );
+    assert_eq!(fr.crashed_ranks, vec![5]);
+    for threads in [2, 3, 8] {
+        let parallel = run_at(&cfg, threads);
+        assert_identical(&baseline, &parallel, &format!("faulty, {threads} threads"));
+        let pf = parallel.fault.as_ref().expect("fault plan was active");
+        assert_eq!(pf.stats, fr.stats, "fault counters differ at {threads}");
+        assert_eq!(
+            pf.lost_subtree_nodes, fr.lost_subtree_nodes,
+            "loss reconciliation differs at {threads}"
+        );
+    }
+}
+
+#[test]
+fn span_traces_reconcile_across_thread_counts() {
+    let mut cfg = ExperimentConfig::new(workload(800), 8);
+    cfg.victim = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+    cfg.collect_spans = true;
+    let a = run_at(&cfg, 1);
+    let b = run_at(&cfg, 4);
+    let (sa, sb) = (a.spans.as_ref().unwrap(), b.spans.as_ref().unwrap());
+    assert_eq!(sa.records(), sb.records(), "span streams differ");
+    sa.reconcile(&a.stats)
+        .expect("serial spans reconcile with steal counters");
+    sb.reconcile(&b.stats)
+        .expect("parallel spans reconcile with steal counters");
+    let (na, nb) = (a.net.as_ref().unwrap(), b.net.as_ref().unwrap());
+    assert_eq!(na.messages(), nb.messages(), "net trace message count");
+    let tally = |n: &dws_simnet::NetTrace| {
+        let mut v: Vec<_> = n.pair_tallies().map(|(k, t)| (*k, *t)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    };
+    assert_eq!(tally(na), tally(nb), "traffic matrices differ");
+}

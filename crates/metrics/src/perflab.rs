@@ -181,6 +181,11 @@ pub struct BenchRecord {
     pub unix_time_s: u64,
     /// Number of repeated trials behind the confidence intervals.
     pub trials: u64,
+    /// Simulation worker threads the benchmark ran with. Thread count
+    /// never changes simulated metrics (the engine's schedule is
+    /// shard-count invariant) but does change wall-clock ones, so
+    /// records carry it without folding it into the fingerprint.
+    pub threads: u32,
     /// The measurements.
     pub metrics: Vec<BenchMetric>,
 }
@@ -197,6 +202,7 @@ impl BenchRecord {
             ("trial_seed", self.trial_seed.into()),
             ("unix_time_s", self.unix_time_s.into()),
             ("trials", self.trials.into()),
+            ("threads", self.threads.into()),
             (
                 "metrics",
                 JsonValue::Arr(
@@ -278,6 +284,8 @@ impl BenchRecord {
             trial_seed: doc.get("trial_seed").and_then(|v| v.as_u64()).unwrap_or(0),
             unix_time_s: get_u64("unix_time_s")?,
             trials: get_u64("trials")?,
+            // Records predating the parallel engine were all serial.
+            threads: doc.get("threads").and_then(|v| v.as_u64()).unwrap_or(1) as u32,
             metrics,
         })
     }
@@ -586,6 +594,11 @@ pub struct ProfileReport {
     pub peak_rss_bytes: u64,
     /// Per-phase timing: `(name, calls, total_ns)`.
     pub phases: Vec<(String, u64, u64)>,
+    /// Per-shard execution profile of a windowed (parallel) run:
+    /// `(shard, ranks, events, windows, busy_ns, wait_ns)`, where
+    /// `busy_ns` is time spent advancing the shard's events and
+    /// `wait_ns` time parked at window barriers.
+    pub shards: Vec<(u32, u32, u64, u64, u64, u64)>,
 }
 
 impl ProfileReport {
@@ -625,6 +638,24 @@ impl ProfileReport {
                                 ("name", name.as_str().into()),
                                 ("calls", (*calls).into()),
                                 ("total_ns", (*total_ns).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "shards",
+                JsonValue::Arr(
+                    self.shards
+                        .iter()
+                        .map(|&(shard, ranks, events, windows, busy_ns, wait_ns)| {
+                            JsonValue::obj(vec![
+                                ("shard", shard.into()),
+                                ("ranks", ranks.into()),
+                                ("events", events.into()),
+                                ("windows", windows.into()),
+                                ("busy_ns", busy_ns.into()),
+                                ("wait_ns", wait_ns.into()),
                             ])
                         })
                         .collect(),
@@ -764,6 +795,7 @@ mod tests {
             trial_seed: 1,
             unix_time_s: 1_700_000_000,
             trials: 7,
+            threads: 1,
             metrics: vec![BenchMetric::from_samples(
                 "sha1/digest_64B",
                 "ns_per_iter",
@@ -794,6 +826,7 @@ mod tests {
             trial_seed: 0,
             unix_time_s: 1,
             trials: 1,
+            threads: 1,
             metrics: vec![BenchMetric::point("m", "ns", Polarity::LowerIsBetter, 5.0)],
         };
         let line = rec.to_json().to_string();
@@ -847,6 +880,7 @@ mod tests {
             allocs: 1_000_000,
             peak_rss_bytes: 1 << 20,
             phases: vec![("dispatch".into(), 4_000_000, 1_500_000_000)],
+            shards: vec![(0, 8, 2_000_000, 300, 900_000_000, 100_000_000)],
         };
         assert!((p.events_per_sec() - 2_000_000.0).abs() < 1e-6);
         assert!((p.allocs_per_event() - 0.25).abs() < 1e-12);
@@ -856,6 +890,12 @@ mod tests {
         assert_eq!(
             phases[0].get("name").and_then(|v| v.as_str()),
             Some("dispatch")
+        );
+        let shards = j.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards[0].get("ranks").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(
+            shards[0].get("busy_ns").and_then(|v| v.as_u64()),
+            Some(900_000_000)
         );
     }
 }

@@ -1,16 +1,19 @@
 //! The discrete-event simulation engine.
 //!
-//! A [`Simulation`] hosts one [`Actor`] per rank and a single global
-//! event queue. Two event kinds exist: message deliveries and timers.
-//! Actors react to events through a [`Ctx`] handle that lets them send
-//! messages (delayed by the pluggable latency function), arm timers,
-//! query the clock, and draw deterministic random numbers.
+//! A [`Simulation`] hosts one [`Actor`] per rank. Two event kinds
+//! exist: message deliveries and timers. Actors react to events
+//! through a [`Ctx`] handle that lets them send messages (delayed by
+//! the pluggable network model), arm timers, query the clock, and draw
+//! deterministic random numbers.
 //!
 //! Design decisions that matter for fidelity:
 //!
-//! - **Determinism.** Events are ordered by `(time, sequence number)`;
-//!   ties break in creation order. All randomness flows from one seed.
-//!   Two runs of the same configuration produce identical results.
+//! - **Determinism.** Events are ordered by the shard-count-invariant
+//!   key `(time, destination rank, source rank, per-source sequence
+//!   number)`. All randomness flows from per-rank streams derived from
+//!   one seed. Two runs of the same configuration produce identical
+//!   results — *including* runs that shard the ranks across worker
+//!   threads (see below).
 //! - **MPI-like non-overtaking.** Deliveries between a given (source,
 //!   destination) pair never reorder, even when a small message follows
 //!   a large one — matching MPI's pairwise ordering guarantee that the
@@ -22,12 +25,30 @@
 //! - **Clock skew.** Each rank can be given a deterministic clock
 //!   offset; traces recorded with [`Ctx::local_now`] then need the same
 //!   skew correction the paper applied to its traces.
+//!
+//! # Parallel execution
+//!
+//! [`Simulation::configure_parallel`] switches the engine into a
+//! conservative parallel-discrete-event mode: ranks are partitioned
+//! into shards, each shard owns a private event queue and a replica of
+//! the network model, and simulated time advances in lookahead windows
+//! `[T, T + W)` where `W` is a lower bound on cross-shard message
+//! latency. Events generated for another shard always land at or after
+//! the window boundary, so exchanging them at a barrier preserves the
+//! global event order exactly. Because the event key and every random
+//! stream are functions of ranks — never of shard layout — the
+//! schedule is bit-identical for any shard count, including one.
+//! [`Simulation::run_parallel_with_limits`] executes one OS thread per
+//! shard; [`Simulation::run_with_limits`] executes the same windowed
+//! algorithm on the calling thread.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::fault::{FaultPlan, FaultStats};
 use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, NetTrace};
@@ -62,13 +83,20 @@ type PairMap<V> = HashMap<u64, V, BuildHasherDefault<PairHasher>>;
 /// `dws-topology`).
 pub type Rank = u32;
 
+/// Salt XOR-ed into the seed for the per-rank network-jitter streams,
+/// keeping them disjoint from the actor streams.
+const NET_STREAM_SALT: u64 = 0x6A09_E667_F3BC_C908;
+/// Salt XOR-ed into the seed for the per-rank fault-draw streams.
+const FAULT_STREAM_SALT: u64 = 0xBB67_AE85_84CA_A73B;
+
 /// Latency oracle: one-way delay in nanoseconds for a message.
 ///
 /// `now_ns` is the send time: stateful models (e.g. per-node NIC
 /// serialization) need it to compute queueing waits. Pure models ignore
-/// it. Implementations may keep interior state (the simulation is
-/// single-threaded and calls in send order), which is how contention is
-/// modelled without per-link events.
+/// it. For use with [`Simulation::new`] the implementation must also be
+/// `Clone + Send`, because parallel execution replicates the model per
+/// shard; stateful contended models should implement [`NetworkModel`]
+/// directly instead.
 pub trait LatencyFn {
     /// Delay for a `bytes`-sized message from `from` to `to` sent at
     /// `now_ns`.
@@ -98,6 +126,63 @@ where
 {
     fn latency_ns(&self, from: Rank, to: Rank, bytes: usize, _now_ns: u64) -> u64 {
         self(from, to, bytes)
+    }
+}
+
+/// The engine's view of the interconnect, split into an egress half
+/// (evaluated on the sender's shard at send time) and an ingress half
+/// (evaluated on the destination's shard in arrival order).
+///
+/// The split is what makes contention models shardable: transmit-side
+/// state is keyed by the *sender's* node and receive-side state by the
+/// *destination's* node, so each shard only ever touches the state of
+/// the nodes it owns and the evaluation order of each half is
+/// shard-count-invariant.
+pub trait NetworkModel: Send {
+    /// Nanoseconds from `depart_ns` until the message *arrives* at the
+    /// destination NIC: transmit queueing plus wire latency. May mutate
+    /// sender-side state; calls arrive in the sender shard's
+    /// deterministic send order.
+    fn egress_ns(&mut self, from: Rank, to: Rank, bytes: usize, depart_ns: u64) -> u64;
+
+    /// Nanoseconds from arrival (`arrival_ns`) until the destination
+    /// NIC has admitted the message and the actor may handle it.
+    /// Called once per delivery, in arrival order, on the destination's
+    /// shard. The default is zero (no receive-side contention).
+    fn ingress_ns(&mut self, _to: Rank, _bytes: usize, _arrival_ns: u64) -> u64 {
+        0
+    }
+
+    /// A fresh replica for another shard. Replicas partition the work:
+    /// each one only ever sees the sends and arrivals of its own
+    /// shard's ranks, so per-node state never needs cross-shard
+    /// synchronization (provided ranks of one node share a shard).
+    fn replicate(&self) -> Box<dyn NetworkModel>;
+
+    /// False if the model keeps genuinely global state (e.g. per-link
+    /// queues shared by all node pairs) and therefore must run on a
+    /// single shard. [`Simulation::configure_parallel`] collapses the
+    /// shard count to one for such models.
+    fn shardable(&self) -> bool {
+        true
+    }
+}
+
+/// Adapter lifting a pure [`LatencyFn`] into a [`NetworkModel`] with
+/// zero ingress cost.
+#[derive(Debug, Clone)]
+pub struct PureNetwork<L>(pub L);
+
+impl<L> NetworkModel for PureNetwork<L>
+where
+    L: LatencyFn + Clone + Send + 'static,
+{
+    fn egress_ns(&mut self, from: Rank, to: Rank, bytes: usize, depart_ns: u64) -> u64 {
+        self.0.latency_ns(from, to, bytes, depart_ns)
+    }
+
+    fn replicate(&self) -> Box<dyn NetworkModel> {
+        Box::new(self.clone())
     }
 }
 
@@ -144,6 +229,44 @@ impl Default for SimConfig {
     }
 }
 
+/// Sharding parameters for [`Simulation::configure_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of shards (and, under
+    /// [`run_parallel_with_limits`](Simulation::run_parallel_with_limits),
+    /// worker threads). Clamped to at least 1; forced to 1 when the
+    /// network model is not [`shardable`](NetworkModel::shardable).
+    pub threads: u32,
+    /// Conservative lookahead window width: a lower bound on the
+    /// latency of any cross-shard message. The engine asserts the bound
+    /// at send time; a violation is a model/shard-map bug, not a race.
+    /// Clamped to at least 1 ns.
+    pub lookahead_ns: u64,
+    /// Optional explicit rank→shard map (length = rank count, entries
+    /// `< threads`). `None` shards ranks into contiguous equal blocks.
+    /// Contention models require all ranks of a physical node to share
+    /// a shard; callers with a topology must derive the map from it.
+    pub shard_of: Option<Vec<u32>>,
+}
+
+impl ParallelConfig {
+    /// Contiguous-block sharding over `threads` shards with the given
+    /// lookahead bound.
+    pub fn new(threads: u32, lookahead_ns: u64) -> Self {
+        Self {
+            threads,
+            lookahead_ns,
+            shard_of: None,
+        }
+    }
+
+    /// Replace the default contiguous sharding with an explicit map.
+    pub fn with_shard_map(mut self, shard_of: Vec<u32>) -> Self {
+        self.shard_of = Some(shard_of);
+        self
+    }
+}
+
 /// Outcome of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
@@ -159,20 +282,61 @@ pub struct RunReport {
     pub halted: bool,
 }
 
-enum EventKind<M> {
-    Deliver { from: Rank, to: Rank, msg: M },
-    Timer { rank: Rank, token: u64 },
+/// Host-side execution profile of one shard of a windowed run,
+/// reported by [`Simulation::shard_profiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Shard index.
+    pub shard: u32,
+    /// Number of ranks the shard owns.
+    pub ranks: u32,
+    /// Events the shard processed.
+    pub events: u64,
+    /// Lookahead windows the shard executed.
+    pub windows: u64,
+    /// Host nanoseconds spent processing events.
+    pub busy_ns: u64,
+    /// Host nanoseconds spent waiting at window barriers (zero for
+    /// single-threaded windowed runs).
+    pub wait_ns: u64,
 }
 
+enum EventKind<M> {
+    Deliver {
+        bytes: u32,
+        /// True once receive-side NIC admission has been charged; the
+        /// engine re-enqueues un-admitted deliveries at their admitted
+        /// time when the model reports a positive ingress delay.
+        admitted: bool,
+        msg: M,
+    },
+    Timer {
+        token: u64,
+    },
+}
+
+/// An event keyed for shard-count-invariant ordering: `(time, dst,
+/// src, sseq)`. `sseq` is a per-source-rank counter, so the key is
+/// unique and depends only on per-rank histories — never on shard
+/// layout or global send interleaving.
 struct Event<M> {
     time: SimTime,
-    seq: u64,
+    dst: Rank,
+    src: Rank,
+    sseq: u64,
     kind: EventKind<M>,
+}
+
+impl<M> Event<M> {
+    #[inline]
+    fn key(&self) -> (SimTime, Rank, Rank, u64) {
+        (self.time, self.dst, self.src, self.sseq)
+    }
 }
 
 impl<M> PartialEq for Event<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<M> Eq for Event<M> {}
@@ -183,52 +347,99 @@ impl<M> PartialOrd for Event<M> {
 }
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.key().cmp(&other.key())
     }
 }
 
-/// Engine internals shared with actor handlers through [`Ctx`].
-struct Kernel<M> {
+/// Per-rank deterministic state. Every stream is a function of the
+/// master seed and the rank alone, which is what makes the schedule
+/// independent of how ranks are sharded.
+struct RankState {
+    rng: DetRng,
+    net_rng: DetRng,
+    fault_rng: DetRng,
+    skew_ns: u64,
+    /// Next per-source sequence number (events this rank creates).
+    sseq: u64,
+}
+
+impl RankState {
+    #[inline]
+    fn next_sseq(&mut self) -> u64 {
+        let s = self.sseq;
+        self.sseq += 1;
+        s
+    }
+}
+
+/// Read-only context shared by every shard during a run.
+struct Shared<'a> {
+    n_ranks: u32,
+    /// Rank → (shard, slot-within-shard).
+    rank_loc: &'a [(u32, u32)],
+    crash_at: &'a [Option<u64>],
+    fault: &'a FaultPlan,
+    fault_active: bool,
+    jitter: f64,
+    lookahead_ns: u64,
+}
+
+#[inline]
+fn crashed_at(crash_at: &[Option<u64>], rank: Rank, at: SimTime) -> bool {
+    crash_at[rank as usize].is_some_and(|t| at.ns() >= t)
+}
+
+/// Mutable per-shard engine state: event queue, FIFO map, network
+/// replica, counters, and observability sinks.
+struct ShardCore<M> {
+    id: usize,
     now: SimTime,
-    seq: u64,
+    halted: bool,
     queue: BinaryHeap<Reverse<Event<M>>>,
     /// Last scheduled delivery per (from, to) pair, to enforce MPI
-    /// non-overtaking.
+    /// non-overtaking. Only pairs with a local sender appear.
     fifo: PairMap<SimTime>,
-    latency: Box<dyn Fn(Rank, Rank, usize, u64) -> u64>,
-    jitter: f64,
-    net_rng: DetRng,
-    halted: bool,
+    net: Box<dyn NetworkModel>,
+    delivered: u64,
+    timers: u64,
     messages_sent: u64,
-    n_ranks: u32,
-    /// Optional event log for debugging/analysis.
-    log: Option<EventLog>,
-    /// Optional network trace: delivery-latency histogram plus a
-    /// per-pair traffic matrix. `None` costs one branch per send.
-    net_trace: Option<NetTrace>,
-    /// Fault schedule; `fault_active` caches `fault.is_active()` so the
-    /// fault-free path pays a single branch and zero RNG draws.
-    fault: FaultPlan,
-    fault_active: bool,
-    fault_rng: DetRng,
+    /// Events processed (deliveries + timers + crash-lost), cumulative.
+    events: u64,
     fault_stats: FaultStats,
-    /// Scheduled crash time per rank (`None` = immortal).
-    crash_at: Vec<Option<u64>>,
-    /// Optional self-profiling probe; only ever reads the host clock,
-    /// never simulated state. `None` costs one branch per site.
+    log: Option<EventLog>,
+    net_trace: Option<NetTrace>,
+    /// Events destined for other shards, exchanged at window barriers.
+    outboxes: Vec<Vec<Event<M>>>,
     profiler: Option<Arc<PerfProbe>>,
+    windows: u64,
+    busy_ns: u64,
+    wait_ns: u64,
 }
 
-impl<M> Kernel<M> {
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+impl<M> ShardCore<M> {
+    #[inline]
+    fn push_local(&mut self, ev: Event<M>) {
+        self.queue.push(Reverse(ev));
     }
 
-    /// True if `rank` has crashed at or before `at`.
-    fn crashed(&self, rank: Rank, at: SimTime) -> bool {
-        self.crash_at[rank as usize].is_some_and(|t| at.ns() >= t)
+    /// Enqueue locally or hand off to the destination shard's outbox,
+    /// asserting the conservative lookahead bound for the latter.
+    fn route(&mut self, shared: &Shared<'_>, ev: Event<M>) {
+        let dst_shard = shared.rank_loc[ev.dst as usize].0 as usize;
+        if dst_shard == self.id {
+            self.push_local(ev);
+        } else {
+            assert!(
+                ev.time.ns() >= self.now.ns().saturating_add(shared.lookahead_ns),
+                "cross-shard event at {} violates the lookahead bound ({} ns past {}): \
+                 the network model's minimum cross-shard latency is below the configured \
+                 lookahead, or ranks sharing contended node state were split across shards",
+                ev.time.ns(),
+                shared.lookahead_ns,
+                self.now.ns(),
+            );
+            self.outboxes[dst_shard].push(ev);
+        }
     }
 
     /// Record a fault-injection outcome in the event log, if attached.
@@ -251,20 +462,35 @@ impl<M> Kernel<M> {
     }
 }
 
-impl<M: Clone> Kernel<M> {
-    fn send(&mut self, from: Rank, to: Rank, bytes: usize, extra_delay_ns: u64, msg: M) {
+impl<M: Clone> ShardCore<M> {
+    // The argument list mirrors the wire-level tuple of a message
+    // (route, size, service delay, payload); bundling it into a struct
+    // would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
+    fn send(
+        &mut self,
+        shared: &Shared<'_>,
+        state: &mut RankState,
+        from: Rank,
+        to: Rank,
+        bytes: usize,
+        extra_delay_ns: u64,
+        msg: M,
+    ) {
         let depart_ns = self.now.ns() + extra_delay_ns;
         let mut spike_ns = 0u64;
         let mut duplicate = false;
-        if self.fault_active {
+        if shared.fault_active {
             let t0 = prof_start(&self.profiler);
             // Fixed draw order — drop, spike, dup — one draw each per
-            // send, so the fault schedule is a pure function of the
-            // seed and the send sequence, independent of outcomes.
-            let u_drop = self.fault_rng.next_f64();
-            let u_spike = self.fault_rng.next_f64();
-            let u_dup = self.fault_rng.next_f64();
-            if self.fault.in_brownout(from, depart_ns) || self.fault.in_brownout(to, depart_ns) {
+            // send, from the *sender's* fault stream, so the fault
+            // schedule is a pure function of the seed and each rank's
+            // own send history, independent of shard layout.
+            let u_drop = state.fault_rng.next_f64();
+            let u_spike = state.fault_rng.next_f64();
+            let u_dup = state.fault_rng.next_f64();
+            if shared.fault.in_brownout(from, depart_ns) || shared.fault.in_brownout(to, depart_ns)
+            {
                 self.fault_stats.brownout_drops += 1;
                 self.messages_sent += 1;
                 prof_record(&self.profiler, Phase::FaultEval, t0);
@@ -275,7 +501,7 @@ impl<M: Clone> Kernel<M> {
                 });
                 return;
             }
-            if u_drop < self.fault.drop_prob {
+            if u_drop < shared.fault.drop_prob {
                 self.fault_stats.dropped += 1;
                 self.messages_sent += 1;
                 prof_record(&self.profiler, Phase::FaultEval, t0);
@@ -286,19 +512,19 @@ impl<M: Clone> Kernel<M> {
                 });
                 return;
             }
-            if u_spike < self.fault.spike_prob {
-                spike_ns = self.fault.spike_ns(self.fault_rng.next_f64());
+            if u_spike < shared.fault.spike_prob {
+                spike_ns = shared.fault.spike_ns(state.fault_rng.next_f64());
                 self.fault_stats.spiked += 1;
             }
-            duplicate = u_dup < self.fault.dup_prob;
+            duplicate = u_dup < shared.fault.dup_prob;
             prof_record(&self.profiler, Phase::FaultEval, t0);
             if spike_ns > 0 {
                 self.log_fault(ObsKind::Delayed { from, to, spike_ns });
             }
         }
-        let mut delay = (self.latency)(from, to, bytes, depart_ns);
-        if self.jitter > 0.0 {
-            let stretch = 1.0 + self.jitter * self.net_rng.next_f64();
+        let mut delay = self.net.egress_ns(from, to, bytes, depart_ns);
+        if shared.jitter > 0.0 {
+            let stretch = 1.0 + shared.jitter * state.net_rng.next_f64();
             delay = (delay as f64 * stretch) as u64;
         }
         delay += spike_ns;
@@ -329,34 +555,52 @@ impl<M: Clone> Kernel<M> {
         if let Some(nt) = &mut self.net_trace {
             // Network latency as experienced by the message: scheduled
             // arrival minus departure, so FIFO pushback and spikes are
-            // included.
+            // included (receive-side NIC admission is charged later).
             nt.record(from, to, bytes as u64, at.ns() - depart_ns);
         }
         prof_record(&self.profiler, Phase::TraceRecord, t_rec);
+        let sseq = state.next_sseq();
         if duplicate {
             // The duplicate rides one tick behind the original and is
             // exempt from FIFO ordering: it is a fault, not a message.
             self.fault_stats.duplicated += 1;
             self.log_fault(ObsKind::Duplicated { from, to });
-            self.push(
-                at + 1,
-                EventKind::Deliver {
-                    from,
-                    to,
+            let dup = Event {
+                time: at + 1,
+                dst: to,
+                src: from,
+                sseq: state.next_sseq(),
+                kind: EventKind::Deliver {
+                    bytes: bytes as u32,
+                    admitted: false,
                     msg: msg.clone(),
                 },
-            );
+            };
+            self.route(shared, dup);
         }
-        self.push(at, EventKind::Deliver { from, to, msg });
+        self.route(
+            shared,
+            Event {
+                time: at,
+                dst: to,
+                src: from,
+                sseq,
+                kind: EventKind::Deliver {
+                    bytes: bytes as u32,
+                    admitted: false,
+                    msg,
+                },
+            },
+        );
     }
 }
 
 /// Handle passed to actor callbacks.
 pub struct Ctx<'a, M> {
-    kernel: &'a mut Kernel<M>,
+    core: &'a mut ShardCore<M>,
+    shared: &'a Shared<'a>,
+    state: &'a mut RankState,
     me: Rank,
-    rng: &'a mut DetRng,
-    skew_ns: u64,
 }
 
 impl<M> Ctx<'_, M> {
@@ -369,26 +613,26 @@ impl<M> Ctx<'_, M> {
     /// Number of ranks in the simulation.
     #[inline]
     pub fn n_ranks(&self) -> u32 {
-        self.kernel.n_ranks
+        self.shared.n_ranks
     }
 
     /// The global simulated clock.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.kernel.now
+        self.core.now
     }
 
     /// This rank's *local* clock: global time plus the rank's skew.
     /// Use this when recording traces that should need skew correction.
     #[inline]
     pub fn local_now(&self) -> SimTime {
-        self.kernel.now + self.skew_ns
+        self.core.now + self.state.skew_ns
     }
 
     /// This rank's clock offset in nanoseconds.
     #[inline]
     pub fn skew_ns(&self) -> u64 {
-        self.skew_ns
+        self.state.skew_ns
     }
 
     /// Arm a timer to fire after `delay_ns`; `token` is returned to
@@ -396,11 +640,11 @@ impl<M> Ctx<'_, M> {
     /// slowdown window, the delay stretches by the window's factor —
     /// the rank's local processing runs slow.
     pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
-        let delay_ns = if self.kernel.fault_active {
+        let delay_ns = if self.shared.fault_active {
             let f = self
-                .kernel
+                .shared
                 .fault
-                .slowdown_factor(self.me, self.kernel.now.ns());
+                .slowdown_factor(self.me, self.core.now.ns());
             if f != 1.0 {
                 (delay_ns as f64 * f) as u64
             } else {
@@ -409,14 +653,16 @@ impl<M> Ctx<'_, M> {
         } else {
             delay_ns
         };
-        let at = self.kernel.now + delay_ns;
-        self.kernel.push(
-            at,
-            EventKind::Timer {
-                rank: self.me,
-                token,
-            },
-        );
+        let at = self.core.now + delay_ns;
+        // Timers are always shard-local: dst == src == me.
+        let ev = Event {
+            time: at,
+            dst: self.me,
+            src: self.me,
+            sseq: self.state.next_sseq(),
+            kind: EventKind::Timer { token },
+        };
+        self.core.push_local(ev);
     }
 
     /// Perfect failure detector: true if `rank` has crashed by now.
@@ -425,18 +671,21 @@ impl<M> Ctx<'_, M> {
     /// timeouts; the simulation exposes the oracle so recovery logic
     /// can be studied separately from detection accuracy.
     pub fn is_crashed(&self, rank: Rank) -> bool {
-        self.kernel.crashed(rank, self.kernel.now)
+        crashed_at(self.shared.crash_at, rank, self.core.now)
     }
 
     /// This rank's deterministic random stream.
     #[inline]
     pub fn rng(&mut self) -> &mut DetRng {
-        self.rng
+        &mut self.state.rng
     }
 
-    /// Stop the whole simulation after the current event.
+    /// Stop the whole simulation. In windowed (parallel) mode the stop
+    /// takes effect at the end of the current lookahead window, so the
+    /// set of processed events stays shard-count-invariant; the legacy
+    /// serial path stops after the current event.
     pub fn halt(&mut self) {
-        self.kernel.halted = true;
+        self.core.halted = true;
     }
 }
 
@@ -455,21 +704,282 @@ impl<M: Clone> Ctx<'_, M> {
     /// complete before the message hits the wire (e.g. a victim working
     /// through a queue of steal requests one at a time).
     pub fn send_delayed(&mut self, to: Rank, bytes: usize, extra_delay_ns: u64, msg: M) {
-        assert!(to < self.kernel.n_ranks, "send to unknown rank {to}");
+        assert!(to < self.shared.n_ranks, "send to unknown rank {to}");
         assert!(to != self.me, "rank {to} attempted to send to itself");
-        self.kernel.send(self.me, to, bytes, extra_delay_ns, msg);
+        self.core.send(
+            self.shared,
+            self.state,
+            self.me,
+            to,
+            bytes,
+            extra_delay_ns,
+            msg,
+        );
+    }
+}
+
+/// One shard: the ranks it owns (actors + per-rank state, in rank
+/// order) plus its engine core.
+struct Shard<A: Actor> {
+    members: Vec<Rank>,
+    actors: Vec<A>,
+    states: Vec<RankState>,
+    core: ShardCore<A::Msg>,
+}
+
+impl<A: Actor> Shard<A> {
+    fn start(&mut self, shared: &Shared<'_>) {
+        for slot in 0..self.actors.len() {
+            let rank = self.members[slot];
+            // A rank crashed at time zero never runs at all.
+            if shared.fault_active && crashed_at(shared.crash_at, rank, SimTime::ZERO) {
+                continue;
+            }
+            let t0 = prof_start(&self.core.profiler);
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                shared,
+                state: &mut self.states[slot],
+                me: rank,
+            };
+            self.actors[slot].on_start(&mut ctx);
+            prof_record(&self.core.profiler, Phase::Dispatch, t0);
+        }
+    }
+
+    /// Process queued events with `time < end_ns` (and `time <=
+    /// max_time_ns` when set), leaving later events queued.
+    fn run_window(&mut self, shared: &Shared<'_>, end_ns: u64, max_time_ns: Option<u64>) {
+        while let Some(rev) = self.core.queue.peek() {
+            let t = rev.0.time.ns();
+            if t >= end_ns {
+                break;
+            }
+            if let Some(mt) = max_time_ns {
+                if t > mt {
+                    break;
+                }
+            }
+            let ev = self.core.queue.pop().expect("peeked").0;
+            self.process(shared, ev);
+        }
+        self.core.windows += 1;
+    }
+
+    fn process(&mut self, shared: &Shared<'_>, ev: Event<A::Msg>) {
+        let Event {
+            time,
+            dst,
+            src,
+            sseq,
+            kind,
+        } = ev;
+        match kind {
+            EventKind::Deliver {
+                bytes,
+                admitted,
+                msg,
+            } => {
+                if !admitted {
+                    // Charge receive-side NIC admission in arrival
+                    // order; a busy NIC defers the delivery to its
+                    // admitted time without consuming an event.
+                    let wait = self.core.net.ingress_ns(dst, bytes as usize, time.ns());
+                    if wait > 0 {
+                        self.core.push_local(Event {
+                            time: time + wait,
+                            dst,
+                            src,
+                            sseq,
+                            kind: EventKind::Deliver {
+                                bytes,
+                                admitted: true,
+                                msg,
+                            },
+                        });
+                        return;
+                    }
+                }
+                self.core.now = time;
+                self.core.events += 1;
+                if shared.fault_active && crashed_at(shared.crash_at, dst, time) {
+                    // The destination died before this arrived; the
+                    // bytes hit a dead NIC.
+                    self.core.fault_stats.crash_lost_deliveries += 1;
+                    self.core.log_fault(ObsKind::CrashLost {
+                        rank: dst,
+                        timer: false,
+                    });
+                } else {
+                    self.core.delivered += 1;
+                    self.core
+                        .log_event(time, ObsKind::Delivered { from: src, to: dst });
+                    self.dispatch_message(shared, dst, src, msg);
+                }
+            }
+            EventKind::Timer { token } => {
+                self.core.now = time;
+                self.core.events += 1;
+                if shared.fault_active && crashed_at(shared.crash_at, dst, time) {
+                    self.core.fault_stats.crash_lost_timers += 1;
+                    self.core.log_fault(ObsKind::CrashLost {
+                        rank: dst,
+                        timer: true,
+                    });
+                } else {
+                    self.core.timers += 1;
+                    self.core
+                        .log_event(time, ObsKind::Timer { rank: dst, token });
+                    self.dispatch_timer(shared, dst, token);
+                }
+            }
+        }
+    }
+
+    fn dispatch_message(&mut self, shared: &Shared<'_>, rank: Rank, from: Rank, msg: A::Msg) {
+        let slot = shared.rank_loc[rank as usize].1 as usize;
+        let t0 = prof_start(&self.core.profiler);
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            shared,
+            state: &mut self.states[slot],
+            me: rank,
+        };
+        self.actors[slot].on_message(&mut ctx, from, msg);
+        prof_record(&self.core.profiler, Phase::Dispatch, t0);
+    }
+
+    fn dispatch_timer(&mut self, shared: &Shared<'_>, rank: Rank, token: u64) {
+        let slot = shared.rank_loc[rank as usize].1 as usize;
+        let t0 = prof_start(&self.core.profiler);
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            shared,
+            state: &mut self.states[slot],
+            me: rank,
+        };
+        self.actors[slot].on_timer(&mut ctx, token);
+        prof_record(&self.core.profiler, Phase::Dispatch, t0);
+    }
+}
+
+/// What the (identical, per-shard) window decision concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Stop the run; `limit` marks a time/event limit rather than a
+    /// drained queue or a halt.
+    Stop { limit: bool },
+    /// Execute one more window ending (exclusively) at `end`.
+    Window { end: u64 },
+}
+
+/// The shared stop/continue decision. Every shard computes this from
+/// identically published values, so all shards always agree — the
+/// driver needs no leader.
+fn decide(
+    min_next: Option<u64>,
+    events: u64,
+    halted: bool,
+    max_time_ns: Option<u64>,
+    max_events: Option<u64>,
+    lookahead_ns: u64,
+) -> Verdict {
+    if halted {
+        return Verdict::Stop { limit: false };
+    }
+    if let Some(me) = max_events {
+        if events >= me {
+            return Verdict::Stop { limit: true };
+        }
+    }
+    let t = match min_next {
+        None => return Verdict::Stop { limit: false },
+        Some(t) => t,
+    };
+    if let Some(mt) = max_time_ns {
+        if t > mt {
+            return Verdict::Stop { limit: true };
+        }
+    }
+    Verdict::Window {
+        end: t.saturating_add(lookahead_ns),
+    }
+}
+
+/// Sense-reversing barrier that spins briefly before yielding, so it is
+/// fast on dedicated cores yet degrades gracefully when threads
+/// oversubscribe the host (e.g. CI containers with one core).
+struct HybridBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl HybridBarrier {
+    const SPINS: u32 = 128;
+
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        *local_sense = !*local_sense;
+        if self.count.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            self.count.store(0, Ordering::SeqCst);
+            self.sense.store(*local_sense, Ordering::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::SeqCst) != *local_sense {
+                spins += 1;
+                if spins > Self::SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Map an observed event to the rank whose history it belongs to; used
+/// to merge per-shard event logs into one canonical order.
+fn owner_rank(kind: &ObsKind) -> u32 {
+    match *kind {
+        ObsKind::Sent { from, .. }
+        | ObsKind::Dropped { from, .. }
+        | ObsKind::Duplicated { from, .. }
+        | ObsKind::Delayed { from, .. } => from,
+        ObsKind::Delivered { to, .. } => to,
+        ObsKind::Timer { rank, .. } | ObsKind::CrashLost { rank, .. } => rank,
     }
 }
 
 /// A discrete-event simulation over `n` actors.
 pub struct Simulation<A: Actor> {
-    actors: Vec<A>,
-    kernel: Kernel<A::Msg>,
-    rank_rngs: Vec<DetRng>,
+    shards: Vec<Shard<A>>,
+    /// Rank → (shard, slot-within-shard).
+    rank_loc: Vec<(u32, u32)>,
     skews: Vec<u64>,
-    timers_fired: u64,
-    messages_delivered: u64,
+    crash_at: Vec<Option<u64>>,
+    fault: FaultPlan,
+    fault_active: bool,
+    jitter: f64,
+    n_ranks: u32,
+    /// True once `configure_parallel` switched the engine to windowed
+    /// execution (used even at one shard, so thread count can never
+    /// change results).
+    windowed: bool,
+    lookahead_ns: u64,
     started: bool,
+    log_cap: Option<usize>,
+    net_trace_on: bool,
+    profiler: Option<Arc<PerfProbe>>,
+    merged_log: Option<EventLog>,
+    merged_net: Option<NetTrace>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -480,8 +990,17 @@ impl<A: Actor> Simulation<A> {
     /// Panics if `actors` is empty or the fault plan fails validation.
     pub fn new<L>(actors: Vec<A>, latency: L, config: SimConfig) -> Self
     where
-        L: LatencyFn + 'static,
+        L: LatencyFn + Clone + Send + 'static,
     {
+        Self::with_network(actors, Box::new(PureNetwork(latency)), config)
+    }
+
+    /// Like [`new`](Self::new), but with an explicit (possibly
+    /// stateful, contended) [`NetworkModel`].
+    ///
+    /// # Panics
+    /// Panics if `actors` is empty or the fault plan fails validation.
+    pub fn with_network(actors: Vec<A>, net: Box<dyn NetworkModel>, config: SimConfig) -> Self {
         assert!(!actors.is_empty(), "simulation needs at least one actor");
         let n = actors.len() as u32;
         if let Err(e) = config.fault.validate(n) {
@@ -497,38 +1016,206 @@ impl<A: Actor> Simulation<A> {
                 }
             })
             .collect();
-        let rank_rngs = (0..n).map(|r| DetRng::for_rank(config.seed, r)).collect();
-        let crash_at = (0..n).map(|r| config.fault.crash_time(r)).collect();
+        let states: Vec<RankState> = (0..n)
+            .map(|r| RankState {
+                rng: DetRng::for_rank(config.seed, r),
+                net_rng: DetRng::for_rank(config.seed ^ NET_STREAM_SALT, r),
+                fault_rng: DetRng::for_rank(config.seed ^ FAULT_STREAM_SALT, r),
+                skew_ns: skews[r as usize],
+                sseq: 0,
+            })
+            .collect();
+        let crash_at: Vec<Option<u64>> = (0..n).map(|r| config.fault.crash_time(r)).collect();
         let fault_active = config.fault.is_active();
-        Self {
+        let shard = Shard {
+            members: (0..n).collect(),
             actors,
-            kernel: Kernel {
+            states,
+            core: ShardCore {
+                id: 0,
                 now: SimTime::ZERO,
-                seq: 0,
+                halted: false,
                 queue: BinaryHeap::new(),
                 fifo: PairMap::default(),
-                latency: Box::new(move |f, t, b, now| latency.latency_ns(f, t, b, now)),
-                jitter: config.latency_jitter,
-                net_rng: DetRng::for_rank(config.seed, u32::MAX),
-                halted: false,
+                net,
+                delivered: 0,
+                timers: 0,
                 messages_sent: 0,
-                n_ranks: n,
+                events: 0,
+                fault_stats: FaultStats::default(),
                 log: None,
                 net_trace: None,
-                fault: config.fault,
-                fault_active,
-                // One stream below net_rng: never collides with a rank
-                // stream, and stays untouched when the plan is inactive.
-                fault_rng: DetRng::for_rank(config.seed, u32::MAX - 1),
-                fault_stats: FaultStats::default(),
-                crash_at,
+                outboxes: Vec::new(),
                 profiler: None,
+                windows: 0,
+                busy_ns: 0,
+                wait_ns: 0,
             },
-            rank_rngs,
+        };
+        Self {
+            shards: vec![shard],
+            rank_loc: (0..n).map(|r| (0, r)).collect(),
             skews,
-            timers_fired: 0,
-            messages_delivered: 0,
+            crash_at,
+            fault: config.fault,
+            fault_active,
+            jitter: config.latency_jitter,
+            n_ranks: n,
+            windowed: false,
+            lookahead_ns: 0,
             started: false,
+            log_cap: None,
+            net_trace_on: false,
+            profiler: None,
+            merged_log: None,
+            merged_net: None,
+        }
+    }
+
+    /// Switch to windowed (conservative PDES) execution over `cfg`
+    /// shards. Must be called before the first run and at most once.
+    /// The schedule of a windowed run is identical for every shard
+    /// count; use windowed execution even for one shard whenever a
+    /// multi-shard run of the same configuration must match it.
+    ///
+    /// # Panics
+    /// Panics if the simulation already ran, on a second call, or if an
+    /// explicit shard map is malformed.
+    pub fn configure_parallel(&mut self, cfg: ParallelConfig) {
+        assert!(
+            !self.started,
+            "configure_parallel must be called before the first run"
+        );
+        assert!(
+            self.shards.len() == 1 && !self.windowed,
+            "configure_parallel may only be called once"
+        );
+        let n = self.n_ranks as usize;
+        let threads = if self.shards[0].core.net.shardable() {
+            cfg.threads.max(1)
+        } else {
+            1
+        };
+        let map: Vec<u32> = match cfg.shard_of {
+            Some(m) => {
+                assert_eq!(m.len(), n, "shard map length must equal rank count");
+                assert!(
+                    m.iter().all(|&s| s < threads),
+                    "shard map entries must be < threads"
+                );
+                m
+            }
+            None => (0..n)
+                .map(|r| ((r as u64 * threads as u64) / n as u64) as u32)
+                .collect(),
+        };
+        let mut groups: Vec<Vec<Rank>> = vec![Vec::new(); threads as usize];
+        for (r, &s) in map.iter().enumerate() {
+            groups[s as usize].push(r as Rank);
+        }
+        let groups: Vec<Vec<Rank>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        let s_count = groups.len();
+
+        let old = self.shards.pop().expect("exactly one shard");
+        let Shard {
+            actors,
+            states,
+            core,
+            ..
+        } = old;
+        let mut nets: Vec<Box<dyn NetworkModel>> =
+            (1..s_count).map(|_| core.net.replicate()).collect();
+        nets.insert(0, core.net);
+        let mut actor_slots: Vec<Option<A>> = actors.into_iter().map(Some).collect();
+        let mut state_slots: Vec<Option<RankState>> = states.into_iter().map(Some).collect();
+
+        for (id, (members, net)) in groups.into_iter().zip(nets).enumerate() {
+            let shard_actors: Vec<A> = members
+                .iter()
+                .map(|&r| actor_slots[r as usize].take().expect("each rank once"))
+                .collect();
+            let shard_states: Vec<RankState> = members
+                .iter()
+                .map(|&r| state_slots[r as usize].take().expect("each rank once"))
+                .collect();
+            for (slot, &r) in members.iter().enumerate() {
+                self.rank_loc[r as usize] = (id as u32, slot as u32);
+            }
+            self.shards.push(Shard {
+                members,
+                actors: shard_actors,
+                states: shard_states,
+                core: ShardCore {
+                    id,
+                    now: SimTime::ZERO,
+                    halted: false,
+                    queue: BinaryHeap::new(),
+                    fifo: PairMap::default(),
+                    net,
+                    delivered: 0,
+                    timers: 0,
+                    messages_sent: 0,
+                    events: 0,
+                    fault_stats: FaultStats::default(),
+                    log: self.log_cap.map(|_| EventLog::unbounded()),
+                    net_trace: if self.net_trace_on {
+                        Some(NetTrace::default())
+                    } else {
+                        None
+                    },
+                    outboxes: (0..s_count).map(|_| Vec::new()).collect(),
+                    profiler: self.profiler.clone(),
+                    windows: 0,
+                    busy_ns: 0,
+                    wait_ns: 0,
+                },
+            });
+        }
+        self.windowed = true;
+        self.lookahead_ns = cfg.lookahead_ns.max(1);
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let shared = Shared {
+            n_ranks: self.n_ranks,
+            rank_loc: &self.rank_loc,
+            crash_at: &self.crash_at,
+            fault: &self.fault,
+            fault_active: self.fault_active,
+            jitter: self.jitter,
+            lookahead_ns: self.lookahead_ns,
+        };
+        for shard in self.shards.iter_mut() {
+            let b0 = Instant::now();
+            shard.start(&shared);
+            shard.core.busy_ns += b0.elapsed().as_nanos() as u64;
+        }
+        self.exchange_outboxes();
+    }
+
+    /// Move every shard's outbox contents into the destination shards'
+    /// queues (the single-threaded equivalent of the barrier exchange).
+    fn exchange_outboxes(&mut self) {
+        let n = self.shards.len();
+        if n <= 1 {
+            return;
+        }
+        let mut moved: Vec<Vec<Event<A::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        for shard in self.shards.iter_mut() {
+            for (j, out) in shard.core.outboxes.iter_mut().enumerate() {
+                if !out.is_empty() {
+                    moved[j].append(out);
+                }
+            }
+        }
+        for (j, evs) in moved.into_iter().enumerate() {
+            for ev in evs {
+                self.shards[j].core.push_local(ev);
+            }
         }
     }
 
@@ -539,93 +1226,179 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// [`run`](Self::run) with optional wall limits on simulated time
-    /// and event count.
+    /// and event count. After [`Self::configure_parallel`] this
+    /// executes the windowed algorithm on the calling thread; otherwise
+    /// the legacy serial loop runs (same schedule, but halts and event
+    /// limits apply per event rather than per window).
     pub fn run_with_limits(
         &mut self,
         max_time: Option<SimTime>,
         max_events: Option<u64>,
     ) -> RunReport {
-        if !self.started {
-            self.started = true;
-            for i in 0..self.actors.len() {
-                // A rank crashed at time zero never runs at all.
-                if self.kernel.fault_active && self.kernel.crashed(i as Rank, SimTime::ZERO) {
-                    continue;
-                }
-                self.dispatch_start(i as Rank);
-            }
+        if self.windowed {
+            self.run_windowed_local(max_time, max_events)
+        } else {
+            self.run_legacy(max_time, max_events)
         }
-        let mut events = self.timers_fired + self.messages_delivered;
+    }
+
+    fn run_legacy(&mut self, max_time: Option<SimTime>, max_events: Option<u64>) -> RunReport {
+        self.ensure_started();
         let mut limit_hit = false;
-        while let Some(Reverse(ev)) = self.kernel.queue.pop() {
+        let shared = Shared {
+            n_ranks: self.n_ranks,
+            rank_loc: &self.rank_loc,
+            crash_at: &self.crash_at,
+            fault: &self.fault,
+            fault_active: self.fault_active,
+            jitter: self.jitter,
+            lookahead_ns: self.lookahead_ns,
+        };
+        let shard = &mut self.shards[0];
+        while let Some(rev) = shard.core.queue.peek() {
+            let t = rev.0.time;
             if let Some(mt) = max_time {
-                if ev.time > mt {
+                if t > mt {
+                    // Event not processed; it stays queued for resume.
                     limit_hit = true;
-                    // Event not processed; put it back for a later resume.
-                    self.kernel.queue.push(Reverse(ev));
                     break;
                 }
             }
-            self.kernel.now = ev.time;
-            match ev.kind {
-                EventKind::Deliver { from, to, msg } => {
-                    if self.kernel.fault_active && self.kernel.crashed(to, ev.time) {
-                        // The destination died before this arrived; the
-                        // bytes hit a dead NIC.
-                        self.kernel.fault_stats.crash_lost_deliveries += 1;
-                        self.kernel.log_fault(ObsKind::CrashLost {
-                            rank: to,
-                            timer: false,
-                        });
-                    } else {
-                        self.messages_delivered += 1;
-                        self.kernel
-                            .log_event(ev.time, ObsKind::Delivered { from, to });
-                        self.dispatch_message(to, from, msg);
-                    }
-                }
-                EventKind::Timer { rank, token } => {
-                    if self.kernel.fault_active && self.kernel.crashed(rank, ev.time) {
-                        self.kernel.fault_stats.crash_lost_timers += 1;
-                        self.kernel
-                            .log_fault(ObsKind::CrashLost { rank, timer: true });
-                    } else {
-                        self.timers_fired += 1;
-                        self.kernel
-                            .log_event(ev.time, ObsKind::Timer { rank, token });
-                        self.dispatch_timer(rank, token);
-                    }
-                }
-            }
-            events += 1;
-            if self.kernel.halted {
+            let ev = shard.core.queue.pop().expect("peeked").0;
+            shard.process(&shared, ev);
+            if shard.core.halted {
                 break;
             }
             if let Some(me) = max_events {
-                if events >= me {
+                if shard.core.events >= me {
                     limit_hit = true;
                     break;
                 }
             }
         }
+        let core = &self.shards[0].core;
         RunReport {
-            end_time: self.kernel.now,
-            events,
-            messages: self.messages_delivered,
-            timers: self.timers_fired,
-            halted: self.kernel.halted || limit_hit,
+            end_time: core.now,
+            events: core.events,
+            messages: core.delivered,
+            timers: core.timers,
+            halted: core.halted || limit_hit,
         }
+    }
+
+    fn run_windowed_local(
+        &mut self,
+        max_time: Option<SimTime>,
+        max_events: Option<u64>,
+    ) -> RunReport {
+        self.ensure_started();
+        let mt = max_time.map(|t| t.ns());
+        let limit_hit;
+        loop {
+            let min_next = self
+                .shards
+                .iter()
+                .filter_map(|s| s.core.queue.peek().map(|r| r.0.time.ns()))
+                .min();
+            let events: u64 = self.shards.iter().map(|s| s.core.events).sum();
+            let any_halt = self.shards.iter().any(|s| s.core.halted);
+            match decide(
+                min_next,
+                events,
+                any_halt,
+                mt,
+                max_events,
+                self.lookahead_ns,
+            ) {
+                Verdict::Stop { limit } => {
+                    limit_hit = limit;
+                    break;
+                }
+                Verdict::Window { end } => {
+                    let shared = Shared {
+                        n_ranks: self.n_ranks,
+                        rank_loc: &self.rank_loc,
+                        crash_at: &self.crash_at,
+                        fault: &self.fault,
+                        fault_active: self.fault_active,
+                        jitter: self.jitter,
+                        lookahead_ns: self.lookahead_ns,
+                    };
+                    for shard in self.shards.iter_mut() {
+                        let b0 = Instant::now();
+                        shard.run_window(&shared, end, mt);
+                        shard.core.busy_ns += b0.elapsed().as_nanos() as u64;
+                    }
+                    self.exchange_outboxes();
+                }
+            }
+        }
+        self.finish_windowed(limit_hit)
+    }
+
+    fn finish_windowed(&mut self, limit_hit: bool) -> RunReport {
+        if self.log_cap.is_some() {
+            self.rebuild_merged_log();
+        }
+        if self.net_trace_on {
+            self.rebuild_merged_net();
+        }
+        let end_time = self
+            .shards
+            .iter()
+            .map(|s| s.core.now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunReport {
+            end_time,
+            events: self.shards.iter().map(|s| s.core.events).sum(),
+            messages: self.shards.iter().map(|s| s.core.delivered).sum(),
+            timers: self.shards.iter().map(|s| s.core.timers).sum(),
+            halted: self.shards.iter().any(|s| s.core.halted) || limit_hit,
+        }
+    }
+
+    /// Rebuild the canonical merged event log: concatenate the
+    /// per-shard logs and stable-sort by `(time, owning rank)`. Records
+    /// with equal keys always come from one rank — hence one shard —
+    /// so the stable sort preserves their original order and the merge
+    /// is shard-count-invariant.
+    fn rebuild_merged_log(&mut self) {
+        let cap = self.log_cap.expect("checked by caller");
+        let mut all: Vec<EventRecord> = Vec::new();
+        for shard in &self.shards {
+            if let Some(log) = &shard.core.log {
+                all.extend(log.iter().copied());
+            }
+        }
+        all.sort_by_key(|r| (r.at.ns(), owner_rank(&r.kind)));
+        let mut merged = EventLog::new(cap);
+        for r in all {
+            merged.record(r);
+        }
+        self.merged_log = Some(merged);
+    }
+
+    fn rebuild_merged_net(&mut self) {
+        let mut merged = NetTrace::default();
+        for shard in &self.shards {
+            if let Some(nt) = &shard.core.net_trace {
+                merged.merge(nt);
+            }
+        }
+        self.merged_net = Some(merged);
     }
 
     /// Access an actor after (or during) a run — e.g. to harvest per-rank
     /// statistics.
     pub fn actor(&self, rank: Rank) -> &A {
-        &self.actors[rank as usize]
+        let (s, slot) = self.rank_loc[rank as usize];
+        &self.shards[s as usize].actors[slot as usize]
     }
 
     /// All actors, in rank order.
-    pub fn actors(&self) -> &[A] {
-        &self.actors
+    pub fn actors(&self) -> Vec<&A> {
+        (0..self.n_ranks).map(|r| self.actor(r)).collect()
     }
 
     /// Per-rank clock skew applied in this simulation (for trace
@@ -636,42 +1409,79 @@ impl<A: Actor> Simulation<A> {
 
     /// Number of messages handed to the network so far.
     pub fn messages_sent(&self) -> u64 {
-        self.kernel.messages_sent
+        self.shards.iter().map(|s| s.core.messages_sent).sum()
     }
 
     /// Counters for every fault injected so far.
     pub fn fault_stats(&self) -> FaultStats {
-        self.kernel.fault_stats
+        let mut total = FaultStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.core.fault_stats);
+        }
+        total
     }
 
     /// Ranks whose scheduled crash time has passed.
     pub fn crashed_ranks(&self) -> Vec<Rank> {
-        (0..self.kernel.n_ranks)
-            .filter(|&r| self.kernel.crashed(r, self.kernel.now))
+        let now = self
+            .shards
+            .iter()
+            .map(|s| s.core.now)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        (0..self.n_ranks)
+            .filter(|&r| crashed_at(&self.crash_at, r, now))
             .collect()
     }
 
     /// Attach a bounded event log keeping the `cap` most recent engine
-    /// events (sends, deliveries, timers). Call before `run`.
+    /// events (sends, deliveries, timers). Call before `run`. Windowed
+    /// runs buffer each shard's full stream and truncate to `cap` at
+    /// merge time, so the retained window is shard-count-invariant.
     pub fn attach_log(&mut self, cap: usize) {
-        self.kernel.log = Some(EventLog::new(cap));
+        self.log_cap = Some(cap);
+        self.merged_log = Some(EventLog::new(cap));
+        let windowed = self.windowed;
+        for shard in self.shards.iter_mut() {
+            shard.core.log = Some(if windowed {
+                EventLog::unbounded()
+            } else {
+                EventLog::new(cap)
+            });
+        }
     }
 
-    /// The attached event log, if any.
+    /// The attached event log, if any. After windowed runs this is the
+    /// canonical cross-shard merge.
     pub fn event_log(&self) -> Option<&EventLog> {
-        self.kernel.log.as_ref()
+        if self.windowed {
+            self.merged_log.as_ref()
+        } else {
+            self.shards[0].core.log.as_ref()
+        }
     }
 
     /// Attach a network trace (delivery-latency histogram + per-pair
     /// traffic matrix). Call before `run`; unattached, the engine pays
     /// one branch per send and records nothing.
     pub fn attach_net_trace(&mut self) {
-        self.kernel.net_trace = Some(NetTrace::default());
+        self.net_trace_on = true;
+        for shard in self.shards.iter_mut() {
+            shard.core.net_trace = Some(NetTrace::default());
+        }
+        if self.windowed {
+            self.merged_net = Some(NetTrace::default());
+        }
     }
 
-    /// The attached network trace, if any.
+    /// The attached network trace, if any. After windowed runs this is
+    /// the cross-shard merge.
     pub fn net_trace(&self) -> Option<&NetTrace> {
-        self.kernel.net_trace.as_ref()
+        if self.windowed {
+            self.merged_net.as_ref()
+        } else {
+            self.shards[0].core.net_trace.as_ref()
+        }
     }
 
     /// Attach a self-profiling probe (shared with the schedulers via
@@ -679,46 +1489,144 @@ impl<A: Actor> Simulation<A> {
     /// site costs one branch and the schedule is unaffected either
     /// way — the probe only reads the host clock.
     pub fn attach_profiler(&mut self, probe: Arc<PerfProbe>) {
-        self.kernel.profiler = Some(probe);
+        self.profiler = Some(Arc::clone(&probe));
+        for shard in self.shards.iter_mut() {
+            shard.core.profiler = Some(Arc::clone(&probe));
+        }
     }
 
-    fn dispatch_start(&mut self, rank: Rank) {
-        let i = rank as usize;
-        let t0 = prof_start(&self.kernel.profiler);
-        let mut ctx = Ctx {
-            kernel: &mut self.kernel,
-            me: rank,
-            rng: &mut self.rank_rngs[i],
-            skew_ns: self.skews[i],
-        };
-        self.actors[i].on_start(&mut ctx);
-        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
+    /// Host-side execution profile per shard (events, windows, busy and
+    /// barrier-wait time). Meaningful after a windowed run.
+    pub fn shard_profiles(&self) -> Vec<ShardProfile> {
+        self.shards
+            .iter()
+            .map(|s| ShardProfile {
+                shard: s.core.id as u32,
+                ranks: s.members.len() as u32,
+                events: s.core.events,
+                windows: s.core.windows,
+                busy_ns: s.core.busy_ns,
+                wait_ns: s.core.wait_ns,
+            })
+            .collect()
+    }
+}
+
+impl<A> Simulation<A>
+where
+    A: Actor + Send,
+    A::Msg: Send,
+{
+    /// [`run_parallel_with_limits`](Self::run_parallel_with_limits)
+    /// without limits.
+    pub fn run_parallel(&mut self) -> RunReport {
+        self.run_parallel_with_limits(None, None)
     }
 
-    fn dispatch_message(&mut self, rank: Rank, from: Rank, msg: A::Msg) {
-        let i = rank as usize;
-        let t0 = prof_start(&self.kernel.profiler);
-        let mut ctx = Ctx {
-            kernel: &mut self.kernel,
-            me: rank,
-            rng: &mut self.rank_rngs[i],
-            skew_ns: self.skews[i],
+    /// Execute the windowed run with one OS thread per shard. Requires
+    /// [`configure_parallel`](Self::configure_parallel) first; with one
+    /// shard (or unconfigured) this falls back to the single-threaded
+    /// path. The result is bit-identical to
+    /// [`run_with_limits`](Self::run_with_limits) on the same
+    /// configuration.
+    pub fn run_parallel_with_limits(
+        &mut self,
+        max_time: Option<SimTime>,
+        max_events: Option<u64>,
+    ) -> RunReport {
+        if !self.windowed || self.shards.len() <= 1 {
+            return self.run_with_limits(max_time, max_events);
+        }
+        self.ensure_started();
+        let n_shards = self.shards.len();
+        let mt = max_time.map(|t| t.ns());
+        let lookahead = self.lookahead_ns;
+        let mins: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+        let counts: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+        let halts: Vec<AtomicBool> = (0..n_shards).map(|_| AtomicBool::new(false)).collect();
+        let inboxes: Vec<Mutex<Vec<Event<A::Msg>>>> =
+            (0..n_shards).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = HybridBarrier::new(n_shards);
+        let limit_flag = AtomicBool::new(false);
+        let shared = Shared {
+            n_ranks: self.n_ranks,
+            rank_loc: &self.rank_loc,
+            crash_at: &self.crash_at,
+            fault: &self.fault,
+            fault_active: self.fault_active,
+            jitter: self.jitter,
+            lookahead_ns: self.lookahead_ns,
         };
-        self.actors[i].on_message(&mut ctx, from, msg);
-        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
-    }
-
-    fn dispatch_timer(&mut self, rank: Rank, token: u64) {
-        let i = rank as usize;
-        let t0 = prof_start(&self.kernel.profiler);
-        let mut ctx = Ctx {
-            kernel: &mut self.kernel,
-            me: rank,
-            rng: &mut self.rank_rngs[i],
-            skew_ns: self.skews[i],
-        };
-        self.actors[i].on_timer(&mut ctx, token);
-        prof_record(&self.kernel.profiler, Phase::Dispatch, t0);
+        std::thread::scope(|scope| {
+            for shard in self.shards.iter_mut() {
+                let shared = &shared;
+                let mins = &mins;
+                let counts = &counts;
+                let halts = &halts;
+                let inboxes = &inboxes;
+                let barrier = &barrier;
+                let limit_flag = &limit_flag;
+                scope.spawn(move || {
+                    let id = shard.core.id;
+                    let mut sense = false;
+                    loop {
+                        // Ingest events other shards flushed last window.
+                        {
+                            let mut inbox = inboxes[id].lock().expect("inbox poisoned");
+                            for ev in inbox.drain(..) {
+                                shard.core.push_local(ev);
+                            }
+                        }
+                        let next = shard
+                            .core
+                            .queue
+                            .peek()
+                            .map_or(u64::MAX, |rev| rev.0.time.ns());
+                        mins[id].store(next, Ordering::SeqCst);
+                        counts[id].store(shard.core.events, Ordering::SeqCst);
+                        halts[id].store(shard.core.halted, Ordering::SeqCst);
+                        let w0 = Instant::now();
+                        barrier.wait(&mut sense);
+                        shard.core.wait_ns += w0.elapsed().as_nanos() as u64;
+                        // Every shard derives the identical verdict from
+                        // the published values — leaderless by design.
+                        let min_next = mins
+                            .iter()
+                            .map(|m| m.load(Ordering::SeqCst))
+                            .min()
+                            .filter(|&t| t != u64::MAX);
+                        let events: u64 = counts.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+                        let any_halt = halts.iter().any(|h| h.load(Ordering::SeqCst));
+                        match decide(min_next, events, any_halt, mt, max_events, lookahead) {
+                            Verdict::Stop { limit } => {
+                                if id == 0 {
+                                    limit_flag.store(limit, Ordering::SeqCst);
+                                }
+                                break;
+                            }
+                            Verdict::Window { end } => {
+                                let b0 = Instant::now();
+                                shard.run_window(shared, end, mt);
+                                for (j, inbox) in inboxes.iter().enumerate() {
+                                    if j == id {
+                                        continue;
+                                    }
+                                    let out = &mut shard.core.outboxes[j];
+                                    if !out.is_empty() {
+                                        inbox.lock().expect("inbox poisoned").append(out);
+                                    }
+                                }
+                                shard.core.busy_ns += b0.elapsed().as_nanos() as u64;
+                                let w1 = Instant::now();
+                                barrier.wait(&mut sense);
+                                shard.core.wait_ns += w1.elapsed().as_nanos() as u64;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        self.finish_windowed(limit_flag.load(Ordering::SeqCst))
     }
 }
 
@@ -1045,22 +1953,23 @@ mod tests {
 
     #[test]
     fn stateful_latency_fn_sees_departure_time() {
-        // A latency oracle that records the now_ns it is given.
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        struct Probe(Rc<RefCell<Vec<u64>>>);
+        // A latency oracle that records the now_ns it is given. The
+        // shared interior state must be Sync now that latency oracles
+        // are replicated across shards.
+        #[derive(Clone)]
+        struct Probe(Arc<Mutex<Vec<u64>>>);
         impl LatencyFn for Probe {
             fn latency_ns(&self, _f: Rank, _t: Rank, _b: usize, now_ns: u64) -> u64 {
-                self.0.borrow_mut().push(now_ns);
+                self.0.lock().unwrap().push(now_ns);
                 100
             }
         }
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let actors = vec![DelayedSender { got: vec![] }, DelayedSender { got: vec![] }];
-        let mut sim = Simulation::new(actors, Probe(Rc::clone(&seen)), SimConfig::default());
+        let mut sim = Simulation::new(actors, Probe(Arc::clone(&seen)), SimConfig::default());
         sim.run();
         // Departure times include the extra delays.
-        assert_eq!(*seen.borrow(), vec![0, 500, 1_500]);
+        assert_eq!(*seen.lock().unwrap(), vec![0, 500, 1_500]);
     }
 
     #[test]
@@ -1077,5 +1986,204 @@ mod tests {
         }
         let mut sim = Simulation::new(vec![SelfSender], ConstantLatency(1), SimConfig::default());
         sim.run();
+    }
+
+    // ------------------------------------------------------------------
+    // Windowed / parallel execution tests
+    // ------------------------------------------------------------------
+
+    /// A chatty workload exercising per-rank RNG streams, timers,
+    /// variable message sizes and all-to-all traffic — the schedule is
+    /// sensitive to any ordering or stream regression.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Chatter {
+        n: u32,
+        got: Vec<(Rank, u64, SimTime)>,
+        fired: Vec<(u64, SimTime)>,
+    }
+
+    impl Chatter {
+        fn fleet(n: u32) -> Vec<Chatter> {
+            (0..n)
+                .map(|_| Chatter {
+                    n,
+                    got: vec![],
+                    fired: vec![],
+                })
+                .collect()
+        }
+    }
+
+    impl Actor for Chatter {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let me = ctx.me();
+            let to = (me + 1) % self.n;
+            if to != me {
+                ctx.send(to, 64, 6);
+            }
+            ctx.set_timer(500 + 37 * me as u64, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: Rank, msg: u64) {
+            self.got.push((from, msg, ctx.now()));
+            if msg > 0 {
+                let n = self.n;
+                let mut to = ctx.rng().next_below(n as u64) as Rank;
+                if to == ctx.me() {
+                    to = (to + 1) % n;
+                }
+                if to != ctx.me() {
+                    ctx.send(to, 32 + 8 * msg as usize, msg - 1);
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, token: u64) {
+            self.fired.push((token, ctx.now()));
+            if token < 3 {
+                let n = self.n;
+                let mut to = ctx.rng().next_below(n as u64) as Rank;
+                if to == ctx.me() {
+                    to = (to + 1) % n;
+                }
+                if to != ctx.me() {
+                    ctx.send(to, 16, 2);
+                }
+                ctx.set_timer(700, token + 1);
+            }
+        }
+    }
+
+    /// Run the chatter fleet windowed over `shards` shards; `threaded`
+    /// picks the OS-thread driver. Returns everything observable.
+    fn run_chatter(
+        n: u32,
+        shards: u32,
+        threaded: bool,
+        fault: FaultPlan,
+    ) -> (RunReport, Vec<Chatter>, FaultStats, u64, Vec<EventRecord>) {
+        let cfg = SimConfig {
+            latency_jitter: 0.3,
+            clock_skew_max_ns: 2_000,
+            fault,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(Chatter::fleet(n), ConstantLatency(1_000), cfg);
+        sim.configure_parallel(ParallelConfig::new(shards, 1_000));
+        sim.attach_log(1 << 16);
+        sim.attach_net_trace();
+        let report = if threaded {
+            sim.run_parallel()
+        } else {
+            sim.run()
+        };
+        let actors: Vec<Chatter> = sim.actors().into_iter().cloned().collect();
+        let log = sim.event_log().expect("attached").window();
+        (report, actors, sim.fault_stats(), sim.messages_sent(), log)
+    }
+
+    #[test]
+    fn windowed_schedule_is_shard_count_invariant() {
+        let base = run_chatter(8, 1, false, FaultPlan::default());
+        for shards in [2u32, 3, 8] {
+            let other = run_chatter(8, shards, false, FaultPlan::default());
+            assert_eq!(base, other, "shard count {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn windowed_schedule_is_shard_count_invariant_under_faults() {
+        let plan = FaultPlan::message_faults(0.1, 0.1, 0.1);
+        let base = run_chatter(8, 1, false, plan.clone());
+        assert!(
+            base.2.dropped + base.2.duplicated + base.2.spiked > 0,
+            "fault plan must actually fire for this test to mean anything"
+        );
+        for shards in [2u32, 3, 8] {
+            let other = run_chatter(8, shards, false, plan.clone());
+            assert_eq!(base, other, "shard count {shards} diverged under faults");
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_single_threaded_windowed() {
+        for shards in [2u32, 4] {
+            let local = run_chatter(8, shards, false, FaultPlan::default());
+            let threaded = run_chatter(8, shards, true, FaultPlan::default());
+            assert_eq!(
+                local, threaded,
+                "threaded driver diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_single_shard_halts_at_window_boundary() {
+        // Windowed halt is window-granular: both timers of the Halter
+        // sit in separate windows here, so only the first fires.
+        let mut sim = Simulation::new(vec![Halter], ConstantLatency(1), SimConfig::default());
+        sim.configure_parallel(ParallelConfig::new(1, 5));
+        let report = sim.run();
+        assert!(report.halted);
+        assert_eq!(report.timers, 1);
+    }
+
+    #[test]
+    fn windowed_run_resumes_after_time_limit() {
+        let mut sim = Simulation::new(
+            vec![TimerProbe { fired: vec![] }],
+            ConstantLatency(1),
+            SimConfig::default(),
+        );
+        sim.configure_parallel(ParallelConfig::new(1, 10));
+        let r1 = sim.run_with_limits(Some(SimTime(150)), None);
+        assert!(r1.halted);
+        assert_eq!(sim.actor(0).fired.len(), 1);
+        let r2 = sim.run_with_limits(None, None);
+        assert!(!r2.halted);
+        assert_eq!(sim.actor(0).fired.len(), 3);
+    }
+
+    #[test]
+    fn shard_profiles_account_all_events() {
+        let (report, ..) = run_chatter(8, 3, false, FaultPlan::default());
+        let mut sim = Simulation::new(
+            Chatter::fleet(8),
+            ConstantLatency(1_000),
+            SimConfig {
+                latency_jitter: 0.3,
+                clock_skew_max_ns: 2_000,
+                ..SimConfig::default()
+            },
+        );
+        sim.configure_parallel(ParallelConfig::new(3, 1_000));
+        sim.run();
+        let profiles = sim.shard_profiles();
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(
+            profiles.iter().map(|p| p.events).sum::<u64>(),
+            report.events
+        );
+        assert_eq!(profiles.iter().map(|p| u64::from(p.ranks)).sum::<u64>(), 8);
+        let windows = profiles[0].windows;
+        assert!(windows > 0);
+        assert!(profiles.iter().all(|p| p.windows == windows));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead bound")]
+    fn lookahead_violation_is_detected() {
+        // Cross-shard latency (10 ns) below the declared lookahead
+        // (1000 ns) must be caught, not silently mis-simulated.
+        let mut sim = Simulation::new(Chatter::fleet(4), ConstantLatency(10), SimConfig::default());
+        sim.configure_parallel(ParallelConfig::new(2, 1_000));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first run")]
+    fn configure_parallel_after_run_is_rejected() {
+        let mut sim = Simulation::new(vec![Halter], ConstantLatency(1), SimConfig::default());
+        sim.run();
+        sim.configure_parallel(ParallelConfig::new(2, 100));
     }
 }

@@ -59,6 +59,20 @@ pub struct Crash {
 /// The complete, seed-deterministic fault schedule for one run.
 ///
 /// The default plan injects nothing and adds zero overhead.
+///
+/// # Example
+///
+/// ```
+/// use dws_simnet::FaultPlan;
+///
+/// // 1% drops, no duplicates, 0.5% latency spikes — and one rank
+/// // dying a millisecond in.
+/// let mut plan = FaultPlan::message_faults(0.01, 0.0, 0.005);
+/// plan.crashes.push(dws_simnet::Crash { rank: 3, at_ns: 1_000_000 });
+/// plan.validate(8).expect("plan must fit an 8-rank job");
+/// assert!(plan.is_active());
+/// assert_eq!(plan.crash_time(3), Some(1_000_000));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Probability that any given message is silently dropped.
@@ -238,6 +252,17 @@ impl FaultStats {
     /// Total messages that never reached their destination.
     pub fn total_lost_messages(&self) -> u64 {
         self.dropped + self.brownout_drops + self.crash_lost_deliveries
+    }
+
+    /// Add another counter set into this one (used to total the
+    /// per-shard counters of a parallel run).
+    pub fn absorb(&mut self, o: &FaultStats) {
+        self.dropped += o.dropped;
+        self.duplicated += o.duplicated;
+        self.spiked += o.spiked;
+        self.brownout_drops += o.brownout_drops;
+        self.crash_lost_deliveries += o.crash_lost_deliveries;
+        self.crash_lost_timers += o.crash_lost_timers;
     }
 }
 

@@ -40,8 +40,46 @@
 //! assert_eq!(sim.actor(1).got, 42);
 //! assert_eq!(report.end_time.ns(), 1_000);
 //! ```
+//!
+//! ## Parallel execution
+//!
+//! The engine can shard ranks across worker threads and advance time
+//! in conservative lookahead windows: [`Simulation::configure_parallel`]
+//! then [`Simulation::run_parallel`]. The schedule is bit-identical
+//! for any shard count, including one:
+//!
+//! ```
+//! use dws_simnet::{Actor, ConstantLatency, Ctx, ParallelConfig, Rank, SimConfig, Simulation};
+//!
+//! struct Relay;
+//! impl Actor for Relay {
+//!     type Msg = u32;
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+//!         if ctx.me() == 0 { ctx.send(1, 4, 3); }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: Rank, msg: u32) {
+//!         if msg > 0 {
+//!             let next = (ctx.me() + 1) % ctx.n_ranks();
+//!             ctx.send(next, 4, msg - 1);
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, _token: u64) {}
+//! }
+//!
+//! let run = |threads: u32| {
+//!     let mut sim = Simulation::new(
+//!         (0..4).map(|_| Relay).collect(),
+//!         ConstantLatency(1_000),
+//!         SimConfig::default(),
+//!     );
+//!     // Lookahead = the minimum cross-shard latency (1_000 ns here).
+//!     sim.configure_parallel(ParallelConfig::new(threads, 1_000));
+//!     sim.run_parallel()
+//! };
+//! assert_eq!(run(1), run(2));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod fault;
@@ -50,7 +88,10 @@ pub mod profiler;
 pub mod rng;
 pub mod time;
 
-pub use engine::{Actor, ConstantLatency, Ctx, LatencyFn, Rank, RunReport, SimConfig, Simulation};
+pub use engine::{
+    Actor, ConstantLatency, Ctx, LatencyFn, NetworkModel, ParallelConfig, PureNetwork, Rank,
+    RunReport, ShardProfile, SimConfig, Simulation,
+};
 pub use fault::{Brownout, Crash, FaultPlan, FaultStats, SlowdownWindow};
 pub use observer::{EventKind, EventLog, EventRecord, NetTrace, PairTally};
 pub use profiler::{allocation_count, CountingAlloc, PerfProbe, Phase};

@@ -104,6 +104,18 @@ impl EventLog {
         }
     }
 
+    /// Log with no eviction: every record is retained. The windowed
+    /// (parallel) engine uses this per shard so the cross-shard merge
+    /// can truncate canonically instead of per-shard.
+    pub fn unbounded() -> Self {
+        Self {
+            buf: Vec::new(),
+            cap: usize::MAX,
+            next: 0,
+            total: 0,
+        }
+    }
+
     /// Record one event.
     pub fn record(&mut self, rec: EventRecord) {
         self.total += 1;
@@ -191,6 +203,18 @@ impl NetTrace {
     /// Total messages recorded.
     pub fn messages(&self) -> u64 {
         self.delivery_ns.count()
+    }
+
+    /// Fold another trace into this one (histogram bins add, pair
+    /// tallies sum). Commutative and associative, so merging per-shard
+    /// traces in any order yields the same totals.
+    pub fn merge(&mut self, other: &NetTrace) {
+        self.delivery_ns.merge(&other.delivery_ns);
+        for (k, t) in other.pairs.iter() {
+            let e = self.pairs.entry(*k).or_default();
+            e.messages += t.messages;
+            e.bytes += t.bytes;
+        }
     }
 }
 

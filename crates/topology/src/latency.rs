@@ -111,6 +111,18 @@ impl LatencyParams {
         }
     }
 
+    /// A lower bound on the latency of any message between *distinct*
+    /// nodes: the cheapest off-node base class plus the fixed software
+    /// overhead (the size-dependent transfer term only adds to it).
+    /// This is the conservative lookahead bound the parallel simulation
+    /// engine uses — any cross-node (hence cross-shard) message sent at
+    /// time `t` arrives no earlier than `t + min_remote_ns()`.
+    pub fn min_remote_ns(&self) -> u64 {
+        // check() enforces blade <= cube <= rack <= inter-rack, so the
+        // blade class is the cheapest a remote message can be.
+        self.same_blade_ns + self.software_overhead_ns
+    }
+
     /// Validate internal consistency (ordering and positivity).
     pub fn check(&self) -> Result<(), String> {
         if self.bytes_per_ns <= 0.0 {

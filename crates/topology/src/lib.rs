@@ -29,7 +29,7 @@
 //! assert!(job.euclidean(0, 1) <= job.euclidean(0, 63));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod allocation;
 pub mod coord;

@@ -31,6 +31,19 @@ impl NodeId {
 /// rack holds 96 nodes (8 cubes) and that intra-rack links are faster
 /// than inter-rack links. We group racks along the `z` axis: cubes
 /// `(x, y, 8k..8k+8)` share rack `(x, y, k)`.
+///
+/// # Example
+///
+/// ```
+/// use dws_topology::Machine;
+///
+/// let k = Machine::k_computer();
+/// assert_eq!(k.node_count(), 82_944); // "over 80,000 nodes"
+///
+/// // Node ids are dense, so per-node state can live in plain vectors.
+/// let coord = k.coord(dws_topology::NodeId(0));
+/// assert_eq!(k.node_id(coord).index(), 0);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
     /// Torus extents in cube units.

@@ -11,7 +11,8 @@ for bin in table1 fig02_efficiency_small fig03_reference_large fig04_latency_sma
            fig08_skew_pdf fig09_tofu_speedup fig10_session_duration fig11_steal_half \
            fig12_sl_compare fig13_el_compare fig14_search_time fig15_failed_steals_half \
            fig16_granularity ablation_polling ablation_chunk_size ablation_skew_exponent \
-           ablation_flat_network ablation_nic ablation_skew_impl ablation_future_selection ablation_link_load ablation_lifelines ablation_network_model; do
+           ablation_flat_network ablation_nic ablation_skew_impl ablation_future_selection \
+           ablation_link_load ablation_lifelines ablation_network_model ablation_threads; do
     echo "=== $bin ==="
     ./target/release/$bin "$@" | tee results/$bin.out
 done

@@ -164,6 +164,7 @@ fn record_round_trip_and_trajectory_store() {
         trial_seed: 3,
         unix_time_s: 1_754_000_000,
         trials: 7,
+        threads: 2,
         metrics: vec![
             BenchMetric::from_samples("lat", "ns", Polarity::LowerIsBetter, &[10.0, 11.0, 12.0]),
             BenchMetric::point("rate", "1/s", Polarity::HigherIsBetter, 1e6),
@@ -177,6 +178,7 @@ fn record_round_trip_and_trajectory_store() {
     assert_eq!(back.fingerprint, rec.fingerprint);
     assert_eq!(back.trial_seed, rec.trial_seed);
     assert_eq!(back.trials, rec.trials);
+    assert_eq!(back.threads, rec.threads);
     assert_eq!(back.metrics.len(), 2);
     assert_eq!(back.metrics[0].name, "lat");
     assert!((back.metrics[0].mean - 11.0).abs() < 1e-12);
