@@ -156,7 +156,8 @@ fn bench_victim_selection() {
         ("skew_alias", VictimPolicy::DistanceSkewed { alpha: 1.0 }),
     ];
     for (name, policy) in policies {
-        let mut selector = policy.build(&job, 0, 2048);
+        let ctx = policy.prepare(&job);
+        let mut selector = policy.build(&job, 0, &ctx);
         let mut rng = DetRng::new(7 ^ trial_seed());
         bench(&format!("victim/draw_{name}"), 100_000, || {
             for _ in 0..100_000 {
@@ -164,7 +165,11 @@ fn bench_victim_selection() {
             }
         });
     }
-    let mut rejection = VictimPolicy::DistanceSkewed { alpha: 1.0 }.build(&job, 0, 0);
+    let mut rejection = dws_core::VictimSelector::SkewedRejection {
+        job: Arc::clone(&job),
+        me: 0,
+        alpha: 1.0,
+    };
     let mut rng = DetRng::new(7 ^ trial_seed());
     bench("victim/draw_skew_rejection", 100_000, || {
         for _ in 0..100_000 {

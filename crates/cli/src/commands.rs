@@ -38,6 +38,10 @@ const CONFIG_FLAGS: &[&str] = &[
     "fault-slowdown",
     "fault-timeout-mult",
     "threads",
+    "alloc",
+    // Deprecated (ignored): the skewed-sampler backend is now chosen
+    // automatically; kept so old invocations keep working.
+    "alias-threshold",
 ];
 
 fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
@@ -123,6 +127,33 @@ fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+/// Parse `--alloc`: `compact`, `strip`, `scatter[:seed]`, or `torus`.
+fn parse_alloc(name: &str) -> Result<dws_topology::AllocationPolicy, String> {
+    use dws_topology::AllocationPolicy;
+    Ok(match name {
+        "compact" => AllocationPolicy::CompactRectangle,
+        "strip" => AllocationPolicy::LinearStrip,
+        "torus" => AllocationPolicy::TorusFill,
+        other => {
+            if let Some(rest) = other.strip_prefix("scatter") {
+                let seed = match rest.strip_prefix(':') {
+                    None if rest.is_empty() => 0,
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("bad scatter seed in --alloc {other:?}"))?,
+                    None => return Err(format!("unknown --alloc {other:?}")),
+                };
+                AllocationPolicy::Scattered { seed }
+            } else {
+                return Err(format!(
+                    "unknown --alloc {other:?}; expected compact, strip, \
+                     scatter[:seed], or torus"
+                ));
+            }
+        }
+    })
+}
+
 fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     let workload =
         workload_flag(flags, "t3wl")?.with_gen_rounds(flags.parse_or("gen-rounds", 1u32)?);
@@ -155,6 +186,20 @@ fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     cfg.poll_interval = flags.parse_or("poll", cfg.poll_interval)?;
     cfg.jitter = flags.parse_or("jitter", 0.0)?;
     cfg.clock_skew_max_ns = flags.parse_or("skew-ns", 0u64)?;
+    if let Some(name) = flags.get("alloc") {
+        cfg.alloc = parse_alloc(name)?;
+    }
+    if flags.has("no-trace") {
+        cfg.collect_trace = false;
+    }
+    if flags.get("alias-threshold").is_some() {
+        eprintln!(
+            "warning: --alias-threshold is deprecated and ignored; skewed draws \
+             now use the shared offset-alias table on torus-symmetric jobs, \
+             per-rank alias tables up to {} ranks, and rejection sampling beyond",
+            dws_core::FALLBACK_LIMIT
+        );
+    }
     cfg.fault_plan = fault_plan_from(flags)?;
     if flags.has("fault-tolerant") {
         cfg.fault_tolerance = Some(FaultToleranceCfg::default());
@@ -234,7 +279,11 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         .chain(["csv", "trace", "json", "links"].iter())
         .copied()
         .collect();
-    let flags = parse(rest, &valued, &["lifestory", "fault-tolerant", "profile"])?;
+    let flags = parse(
+        rest,
+        &valued,
+        &["lifestory", "fault-tolerant", "profile", "no-trace"],
+    )?;
     let mut cfg = config_from(&flags)?;
     // Any observability artifact turns the span/network tracer on.
     cfg.collect_spans =
@@ -368,7 +417,7 @@ pub fn trace(rest: &[String]) -> Result<(), String> {
         .chain(["out", "json", "links"].iter())
         .copied()
         .collect();
-    let flags = parse(rest, &valued, &["fault-tolerant"])?;
+    let flags = parse(rest, &valued, &["fault-tolerant", "no-trace"])?;
     let mut cfg = config_from(&flags)?;
     cfg.collect_spans = true;
     eprintln!(
@@ -749,7 +798,7 @@ pub fn profile(rest: &[String]) -> Result<(), String> {
         .chain(["json"].iter())
         .copied()
         .collect();
-    let flags = parse(rest, &valued, &["spans", "fault-tolerant"])?;
+    let flags = parse(rest, &valued, &["spans", "fault-tolerant", "no-trace"])?;
     let mut cfg = config_from(&flags)?;
     cfg.profile = true;
     // `--spans` turns the causal tracer on so the trace_record phase

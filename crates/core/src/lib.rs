@@ -59,4 +59,6 @@ pub use scheduler::{FaultToleranceCfg, Msg, SchedulerCfg, StealAmount, Worker};
 pub use stack::{Chunk, ChunkedStack};
 pub use sweep::{Cell, Sweep};
 pub use termination::{Colour, TerminationState, Token, TokenAction};
-pub use victim::{skew_weight, VictimPolicy, VictimSelector};
+pub use victim::{
+    skew_weight, OffsetAliasSet, VictimContext, VictimPolicy, VictimSelector, FALLBACK_LIMIT,
+};

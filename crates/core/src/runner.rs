@@ -83,9 +83,6 @@ pub struct ExperimentConfig {
     pub jitter: f64,
     /// Maximum per-rank clock skew in ns (0 = synchronized).
     pub clock_skew_max_ns: u64,
-    /// Rank count up to which the skewed selector may precompute alias
-    /// tables; above it, rejection sampling bounds memory.
-    pub alias_threshold: u32,
     /// Record the activity trace (cheap; disable for huge sweeps).
     pub collect_trace: bool,
     /// Causal observability: record a span per steal-protocol step on
@@ -122,6 +119,12 @@ pub struct ExperimentConfig {
     /// excluded from the config fingerprint. Link-level networks keep
     /// global per-link state and silently run on one thread.
     pub threads: u32,
+    /// Differential-test hook: run on the reference binary-heap event
+    /// queue instead of the calendar queue. The two are required to
+    /// produce byte-identical schedules (a property test holds them to
+    /// it), so like `threads` this is excluded from the fingerprint.
+    #[doc(hidden)]
+    pub reference_queue: bool,
 }
 
 impl ExperimentConfig {
@@ -149,7 +152,6 @@ impl ExperimentConfig {
             seed: 0xD15_7EA1,
             jitter: 0.0,
             clock_skew_max_ns: 0,
-            alias_threshold: 1024,
             collect_trace: true,
             collect_spans: false,
             max_sim_time_ns: None,
@@ -159,6 +161,7 @@ impl ExperimentConfig {
             fault_tolerance: None,
             profile: false,
             threads: 1,
+            reference_queue: false,
         }
     }
 
@@ -672,7 +675,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     cfg.validate()
         .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
     let n_ranks = cfg.mapping.rank_count(cfg.n_nodes);
-    let machine = if cfg.n_nodes <= dws_topology::Machine::k_computer().node_count() {
+    let machine = if cfg.alloc == dws_topology::AllocationPolicy::TorusFill {
+        // TorusFill needs a machine the job fills uniformly (torus
+        // symmetry is the point of the policy).
+        dws_topology::Machine::torus_for_nodes(cfg.n_nodes)
+    } else if cfg.n_nodes <= dws_topology::Machine::k_computer().node_count() {
         dws_topology::Machine::k_computer()
     } else {
         dws_topology::Machine::with_capacity(cfg.n_nodes)
@@ -702,9 +709,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     } else {
         None
     };
+    // One shared victim context for the whole job (builds the shared
+    // offset-alias tables exactly once on symmetric jobs).
+    let victim_ctx = cfg.victim.prepare(&job);
     let workers: Vec<Worker> = (0..n_ranks)
         .map(|me| {
-            let selector = cfg.victim.build(&job, me, cfg.alias_threshold);
+            let selector = cfg.victim.build(&job, me, &victim_ctx);
             let mut w = Worker::new(Arc::clone(&sched), me, n_ranks, selector);
             if ft_on {
                 // Timeouts derive from the placed job's latency model.
@@ -742,6 +752,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         Box::new(PureNetwork(JobLatency(Arc::clone(&job))))
     };
     let mut sim: Simulation<Worker> = Simulation::with_network(workers, net, sim_cfg);
+    if cfg.reference_queue {
+        sim.use_reference_queue();
+    }
     // Always run windowed (even at one thread) with a node-aligned
     // shard map, so the schedule is the same function of the config for
     // every thread count.

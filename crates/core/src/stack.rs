@@ -19,6 +19,12 @@ use std::collections::VecDeque;
 /// One stealable unit of work.
 pub type Chunk = Vec<Node>;
 
+/// Upper bound on recycled chunks kept per stack. Bounds the pool's
+/// footprint at `POOL_CAP * chunk_size * size_of::<Node>()` while still
+/// absorbing the push/pop churn of a depth-first traversal, whose live
+/// chunk count oscillates far more slowly than its node count.
+const POOL_CAP: usize = 32;
+
 /// A chunked LIFO work stack with steal-from-the-bottom semantics.
 #[derive(Debug, Clone)]
 pub struct ChunkedStack {
@@ -28,6 +34,14 @@ pub struct ChunkedStack {
     chunk_size: usize,
     /// Total nodes across all chunks (kept incrementally).
     len: usize,
+    /// Recycled empty chunks, reused by `push` so steady-state traversal
+    /// does not allocate. Invisible to `check()` and all accounting.
+    pool: Vec<Chunk>,
+    /// Recycled steal-reply carrier vectors: `receive_chunks` banks the
+    /// emptied carrier, `steal_chunks` reuses one. Ranks share a process
+    /// in simulation, so carriers circulate instead of being reallocated
+    /// per steal.
+    carrier_pool: Vec<Vec<Chunk>>,
 }
 
 impl ChunkedStack {
@@ -41,6 +55,17 @@ impl ChunkedStack {
             chunks: VecDeque::new(),
             chunk_size,
             len: 0,
+            pool: Vec::new(),
+            carrier_pool: Vec::new(),
+        }
+    }
+
+    /// Return an emptied chunk to the pool (or drop it if full).
+    #[inline]
+    fn recycle(&mut self, c: Chunk) {
+        debug_assert!(c.is_empty());
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(c);
         }
     }
 
@@ -67,7 +92,10 @@ impl ChunkedStack {
         match self.chunks.back_mut() {
             Some(back) if back.len() < self.chunk_size => back.push(node),
             _ => {
-                let mut c = Vec::with_capacity(self.chunk_size);
+                let mut c = self
+                    .pool
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(self.chunk_size));
                 c.push(node);
                 self.chunks.push_back(c);
             }
@@ -82,13 +110,15 @@ impl ChunkedStack {
             if let Some(node) = back.pop() {
                 self.len -= 1;
                 if back.is_empty() {
-                    self.chunks.pop_back();
+                    let c = self.chunks.pop_back().expect("back chunk exists");
+                    self.recycle(c);
                 }
                 return Some(node);
             }
             // Empty working chunk left behind by a previous steal or
-            // drain: discard and continue with the next newest.
-            self.chunks.pop_back();
+            // drain: recycle and continue with the next newest.
+            let c = self.chunks.pop_back().expect("back chunk exists");
+            self.recycle(c);
         }
     }
 
@@ -103,7 +133,8 @@ impl ChunkedStack {
     /// the chunks actually taken; empty if nothing is stealable.
     pub fn steal_chunks(&mut self, want: usize) -> Vec<Chunk> {
         let take = want.min(self.stealable_chunks());
-        let mut out = Vec::with_capacity(take);
+        let mut out = self.carrier_pool.pop().unwrap_or_default();
+        out.reserve(take);
         for _ in 0..take {
             let c = self
                 .chunks
@@ -117,8 +148,8 @@ impl ChunkedStack {
 
     /// Receive stolen chunks (thief side): they become the oldest
     /// entries of this stack, preserving their root-proximity ordering.
-    pub fn receive_chunks(&mut self, chunks: Vec<Chunk>) {
-        for c in chunks.into_iter().rev() {
+    pub fn receive_chunks(&mut self, mut chunks: Vec<Chunk>) {
+        for c in chunks.drain(..).rev() {
             assert!(
                 c.len() <= self.chunk_size,
                 "received chunk of {} nodes exceeds chunk size {}",
@@ -126,10 +157,14 @@ impl ChunkedStack {
                 self.chunk_size
             );
             if c.is_empty() {
+                self.recycle(c);
                 continue;
             }
             self.len += c.len();
             self.chunks.push_front(c);
+        }
+        if self.carrier_pool.len() < POOL_CAP {
+            self.carrier_pool.push(chunks);
         }
     }
 
@@ -144,6 +179,12 @@ impl ChunkedStack {
     /// Total nodes in the `n` oldest (most stealable) chunks.
     pub fn nodes_in_oldest(&self, n: usize) -> usize {
         self.chunks.iter().take(n).map(|c| c.len()).sum()
+    }
+
+    /// Number of recycled chunks currently pooled (test visibility).
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.pool.len()
     }
 
     /// Internal consistency check (used by tests and debug assertions):
@@ -325,5 +366,36 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_size_rejected() {
         ChunkedStack::new(0);
+    }
+
+    #[test]
+    fn drained_chunks_are_recycled_and_pool_is_bounded() {
+        let mut s = ChunkedStack::new(2);
+        // Fill then fully drain: every chunk should land in the pool.
+        for i in 0..10 {
+            s.push(node(i));
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.pooled(), 5);
+        // Refilling draws from the pool instead of allocating.
+        for i in 0..10 {
+            s.push(node(i));
+        }
+        assert_eq!(s.pooled(), 0);
+        s.check().expect("consistent");
+        // The pool never exceeds its cap no matter how much churn.
+        let mut s = ChunkedStack::new(1);
+        for i in 0..(POOL_CAP as u32 * 4) {
+            s.push(node(i));
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.pooled(), POOL_CAP);
+        // LIFO behavior is unchanged by recycling.
+        for i in 0..5 {
+            s.push(node(i));
+        }
+        for i in (0..5).rev() {
+            assert_eq!(s.pop().expect("work").height, i);
+        }
     }
 }

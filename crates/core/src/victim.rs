@@ -19,17 +19,35 @@
 //!   The exponent `α` generalizes the paper's `α = 1` for the
 //!   skew-exponent ablation (`w = 1/e^α`).
 //!
-//! Two interchangeable samplers implement the skewed draw: a Walker
-//! alias table (exact, `O(N)` memory per rank — what GSL does) and a
-//! rejection sampler (`O(1)` memory, needed at 8,192 ranks where
-//! per-rank alias tables would cost gigabytes). Both realize the same
-//! distribution; a statistical test in this module and the
-//! `ablation_skew_impl` bench hold them to that.
+//! Three interchangeable samplers implement the skewed draw:
+//!
+//! 1. **Shared offset-alias tables** ([`OffsetAliasSet`]) — when the
+//!    job is torus-translation symmetric ([`Job::torus_symmetry`]),
+//!    `e(i, j)` depends only on the observer's intra-cube slot, the
+//!    cube-coordinate offset, and the target's slot. One Walker table
+//!    per observer slot class (at most 12) then serves *every* rank:
+//!    exact O(1) draws with O(N) total memory at any scale.
+//! 2. **Per-rank alias tables** (what GSL does) — exact, but O(N)
+//!    memory *per rank*; used for non-symmetric jobs up to
+//!    [`FALLBACK_LIMIT`] ranks.
+//! 3. **Rejection sampling** — O(1) memory for large non-symmetric
+//!    jobs, and the differential-test oracle the other two are held
+//!    against (chi-square in this module's tests and the
+//!    `ablation_skew_impl` bench).
 
 use crate::alias::AliasTable;
 use dws_simnet::DetRng;
+use dws_topology::coord::{torus_delta, CUBE_A, CUBE_C};
 use dws_topology::{Job, Rank};
 use std::sync::Arc;
+
+/// Rank count up to which non-symmetric skewed jobs precompute exact
+/// per-rank alias tables; above it, rejection sampling bounds memory.
+/// This equals the old default `alias_threshold`, so every
+/// pre-existing figure configuration keeps its previous sampler and
+/// its byte-identical CSV output. Torus-symmetric jobs ignore this —
+/// they always use the shared offset tables.
+pub const FALLBACK_LIMIT: u32 = 1024;
 
 /// How a thief picks its next victim.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,13 +93,31 @@ impl VictimPolicy {
         }
     }
 
-    /// Build the per-rank selector state.
+    /// Build the job-wide shared selector state, once per experiment.
     ///
-    /// `alias_threshold` bounds the rank count up to which the skewed
-    /// strategy precomputes an exact alias table; beyond it, rejection
-    /// sampling keeps memory flat. Both draw from the same
-    /// distribution.
-    pub fn build(&self, job: &Arc<Job>, me: Rank, alias_threshold: u32) -> VictimSelector {
+    /// For [`VictimPolicy::DistanceSkewed`] on a torus-symmetric job
+    /// this constructs the shared [`OffsetAliasSet`] (O(N) work and
+    /// memory, total); every other combination needs no shared state.
+    /// Hand the result to each rank's [`build`](Self::build) call.
+    pub fn prepare(&self, job: &Arc<Job>) -> VictimContext {
+        if let VictimPolicy::DistanceSkewed { alpha } = *self {
+            if job.torus_symmetry().is_some() {
+                return VictimContext {
+                    shared: Some(Arc::new(OffsetAliasSet::new(job, alpha))),
+                };
+            }
+        }
+        VictimContext::default()
+    }
+
+    /// Build the per-rank selector state. `ctx` comes from one
+    /// [`prepare`](Self::prepare) call shared by all ranks of the job.
+    ///
+    /// The skewed strategy picks its sampler here: the shared offset
+    /// tables when the job is symmetric, a per-rank alias table up to
+    /// [`FALLBACK_LIMIT`] ranks otherwise, rejection sampling beyond.
+    /// All three draw from the same distribution.
+    pub fn build(&self, job: &Arc<Job>, me: Rank, ctx: &VictimContext) -> VictimSelector {
         let n = job.n_ranks();
         assert!(n >= 2, "victim selection needs at least two ranks");
         match *self {
@@ -92,7 +128,12 @@ impl VictimPolicy {
             },
             VictimPolicy::Uniform => VictimSelector::Uniform { n, me },
             VictimPolicy::DistanceSkewed { alpha } => {
-                if n <= alias_threshold {
+                if let Some(set) = &ctx.shared {
+                    VictimSelector::SkewedShared {
+                        cell: set.rank_cell[me as usize],
+                        set: Arc::clone(set),
+                    }
+                } else if n <= FALLBACK_LIMIT {
                     let weights: Vec<f64> = (0..n)
                         .filter(|&j| j != me)
                         .map(|j| skew_weight(job, me, j, alpha))
@@ -168,6 +209,169 @@ impl VictimPolicy {
     }
 }
 
+/// Shared, per-job victim-selection state built once by
+/// [`VictimPolicy::prepare`] and handed to every rank's
+/// [`VictimPolicy::build`] call.
+#[derive(Debug, Clone, Default)]
+pub struct VictimContext {
+    shared: Option<Arc<OffsetAliasSet>>,
+}
+
+impl VictimContext {
+    /// True iff the skewed draws are backed by the shared offset-alias
+    /// tables (torus-symmetric job) rather than a per-rank sampler.
+    pub fn uses_shared_table(&self) -> bool {
+        self.shared.is_some()
+    }
+}
+
+/// One job-wide set of distance-skew alias tables over coordinate
+/// *offsets*, for torus-translation-symmetric jobs.
+///
+/// Outcomes are `(cube_offset, target_slot)` pairs at *node*
+/// granularity: every rank on a node is at the same distance from the
+/// observer, so a node outcome carries weight `ppn · w` (or
+/// `(ppn − 1) · 1` for the observer's own node, where `e = 0` and each
+/// node mate has weight 1) and a uniform intra-node draw finishes the
+/// pick. The two-stage probability is exactly the per-rank normalized
+/// skew distribution: `(ppn·w/Z)·(1/ppn) = w/Z`.
+///
+/// Memory: one table per observer slot class over `cubes · |slots|`
+/// outcomes — `N · |slots| ≤ 12·N` entries total, shared by all ranks,
+/// versus O(N²) aggregate for per-rank tables.
+#[derive(Debug)]
+pub struct OffsetAliasSet {
+    /// One alias table per observer intra-cube slot class; outcomes
+    /// are offset-major `(cube_offset, target_slot)` pairs.
+    tables: Vec<AliasTable>,
+    /// Torus extents in cubes.
+    dims: (u32, u32, u32),
+    /// Number of occupied intra-cube slot classes.
+    nslots: usize,
+    /// Ranks per node.
+    ppn: u32,
+    /// Ranks grouped `[cube][slot][k]` (from [`Job::torus_symmetry`]).
+    ranks: Vec<Rank>,
+    /// Per-rank `(cube_idx, slot_pos, k)` cell.
+    rank_cell: Vec<(u32, u32, u32)>,
+}
+
+impl OffsetAliasSet {
+    /// Build the shared tables for a symmetric job.
+    ///
+    /// # Panics
+    /// Panics if the job has no torus symmetry certificate.
+    pub fn new(job: &Job, alpha: f64) -> Self {
+        let sym = job
+            .torus_symmetry()
+            .expect("OffsetAliasSet requires a torus-symmetric job");
+        let (mx, my, mz) = job.machine().dims();
+        let cubes = mx as u32 * my as u32 * mz as u32;
+        let ns = sym.slots.len();
+        // Intra-cube (a, b, c) of each occupied slot, inverting the
+        // machine's in-cube id layout (c fastest, then a, then b).
+        let intra: Vec<(u16, u16, u16)> = sym
+            .slots
+            .iter()
+            .map(|&s| {
+                let c = s % CUBE_C;
+                let a = (s / CUBE_C) % CUBE_A;
+                let b = s / (CUBE_C * CUBE_A);
+                (a, b, c)
+            })
+            .collect();
+        let mut tables = Vec::with_capacity(ns);
+        let mut weights = vec![0.0f64; cubes as usize * ns];
+        for &(ai, bi, ci) in intra.iter() {
+            for off in 0..cubes {
+                let ox = (off % mx as u32) as u16;
+                let oy = ((off / mx as u32) % my as u32) as u16;
+                let oz = (off / (mx as u32 * my as u32)) as u16;
+                let dx = torus_delta(0, ox, mx) as u64;
+                let dy = torus_delta(0, oy, my) as u64;
+                let dz = torus_delta(0, oz, mz) as u64;
+                for (sj, &(aj, bj, cj)) in intra.iter().enumerate() {
+                    let da = ai.abs_diff(aj) as u64;
+                    let db = bi.abs_diff(bj) as u64;
+                    let dc = ci.abs_diff(cj) as u64;
+                    let e_sq = dx * dx + dy * dy + dz * dz + da * da + db * db + dc * dc;
+                    weights[off as usize * ns + sj] = if e_sq == 0 {
+                        // Observer's own node: ppn − 1 mates at w = 1.
+                        (sym.ppn - 1) as f64
+                    } else {
+                        // Same float pipeline as `skew_weight`.
+                        let w = (e_sq as f64).sqrt().powf(alpha).recip();
+                        sym.ppn as f64 * w
+                    };
+                }
+            }
+            tables.push(AliasTable::new(&weights));
+        }
+        Self {
+            tables,
+            dims: (mx as u32, my as u32, mz as u32),
+            nslots: ns,
+            ppn: sym.ppn,
+            ranks: sym.ranks.clone(),
+            rank_cell: sym.rank_cell.clone(),
+        }
+    }
+
+    /// Draw a victim for the observer at `cell = (cube, slot_pos, k)`.
+    #[inline]
+    fn draw(&self, cell: (u32, u32, u32), rng: &mut DetRng) -> Rank {
+        let (my_cube, sp, my_k) = cell;
+        let (mx, my, mz) = self.dims;
+        let o = self.tables[sp as usize].sample(rng);
+        let off = (o / self.nslots) as u32;
+        let sj = o % self.nslots;
+        // Target cube = observer cube + offset, wrapped per axis.
+        let (cx, cy, cz) = (my_cube % mx, (my_cube / mx) % my, my_cube / (mx * my));
+        let (ox, oy, oz) = (off % mx, (off / mx) % my, off / (mx * my));
+        let cube = (cx + ox) % mx + mx * ((cy + oy) % my + my * ((cz + oz) % mz));
+        let base = (cube as usize * self.nslots + sj) * self.ppn as usize;
+        let k = if off == 0 && sj == sp as usize {
+            // Own node (only reachable when ppn > 1): uniform over the
+            // ppn − 1 mates, skipping the observer.
+            let d = rng.next_below(self.ppn as u64 - 1) as u32;
+            if d >= my_k {
+                d + 1
+            } else {
+                d
+            }
+        } else {
+            rng.next_below(self.ppn as u64) as u32
+        };
+        self.ranks[base + k as usize]
+    }
+
+    /// Exact probability that observer `i` draws victim `j`, implied by
+    /// the shared tables (verification; mirrors
+    /// [`AliasTable::probability`]).
+    pub fn rank_probability(&self, i: Rank, j: Rank) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (ci, si, _) = self.rank_cell[i as usize];
+        let (cj, sj, _) = self.rank_cell[j as usize];
+        let (mx, my, mz) = self.dims;
+        let (cix, ciy, ciz) = (ci % mx, (ci / mx) % my, ci / (mx * my));
+        let (cjx, cjy, cjz) = (cj % mx, (cj / mx) % my, cj / (mx * my));
+        let (ox, oy, oz) = (
+            (cjx + mx - cix) % mx,
+            (cjy + my - ciy) % my,
+            (cjz + mz - ciz) % mz,
+        );
+        let off = ox + mx * (oy + my * oz);
+        let p = self.tables[si as usize].probability(off as usize * self.nslots + sj as usize);
+        if off == 0 && si == sj {
+            p / (self.ppn - 1) as f64
+        } else {
+            p / self.ppn as f64
+        }
+    }
+}
+
 /// Extension weight: inverse modelled one-way latency (for a
 /// steal-request-sized message), raised to `alpha`.
 #[inline]
@@ -205,6 +409,14 @@ pub enum VictimSelector {
         n: u32,
         /// Owning rank.
         me: Rank,
+    },
+    /// Distance-skewed via the job-wide shared offset-alias tables
+    /// (torus-symmetric jobs): exact O(1) draws, O(N) total memory.
+    SkewedShared {
+        /// Shared table set, one per intra-cube slot class.
+        set: Arc<OffsetAliasSet>,
+        /// Owning rank's `(cube, slot_pos, k)` cell.
+        cell: (u32, u32, u32),
     },
     /// Distance-skewed via a precomputed alias table (small N).
     SkewedAlias {
@@ -257,6 +469,7 @@ impl VictimSelector {
                     draw
                 }
             }
+            VictimSelector::SkewedShared { set, cell } => set.draw(*cell, rng),
             VictimSelector::SkewedAlias { table, me } => {
                 let idx = table.sample(rng) as u32;
                 if idx >= *me {
@@ -314,10 +527,39 @@ mod tests {
         Arc::new(Job::compact(n, mapping))
     }
 
+    /// TorusFill job on a machine it fills uniformly — the shape the
+    /// shared offset-alias sampler activates on.
+    fn symmetric_job(n_nodes: u32, mapping: RankMapping) -> Arc<Job> {
+        use dws_topology::{AllocationPolicy, LatencyParams, Machine};
+        Arc::new(Job::place(
+            Machine::torus_for_nodes(n_nodes),
+            n_nodes,
+            AllocationPolicy::TorusFill,
+            mapping,
+            LatencyParams::default(),
+        ))
+    }
+
+    /// Build a selector the way the runner does: one shared prepare,
+    /// then the per-rank build.
+    fn build(policy: VictimPolicy, job: &Arc<Job>, me: Rank) -> VictimSelector {
+        let ctx = policy.prepare(job);
+        policy.build(job, me, &ctx)
+    }
+
+    /// The rejection sampler as a standalone differential oracle.
+    fn rejection_oracle(job: &Arc<Job>, me: Rank, alpha: f64) -> VictimSelector {
+        VictimSelector::SkewedRejection {
+            job: Arc::clone(job),
+            me,
+            alpha,
+        }
+    }
+
     #[test]
     fn round_robin_walks_neighbours_and_skips_self() {
         let job = job(4, RankMapping::OneToOne);
-        let mut sel = VictimPolicy::RoundRobin.build(&job, 2, 1024);
+        let mut sel = build(VictimPolicy::RoundRobin, &job, 2);
         let mut rng = DetRng::new(0);
         let picks: Vec<Rank> = (0..6).map(|_| sel.next_victim(&mut rng)).collect();
         assert_eq!(picks, vec![3, 0, 1, 3, 0, 1], "cursor must skip rank 2");
@@ -328,7 +570,7 @@ mod tests {
         // The paper: "a successful steal does not impact this choice" —
         // our cursor simply continues; there is no reset API at all.
         let job = job(8, RankMapping::OneToOne);
-        let mut sel = VictimPolicy::RoundRobin.build(&job, 0, 1024);
+        let mut sel = build(VictimPolicy::RoundRobin, &job, 0);
         let mut rng = DetRng::new(0);
         assert_eq!(sel.next_victim(&mut rng), 1);
         assert_eq!(sel.next_victim(&mut rng), 2);
@@ -339,7 +581,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_other_ranks() {
         let job = job(8, RankMapping::OneToOne);
-        let mut sel = VictimPolicy::Uniform.build(&job, 3, 1024);
+        let mut sel = build(VictimPolicy::Uniform, &job, 3);
         let mut rng = DetRng::new(7);
         let mut seen = [0u32; 8];
         for _ in 0..8_000 {
@@ -359,7 +601,7 @@ mod tests {
     #[test]
     fn skewed_prefers_nearby_ranks() {
         let job = job(64, RankMapping::OneToOne);
-        let mut sel = VictimPolicy::DistanceSkewed { alpha: 1.0 }.build(&job, 0, 1024);
+        let mut sel = build(VictimPolicy::DistanceSkewed { alpha: 1.0 }, &job, 0);
         let mut rng = DetRng::new(11);
         let mut counts = vec![0u32; 64];
         let draws = 60_000;
@@ -384,22 +626,25 @@ mod tests {
         }
     }
 
+    fn histogram(mut sel: VictimSelector, n: usize, draws: u32, seed: u64) -> Vec<f64> {
+        let mut rng = DetRng::new(seed);
+        let mut counts = vec![0f64; n];
+        for _ in 0..draws {
+            counts[sel.next_victim(&mut rng) as usize] += 1.0;
+        }
+        counts
+    }
+
     #[test]
     fn alias_and_rejection_samplers_agree() {
+        // Non-symmetric compact job: build() picks the per-rank alias
+        // table; the standalone rejection sampler is the oracle.
         let job = job(48, RankMapping::OneToOne);
         let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
-        let draws = 50_000;
-        let histogram = |mut sel: VictimSelector, seed: u64| {
-            let mut rng = DetRng::new(seed);
-            let mut counts = vec![0f64; 48];
-            for _ in 0..draws {
-                counts[sel.next_victim(&mut rng) as usize] += 1.0;
-            }
-            counts
-        };
-        // threshold 1024 -> alias; threshold 0 -> rejection.
-        let a = histogram(policy.build(&job, 5, 1024), 3);
-        let r = histogram(policy.build(&job, 5, 0), 4);
+        let alias = build(policy, &job, 5);
+        assert!(matches!(alias, VictimSelector::SkewedAlias { .. }));
+        let a = histogram(alias, 48, 50_000, 3);
+        let r = histogram(rejection_oracle(&job, 5, 1.0), 48, 50_000, 4);
         for j in 0..48 {
             let diff = (a[j] - r[j]).abs();
             let scale = a[j].max(r[j]).max(50.0);
@@ -409,6 +654,144 @@ mod tests {
                 a[j],
                 r[j]
             );
+        }
+    }
+
+    #[test]
+    fn shared_offset_alias_agrees_with_rejection_oracle() {
+        // Symmetric TorusFill job: build() activates the shared tables.
+        let job = symmetric_job(96, RankMapping::OneToOne);
+        let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+        let ctx = policy.prepare(&job);
+        assert!(ctx.uses_shared_table());
+        let shared = policy.build(&job, 7, &ctx);
+        assert!(matches!(shared, VictimSelector::SkewedShared { .. }));
+        let draws = 80_000u32;
+        let s = histogram(shared, 96, draws, 3);
+        let r = histogram(rejection_oracle(&job, 7, 1.0), 96, draws, 4);
+        assert_eq!(s[7], 0.0, "must never pick self");
+        // Pearson chi-square of the shared histogram against the
+        // rejection sampler's analytic distribution. 94 degrees of
+        // freedom; 99.9th percentile is ~143.
+        let mut chi2 = 0.0;
+        for j in 0..96u32 {
+            if j == 7 {
+                continue;
+            }
+            let p = policy.probability(&job, 7, j).expect("skewed pdf");
+            let expect = p * draws as f64;
+            chi2 += (s[j as usize] - expect).powi(2) / expect;
+        }
+        assert!(chi2 < 143.0, "chi-square {chi2:.1} rejects agreement");
+        // And the two empirical histograms track each other.
+        for j in 0..96 {
+            let diff = (s[j] - r[j]).abs();
+            let scale = s[j].max(r[j]).max(80.0);
+            assert!(
+                diff / scale < 0.25,
+                "rank {j}: shared {} vs rejection {}",
+                s[j],
+                r[j]
+            );
+        }
+    }
+
+    #[test]
+    fn shared_offset_alias_probability_is_exact() {
+        // The table-implied probability must match the analytic
+        // normalized skew distribution for every (i, j) pair.
+        for mapping in [RankMapping::OneToOne, RankMapping::Grouped { ppn: 4 }] {
+            let job = symmetric_job(24, mapping);
+            let n = job.n_ranks();
+            let set = OffsetAliasSet::new(&job, 1.0);
+            let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+            for i in (0..n).step_by(7) {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    let want = policy.probability(&job, i, j).expect("skewed pdf");
+                    let got = set.rank_probability(i, j);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "p({i},{j}): shared {got} vs analytic {want}"
+                    );
+                    sum += got;
+                }
+                assert!((sum - 1.0).abs() < 1e-9, "observer {i}: sum {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_draws_are_translation_equivariant() {
+        // Two observers in the same intra-cube slot class but different
+        // cubes, fed the same RNG stream, must draw victims at the SAME
+        // coordinate offset, slot, and intra-node index every time —
+        // the defining property of the shared table. This is the exact
+        // per-draw agreement the offset construction guarantees.
+        let job = symmetric_job(96, RankMapping::Grouped { ppn: 2 });
+        let sym = job.torus_symmetry().expect("TorusFill is symmetric");
+        let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+        let ctx = policy.prepare(&job);
+        // Find two ranks with identical (slot_pos, k) in distinct cubes.
+        let (c0, s0, k0) = sym.rank_cell[0];
+        let other = (0..job.n_ranks())
+            .find(|&r| {
+                let (c, s, k) = sym.rank_cell[r as usize];
+                c != c0 && s == s0 && k == k0
+            })
+            .expect("a translated twin exists");
+        let mut sel_a = policy.build(&job, 0, &ctx);
+        let mut sel_b = policy.build(&job, other, &ctx);
+        let (mx, my, mz) = {
+            let (x, y, z) = job.machine().dims();
+            (x as u32, y as u32, z as u32)
+        };
+        let offset = |from: u32, to: u32| {
+            let (fx, fy, fz) = (from % mx, (from / mx) % my, from / (mx * my));
+            let (tx, ty, tz) = (to % mx, (to / mx) % my, to / (mx * my));
+            (
+                (tx + mx - fx) % mx,
+                (ty + my - fy) % my,
+                (tz + mz - fz) % mz,
+            )
+        };
+        let mut rng_a = DetRng::new(42);
+        let mut rng_b = DetRng::new(42);
+        for draw in 0..5_000 {
+            let va = sel_a.next_victim(&mut rng_a);
+            let vb = sel_b.next_victim(&mut rng_b);
+            let (ca, sa, ka) = sym.rank_cell[va as usize];
+            let (cb, sb, kb) = sym.rank_cell[vb as usize];
+            let cother = sym.rank_cell[other as usize].0;
+            assert_eq!(
+                (offset(c0, ca), sa, ka),
+                (offset(cother, cb), sb, kb),
+                "draw {draw}: {va} from rank 0 vs {vb} from rank {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_same_node_draws_respect_mate_weights() {
+        // ppn > 1: node mates carry weight 1 each; never draw self.
+        let job = symmetric_job(12, RankMapping::Grouped { ppn: 4 });
+        let policy = VictimPolicy::DistanceSkewed { alpha: 1.0 };
+        let ctx = policy.prepare(&job);
+        let me = 5u32;
+        let sel = policy.build(&job, me, &ctx);
+        let n = job.n_ranks() as usize;
+        let h = histogram(sel, n, 60_000, 9);
+        assert_eq!(h[me as usize], 0.0, "must never pick self");
+        for j in 0..n as u32 {
+            if j == me {
+                continue;
+            }
+            let p = policy.probability(&job, me, j).expect("skewed pdf");
+            let expect = p * 60_000.0;
+            if expect > 300.0 {
+                let err = (h[j as usize] - expect).abs() / expect;
+                assert!(err < 0.15, "rank {j}: {} vs {expect:.0}", h[j as usize]);
+            }
         }
     }
 
@@ -488,7 +871,7 @@ mod tests {
     fn hierarchical_bursts_locally_then_widens() {
         let job = job(2, RankMapping::Grouped { ppn: 8 });
         // Ranks 0..8 on node 0, ranks 8..16 on node 1.
-        let mut sel = VictimPolicy::Hierarchical { local_tries: 3 }.build(&job, 0, 1024);
+        let mut sel = build(VictimPolicy::Hierarchical { local_tries: 3 }, &job, 0);
         let mut rng = DetRng::new(5);
         let picks: Vec<Rank> = (0..8).map(|_| sel.next_victim(&mut rng)).collect();
         // First 3 picks are node mates (ranks 1..8).
@@ -506,7 +889,7 @@ mod tests {
     #[test]
     fn hierarchical_without_mates_is_global() {
         let job = job(8, RankMapping::OneToOne);
-        let mut sel = VictimPolicy::Hierarchical { local_tries: 4 }.build(&job, 2, 1024);
+        let mut sel = build(VictimPolicy::Hierarchical { local_tries: 4 }, &job, 2);
         let mut rng = DetRng::new(9);
         let mut seen = [false; 8];
         for _ in 0..200 {

@@ -1,0 +1,108 @@
+//! Differential property for the hot-path scheduler overhaul, checked
+//! end-to-end: a full work-stealing experiment run on the calendar
+//! queue is **bit-identical** to the same experiment on the retired
+//! reference `BinaryHeap` (kept behind the hidden
+//! `ExperimentConfig::reference_queue` hook as an oracle). Both are
+//! exact priority queues over the canonical `(time, dst, src, sseq)`
+//! key, so the schedule — and therefore every derived artifact: report,
+//! steal counters, span stream, fault ledger, serialized JSON — must
+//! not differ by a single byte.
+
+use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, VictimPolicy};
+use dws_simnet::{Crash, FaultPlan};
+use dws_topology::RankMapping;
+use dws_uts::{TreeSpec, Workload};
+
+fn workload(b0: u32) -> Workload {
+    Workload {
+        name: "queue-diff",
+        spec: TreeSpec::Binomial { b0, m: 2, q: 0.47 },
+        seed: 23,
+        gen_rounds: 1,
+        base_node_ns: 1_000,
+    }
+}
+
+fn run_on(cfg: &ExperimentConfig, reference: bool, threads: u32) -> ExperimentResult {
+    let mut cfg = cfg.clone();
+    cfg.reference_queue = reference;
+    cfg.threads = threads;
+    run_experiment(&cfg)
+}
+
+/// Compare two runs field by field, down to the serialized report.
+fn assert_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str) {
+    assert_eq!(a.makespan, b.makespan, "{what}: makespan differs");
+    assert_eq!(a.total_nodes, b.total_nodes, "{what}: node count differs");
+    assert_eq!(a.completed, b.completed, "{what}: completion differs");
+    assert_eq!(
+        a.report.events, b.report.events,
+        "{what}: event count differs"
+    );
+    assert_eq!(
+        a.stats.per_rank, b.stats.per_rank,
+        "{what}: per-rank steal stats differ"
+    );
+    assert_eq!(
+        a.json_report().to_string(),
+        b.json_report().to_string(),
+        "{what}: serialized run report differs"
+    );
+}
+
+#[test]
+fn calendar_and_reference_heap_schedules_agree() {
+    for seed in [3u64, 0xACE] {
+        for threads in [1u32, 4] {
+            let mut cfg = ExperimentConfig::new(workload(900), 8)
+                .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 });
+            cfg.seed = seed;
+            cfg.jitter = 0.2;
+            cfg.clock_skew_max_ns = 1_500;
+            cfg.collect_spans = true;
+            let cal = run_on(&cfg, false, threads);
+            let heap = run_on(&cfg, true, threads);
+            assert_identical(&cal, &heap, &format!("seed {seed}, {threads} threads"));
+            let (sc, sh) = (cal.spans.as_ref().unwrap(), heap.spans.as_ref().unwrap());
+            assert_eq!(
+                sc.records(),
+                sh.records(),
+                "span streams differ at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn calendar_and_reference_heap_agree_under_faults() {
+    let mut plan = FaultPlan::message_faults(0.05, 0.02, 0.05);
+    plan.crashes.push(Crash {
+        rank: 5,
+        at_ns: 400_000,
+    });
+    let mut cfg = ExperimentConfig::new(workload(1200), 8)
+        .with_mapping(RankMapping::Grouped { ppn: 2 })
+        .with_victim(VictimPolicy::Uniform);
+    cfg.fault_plan = plan;
+    cfg.collect_spans = true;
+    let cal = run_on(&cfg, false, 1);
+    let fc = cal.fault.as_ref().expect("fault plan was active");
+    assert!(
+        fc.stats.dropped + fc.stats.spiked + fc.stats.duplicated > 0,
+        "faults must actually fire for this test to mean anything"
+    );
+    for threads in [1u32, 4] {
+        let heap = run_on(&cfg, true, threads);
+        assert_identical(&cal, &heap, &format!("faulty, {threads} threads"));
+        let fh = heap.fault.as_ref().expect("fault plan was active");
+        assert_eq!(fh.stats, fc.stats, "fault ledgers differ at {threads}");
+        assert_eq!(
+            fh.crashed_ranks, fc.crashed_ranks,
+            "crash ledgers differ at {threads}"
+        );
+        assert_eq!(
+            fh.lost_subtree_nodes, fc.lost_subtree_nodes,
+            "loss reconciliation differs at {threads}"
+        );
+    }
+}

@@ -50,6 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::calqueue::{CalendarQueue, EvKey};
 use crate::fault::{FaultPlan, FaultStats};
 use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, NetTrace};
 use crate::profiler::{prof_record, prof_start, PerfProbe, Phase};
@@ -351,6 +352,79 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// The per-shard pending-event set. The production implementation is
+/// the zero-steady-state-allocation [`CalendarQueue`]; the reference
+/// binary heap is kept as a differential-test oracle (see
+/// [`Simulation::use_reference_queue`]). Both are exact priority
+/// queues over the canonical key, so they pop the identical sequence —
+/// the differential tests in `tests/` assert exactly that, end to end.
+enum EventQueue<M> {
+    /// Calendar queue with arena-allocated payloads (the default).
+    Calendar(CalendarQueue<EventKind<M>>),
+    /// Reference `BinaryHeap` ordering whole events (the pre-overhaul
+    /// scheduler, bit-for-bit).
+    ReferenceHeap(BinaryHeap<Reverse<Event<M>>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(reference: bool) -> Self {
+        if reference {
+            EventQueue::ReferenceHeap(BinaryHeap::new())
+        } else {
+            EventQueue::Calendar(CalendarQueue::new())
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event<M>) {
+        match self {
+            EventQueue::Calendar(q) => {
+                let Event {
+                    time,
+                    dst,
+                    src,
+                    sseq,
+                    kind,
+                } = ev;
+                q.push(
+                    EvKey {
+                        t: time.ns(),
+                        dst,
+                        src,
+                        sseq,
+                    },
+                    kind,
+                );
+            }
+            EventQueue::ReferenceHeap(h) => h.push(Reverse(ev)),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event<M>> {
+        match self {
+            EventQueue::Calendar(q) => q.pop().map(|(k, kind)| Event {
+                time: SimTime(k.t),
+                dst: k.dst,
+                src: k.src,
+                sseq: k.sseq,
+                kind,
+            }),
+            EventQueue::ReferenceHeap(h) => h.pop().map(|r| r.0),
+        }
+    }
+
+    /// Time of the next pending event. `&mut` because the calendar
+    /// caches the located minimum for the pop that typically follows.
+    #[inline]
+    fn peek_time_ns(&mut self) -> Option<u64> {
+        match self {
+            EventQueue::Calendar(q) => q.peek_time_ns(),
+            EventQueue::ReferenceHeap(h) => h.peek().map(|r| r.0.time.ns()),
+        }
+    }
+}
+
 /// Per-rank deterministic state. Every stream is a function of the
 /// master seed and the rank alone, which is what makes the schedule
 /// independent of how ranks are sharded.
@@ -395,7 +469,7 @@ struct ShardCore<M> {
     id: usize,
     now: SimTime,
     halted: bool,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    queue: EventQueue<M>,
     /// Last scheduled delivery per (from, to) pair, to enforce MPI
     /// non-overtaking. Only pairs with a local sender appear.
     fifo: PairMap<SimTime>,
@@ -419,7 +493,7 @@ struct ShardCore<M> {
 impl<M> ShardCore<M> {
     #[inline]
     fn push_local(&mut self, ev: Event<M>) {
-        self.queue.push(Reverse(ev));
+        self.queue.push(ev);
     }
 
     /// Enqueue locally or hand off to the destination shard's outbox,
@@ -750,8 +824,7 @@ impl<A: Actor> Shard<A> {
     /// Process queued events with `time < end_ns` (and `time <=
     /// max_time_ns` when set), leaving later events queued.
     fn run_window(&mut self, shared: &Shared<'_>, end_ns: u64, max_time_ns: Option<u64>) {
-        while let Some(rev) = self.core.queue.peek() {
-            let t = rev.0.time.ns();
+        while let Some(t) = self.core.queue.peek_time_ns() {
             if t >= end_ns {
                 break;
             }
@@ -760,7 +833,7 @@ impl<A: Actor> Shard<A> {
                     break;
                 }
             }
-            let ev = self.core.queue.pop().expect("peeked").0;
+            let ev = self.core.queue.pop().expect("peeked");
             self.process(shared, ev);
         }
         self.core.windows += 1;
@@ -977,9 +1050,15 @@ pub struct Simulation<A: Actor> {
     started: bool,
     log_cap: Option<usize>,
     net_trace_on: bool,
+    /// True when [`use_reference_queue`](Self::use_reference_queue)
+    /// selected the heap oracle instead of the calendar queue.
+    reference_queue: bool,
     profiler: Option<Arc<PerfProbe>>,
     merged_log: Option<EventLog>,
     merged_net: Option<NetTrace>,
+    /// Recycled buffer for the single-threaded outbox exchange, so
+    /// windowed execution allocates nothing per window.
+    exchange_scratch: Vec<Event<A::Msg>>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -1035,7 +1114,7 @@ impl<A: Actor> Simulation<A> {
                 id: 0,
                 now: SimTime::ZERO,
                 halted: false,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(false),
                 fifo: PairMap::default(),
                 net,
                 delivered: 0,
@@ -1066,9 +1145,31 @@ impl<A: Actor> Simulation<A> {
             started: false,
             log_cap: None,
             net_trace_on: false,
+            reference_queue: false,
             profiler: None,
             merged_log: None,
             merged_net: None,
+            exchange_scratch: Vec::new(),
+        }
+    }
+
+    /// Swap the calendar-queue scheduler for the reference
+    /// `BinaryHeap` — the pre-overhaul event queue, kept as a
+    /// differential-test oracle. Both are exact priority queues over
+    /// the canonical event key, so every run artifact must be
+    /// byte-identical between the two; the differential tests assert
+    /// it. Call before the first run.
+    ///
+    /// # Panics
+    /// Panics if the simulation already started.
+    pub fn use_reference_queue(&mut self) {
+        assert!(
+            !self.started,
+            "use_reference_queue must be called before the first run"
+        );
+        self.reference_queue = true;
+        for shard in self.shards.iter_mut() {
+            shard.core.queue = EventQueue::new(true);
         }
     }
 
@@ -1149,7 +1250,7 @@ impl<A: Actor> Simulation<A> {
                     id,
                     now: SimTime::ZERO,
                     halted: false,
-                    queue: BinaryHeap::new(),
+                    queue: EventQueue::new(self.reference_queue),
                     fifo: PairMap::default(),
                     net,
                     delivered: 0,
@@ -1199,24 +1300,26 @@ impl<A: Actor> Simulation<A> {
 
     /// Move every shard's outbox contents into the destination shards'
     /// queues (the single-threaded equivalent of the barrier exchange).
+    /// Outbox buffers are swapped through one recycled scratch vector,
+    /// so the exchange allocates nothing in steady state.
     fn exchange_outboxes(&mut self) {
         let n = self.shards.len();
         if n <= 1 {
             return;
         }
-        let mut moved: Vec<Vec<Event<A::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        for shard in self.shards.iter_mut() {
-            for (j, out) in shard.core.outboxes.iter_mut().enumerate() {
-                if !out.is_empty() {
-                    moved[j].append(out);
+        let mut scratch = std::mem::take(&mut self.exchange_scratch);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || self.shards[i].core.outboxes[j].is_empty() {
+                    continue;
+                }
+                std::mem::swap(&mut scratch, &mut self.shards[i].core.outboxes[j]);
+                for ev in scratch.drain(..) {
+                    self.shards[j].core.push_local(ev);
                 }
             }
         }
-        for (j, evs) in moved.into_iter().enumerate() {
-            for ev in evs {
-                self.shards[j].core.push_local(ev);
-            }
-        }
+        self.exchange_scratch = scratch;
     }
 
     /// Run until the event queue drains, an actor halts, or a limit is
@@ -1255,16 +1358,15 @@ impl<A: Actor> Simulation<A> {
             lookahead_ns: self.lookahead_ns,
         };
         let shard = &mut self.shards[0];
-        while let Some(rev) = shard.core.queue.peek() {
-            let t = rev.0.time;
+        while let Some(t) = shard.core.queue.peek_time_ns() {
             if let Some(mt) = max_time {
-                if t > mt {
+                if t > mt.ns() {
                     // Event not processed; it stays queued for resume.
                     limit_hit = true;
                     break;
                 }
             }
-            let ev = shard.core.queue.pop().expect("peeked").0;
+            let ev = shard.core.queue.pop().expect("peeked");
             shard.process(&shared, ev);
             if shard.core.halted {
                 break;
@@ -1297,8 +1399,8 @@ impl<A: Actor> Simulation<A> {
         loop {
             let min_next = self
                 .shards
-                .iter()
-                .filter_map(|s| s.core.queue.peek().map(|r| r.0.time.ns()))
+                .iter_mut()
+                .filter_map(|s| s.core.queue.peek_time_ns())
                 .min();
             let events: u64 = self.shards.iter().map(|s| s.core.events).sum();
             let any_halt = self.shards.iter().any(|s| s.core.halted);
@@ -1577,11 +1679,7 @@ where
                                 shard.core.push_local(ev);
                             }
                         }
-                        let next = shard
-                            .core
-                            .queue
-                            .peek()
-                            .map_or(u64::MAX, |rev| rev.0.time.ns());
+                        let next = shard.core.queue.peek_time_ns().unwrap_or(u64::MAX);
                         mins[id].store(next, Ordering::SeqCst);
                         counts[id].store(shard.core.events, Ordering::SeqCst);
                         halts[id].store(shard.core.halted, Ordering::SeqCst);
@@ -2061,13 +2159,30 @@ mod tests {
         threaded: bool,
         fault: FaultPlan,
     ) -> (RunReport, Vec<Chatter>, FaultStats, u64, Vec<EventRecord>) {
+        run_chatter_queued(n, shards, threaded, fault, SimConfig::default().seed, false)
+    }
+
+    /// Like [`run_chatter`] but with an explicit master seed and queue
+    /// choice: `reference` swaps the calendar queue for the oracle
+    /// `BinaryHeap`.
+    fn run_chatter_queued(
+        n: u32,
+        shards: u32,
+        threaded: bool,
+        fault: FaultPlan,
+        seed: u64,
+        reference: bool,
+    ) -> (RunReport, Vec<Chatter>, FaultStats, u64, Vec<EventRecord>) {
         let cfg = SimConfig {
+            seed,
             latency_jitter: 0.3,
             clock_skew_max_ns: 2_000,
             fault,
-            ..SimConfig::default()
         };
         let mut sim = Simulation::new(Chatter::fleet(n), ConstantLatency(1_000), cfg);
+        if reference {
+            sim.use_reference_queue();
+        }
         sim.configure_parallel(ParallelConfig::new(shards, 1_000));
         sim.attach_log(1 << 16);
         sim.attach_net_trace();
@@ -2102,6 +2217,35 @@ mod tests {
             let other = run_chatter(8, shards, false, plan.clone());
             assert_eq!(base, other, "shard count {shards} diverged under faults");
         }
+    }
+
+    /// Differential property: the calendar queue and the reference
+    /// `BinaryHeap` are both exact priority queues over the canonical
+    /// `(time, dst, src, sseq)` key, so every observable run artifact —
+    /// report, actor state, fault ledger, message count, and the merged
+    /// event-log window — must be identical across seeds, fault plans,
+    /// and shard counts.
+    #[test]
+    fn calendar_queue_matches_reference_heap() {
+        let plans = [
+            ("clean", FaultPlan::default()),
+            ("faulty", FaultPlan::message_faults(0.1, 0.1, 0.1)),
+        ];
+        for (label, plan) in &plans {
+            for seed in [SimConfig::default().seed, 1, 0xD15_7EA1] {
+                for shards in [1u32, 4] {
+                    let cal = run_chatter_queued(8, shards, false, plan.clone(), seed, false);
+                    let heap = run_chatter_queued(8, shards, false, plan.clone(), seed, true);
+                    assert_eq!(
+                        cal, heap,
+                        "calendar vs reference heap diverged ({label}, seed {seed}, {shards} shards)"
+                    );
+                }
+            }
+        }
+        // The faulty plan must actually fire for the property to bite.
+        let probe = run_chatter_queued(8, 1, false, plans[1].1.clone(), 1, false);
+        assert!(probe.2.dropped + probe.2.duplicated + probe.2.spiked > 0);
     }
 
     #[test]

@@ -81,6 +81,7 @@
 
 #![deny(missing_docs)]
 
+mod calqueue;
 pub mod engine;
 pub mod fault;
 pub mod observer;

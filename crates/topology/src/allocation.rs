@@ -24,6 +24,12 @@ pub enum AllocationPolicy {
         /// Seed of the deterministic shuffle.
         seed: u64,
     },
+    /// Fill *every* cube of the machine with the same leading intra-cube
+    /// slots (`count / cube_count` of them). The placement is then
+    /// invariant under torus translation, which lets the distance-skewed
+    /// victim selector share one offset-alias table across all ranks.
+    /// Pair with [`Machine::torus_for_nodes`] to size the machine.
+    TorusFill,
 }
 
 /// A set of physical nodes granted to one job, in allocation order.
@@ -51,6 +57,7 @@ impl JobAllocation {
             AllocationPolicy::CompactRectangle => compact_rectangle(machine, count),
             AllocationPolicy::LinearStrip => (0..count).map(NodeId).collect(),
             AllocationPolicy::Scattered { seed } => scattered(machine, count, seed),
+            AllocationPolicy::TorusFill => torus_fill(machine, count),
         };
         debug_assert_eq!(nodes.len(), count as usize);
         Self { nodes }
@@ -168,6 +175,26 @@ fn best_box(cubes: u32, max: (u16, u16, u16)) -> (u16, u16, u16) {
         }
     }
     best.expect("machine large enough checked by caller").0
+}
+
+/// Give every cube of the machine the same `count / cube_count` leading
+/// intra-cube slots, cube by cube in dense id order.
+fn torus_fill(machine: &Machine, count: u32) -> Vec<NodeId> {
+    let cubes = machine.node_count() / crate::coord::NODES_PER_CUBE;
+    assert!(
+        count.is_multiple_of(cubes),
+        "TorusFill needs a node count ({count}) divisible by the \
+         machine's cube count ({cubes}); size the machine with \
+         Machine::torus_for_nodes"
+    );
+    let per_cube = count / cubes;
+    let mut nodes = Vec::with_capacity(count as usize);
+    for cube in 0..cubes {
+        for slot in 0..per_cube {
+            nodes.push(NodeId(cube * crate::coord::NODES_PER_CUBE + slot));
+        }
+    }
+    nodes
 }
 
 /// Deterministic Fisher–Yates scatter using SplitMix64.

@@ -10,10 +10,35 @@
 //! cheap even at 8,192 ranks.
 
 use crate::allocation::{AllocationPolicy, JobAllocation};
-use crate::coord::TofuCoord;
+use crate::coord::{TofuCoord, NODES_PER_CUBE};
 use crate::latency::{LatencyModel, LatencyParams};
 use crate::machine::{Machine, NodeId};
 use crate::mapping::{Rank, RankMapping};
+use std::sync::OnceLock;
+
+/// Certificate that a placed job is invariant under torus translation:
+/// every cube of the machine hosts the *same* intra-cube slot set, and
+/// every occupied node hosts the same number of ranks. Under this
+/// symmetry the Euclidean distance `e(i, j)` depends only on the
+/// observer's intra-cube slot, the cube-coordinate offset, and the
+/// target's intra-cube slot — so one alias table per observer slot
+/// class serves every rank (see the distance-skewed victim selector).
+#[derive(Debug, Clone)]
+pub struct TorusSymmetry {
+    /// Occupied intra-cube slot indices (ascending), identical in every
+    /// cube. At most [`NODES_PER_CUBE`] entries.
+    pub slots: Vec<u16>,
+    /// Ranks hosted by every occupied node (uniform across the job).
+    pub ppn: u32,
+    /// All ranks, grouped `[cube][slot][k]`: the rank at
+    /// `(cube_idx * slots.len() + slot_pos) * ppn + k`, with ranks
+    /// ascending within each node cell. `cube_idx` is the machine's
+    /// dense cube index (x fastest, then y, then z).
+    pub ranks: Vec<Rank>,
+    /// For each rank: its `(cube_idx, slot_pos, k)` position in the
+    /// grouping above.
+    pub rank_cell: Vec<(u32, u32, u32)>,
+}
 
 /// A job placed on a machine, ready to be simulated.
 #[derive(Debug, Clone)]
@@ -25,6 +50,8 @@ pub struct Job {
     rank_nodes: Vec<NodeId>,
     /// Cached coordinate of each rank's node.
     rank_coords: Vec<TofuCoord>,
+    /// Lazily computed torus-translation symmetry certificate.
+    symmetry: OnceLock<Option<TorusSymmetry>>,
 }
 
 impl Job {
@@ -48,6 +75,7 @@ impl Job {
             latency: LatencyModel::new(latency),
             rank_nodes,
             rank_coords,
+            symmetry: OnceLock::new(),
         }
     }
 
@@ -143,6 +171,75 @@ impl Job {
         &self.latency
     }
 
+    /// The job's torus-translation symmetry certificate, if it has one
+    /// (computed once, cached). Present iff every cube of the machine
+    /// hosts the same non-empty intra-cube slot set and every occupied
+    /// node hosts the same number of ranks — the precondition for
+    /// sharing one distance-skew alias table per slot class.
+    pub fn torus_symmetry(&self) -> Option<&TorusSymmetry> {
+        self.symmetry
+            .get_or_init(|| self.detect_symmetry())
+            .as_ref()
+    }
+
+    fn detect_symmetry(&self) -> Option<TorusSymmetry> {
+        let n = self.n_ranks();
+        if n < 2 {
+            return None;
+        }
+        let (dx, dy, dz) = self.machine.dims();
+        let cubes = dx as u32 * dy as u32 * dz as u32;
+        // Ranks hosted per node, dense over the machine.
+        let mut per_node = vec![0u32; self.machine.node_count() as usize];
+        for nd in &self.rank_nodes {
+            per_node[nd.index()] += 1;
+        }
+        // Slot set and ppn of cube 0 set the pattern.
+        let slots: Vec<u16> = (0..NODES_PER_CUBE)
+            .filter(|&s| per_node[s as usize] > 0)
+            .map(|s| s as u16)
+            .collect();
+        if slots.is_empty() {
+            return None;
+        }
+        let ppn = per_node[slots[0] as usize];
+        // Every cube must repeat it exactly.
+        for cube in 0..cubes {
+            for s in 0..NODES_PER_CUBE {
+                let expect = if slots.contains(&(s as u16)) { ppn } else { 0 };
+                if per_node[(cube * NODES_PER_CUBE + s) as usize] != expect {
+                    return None;
+                }
+            }
+        }
+        debug_assert_eq!(cubes * slots.len() as u32 * ppn, n);
+        // Group ranks into [cube][slot][k] cells, ascending within each.
+        let cells = (cubes as usize) * slots.len();
+        let mut ranks = vec![0 as Rank; n as usize];
+        let mut rank_cell = vec![(0u32, 0u32, 0u32); n as usize];
+        let mut cursor = vec![0u32; cells];
+        let mut slot_pos = [u32::MAX; NODES_PER_CUBE as usize];
+        for (pos, &s) in slots.iter().enumerate() {
+            slot_pos[s as usize] = pos as u32;
+        }
+        for rank in 0..n {
+            let node = self.rank_nodes[rank as usize].0;
+            let cube = node / NODES_PER_CUBE;
+            let pos = slot_pos[(node % NODES_PER_CUBE) as usize];
+            let cell = cube as usize * slots.len() + pos as usize;
+            let k = cursor[cell];
+            cursor[cell] += 1;
+            ranks[cell * ppn as usize + k as usize] = rank;
+            rank_cell[rank as usize] = (cube, pos, k);
+        }
+        Some(TorusSymmetry {
+            slots,
+            ppn,
+            ranks,
+            rank_cell,
+        })
+    }
+
     /// Conservative lookahead bound for parallel simulation: no message
     /// between ranks on *different nodes* can take less than this
     /// (see [`LatencyParams::min_remote_ns`]). Sharding that keeps each
@@ -210,6 +307,53 @@ mod tests {
                 assert_eq!(job.hops(i, j), job.hops(j, i));
             }
         }
+    }
+
+    #[test]
+    fn torus_fill_job_is_symmetric_and_compact_is_not() {
+        let machine = crate::Machine::torus_for_nodes(96);
+        let job = Job::place(
+            machine,
+            96,
+            AllocationPolicy::TorusFill,
+            RankMapping::OneToOne,
+            LatencyParams::default(),
+        );
+        let sym = job.torus_symmetry().expect("TorusFill is symmetric");
+        assert_eq!(sym.ppn, 1);
+        assert_eq!(sym.ranks.len(), 96);
+        let cubes = 96 / sym.slots.len() as u32;
+        // Every rank's cell round-trips through the grouping.
+        for rank in 0..96u32 {
+            let (cube, pos, k) = sym.rank_cell[rank as usize];
+            assert!(cube < cubes);
+            let idx =
+                (cube as usize * sym.slots.len() + pos as usize) * sym.ppn as usize + k as usize;
+            assert_eq!(sym.ranks[idx], rank);
+        }
+        // A compact sub-box of the K machine has no such symmetry.
+        let compact = Job::compact(96, RankMapping::OneToOne);
+        assert!(compact.torus_symmetry().is_none());
+    }
+
+    #[test]
+    fn torus_fill_symmetry_survives_grouped_mapping() {
+        let machine = crate::Machine::torus_for_nodes(48);
+        let job = Job::place(
+            machine,
+            48,
+            AllocationPolicy::TorusFill,
+            RankMapping::Grouped { ppn: 4 },
+            LatencyParams::default(),
+        );
+        let sym = job.torus_symmetry().expect("uniform ppn keeps symmetry");
+        assert_eq!(sym.ppn, 4);
+        assert_eq!(sym.ranks.len(), 192);
+        // Ranks within one node cell are ascending.
+        let (cube, pos, k) = sym.rank_cell[5];
+        assert_eq!(k, 1, "grouped mapping packs ranks 4..8 on node 1");
+        let base = (cube as usize * sym.slots.len() + pos as usize) * 4;
+        assert!(sym.ranks[base..base + 4].windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod routing;
 
 pub use allocation::{AllocationPolicy, JobAllocation};
 pub use coord::TofuCoord;
-pub use job::Job;
+pub use job::{Job, TorusSymmetry};
 pub use latency::{LatencyModel, LatencyParams, LinkClass};
 pub use machine::{Machine, NodeId};
 pub use mapping::{Rank, RankMapping};

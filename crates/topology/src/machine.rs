@@ -94,6 +94,52 @@ impl Machine {
         Self::new(dims[0], dims[1], dims[2])
     }
 
+    /// A machine that `want` nodes fill *uniformly*: every cube receives
+    /// the same number of nodes (the largest divisor of `want` that is
+    /// at most [`NODES_PER_CUBE`]), and the cube count factors into the
+    /// most balanced torus extents available. Paired with
+    /// [`AllocationPolicy::TorusFill`](crate::AllocationPolicy::TorusFill),
+    /// the resulting placement is translation-invariant over the torus,
+    /// which is what the shared offset-alias victim sampler exploits.
+    ///
+    /// # Panics
+    /// Panics if `want` is zero or the required extent overflows `u16`.
+    pub fn torus_for_nodes(want: u32) -> Self {
+        assert!(want > 0, "cannot size a machine for zero nodes");
+        let per_cube = (1..=NODES_PER_CUBE)
+            .rev()
+            .find(|s| want.is_multiple_of(*s))
+            .expect("1 always divides");
+        let cubes = want / per_cube;
+        // Most balanced factorization cubes = x*y*z: minimize the
+        // largest extent, then the perimeter.
+        let mut best: Option<(u32, u32, (u16, u16, u16))> = None;
+        for x in 1..=cubes {
+            if !cubes.is_multiple_of(x) {
+                continue;
+            }
+            let yz = cubes / x;
+            for y in 1..=yz {
+                if !yz.is_multiple_of(y) {
+                    continue;
+                }
+                let z = yz / y;
+                if x > u16::MAX as u32 || y > u16::MAX as u32 || z > u16::MAX as u32 {
+                    continue;
+                }
+                let key = (x.max(y).max(z), x + y + z);
+                let cand = (key.0, key.1, (x as u16, y as u16, z as u16));
+                best = Some(match best {
+                    None => cand,
+                    Some(cur) if (cand.0, cand.1) < (cur.0, cur.1) => cand,
+                    Some(cur) => cur,
+                });
+            }
+        }
+        let (_, _, (x, y, z)) = best.expect("every count has the trivial factorization");
+        Self::new(x, y, z)
+    }
+
     /// Torus extents in cube units.
     #[inline]
     pub fn dims(&self) -> (u16, u16, u16) {
@@ -230,6 +276,23 @@ mod tests {
         let max = x.max(y).max(z) as u32;
         let min = x.min(y).min(z) as u32;
         assert!(max <= 2 * min + 1, "unbalanced dims {:?}", m.dims());
+    }
+
+    #[test]
+    fn torus_for_nodes_fills_cubes_uniformly_and_balances_dims() {
+        // 8192 = 2^13: best per-cube divisor <= 12 is 8 -> 1024 cubes.
+        let m = Machine::torus_for_nodes(8192);
+        let (x, y, z) = m.dims();
+        assert_eq!(x as u32 * y as u32 * z as u32, 1024);
+        assert!(x.max(y).max(z) <= 16, "unbalanced dims {:?}", m.dims());
+        assert!(8192u32.is_multiple_of(x as u32 * y as u32 * z as u32));
+        // A full-cube count uses all 12 slots.
+        let m = Machine::torus_for_nodes(96);
+        assert_eq!(m.node_count() / NODES_PER_CUBE, 8);
+        // Primes larger than 12 degrade to one node per cube.
+        let m = Machine::torus_for_nodes(13);
+        let (x, y, z) = m.dims();
+        assert_eq!(x as u32 * y as u32 * z as u32, 13);
     }
 
     #[test]
