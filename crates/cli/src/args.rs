@@ -96,13 +96,29 @@ pub fn parse_mapping(s: &str) -> Result<dws_topology::RankMapping, String> {
 }
 
 /// Parse a victim-policy name with an optional `--alpha`/`--local-tries`.
+/// An `adaptive-` prefix (or bare `adaptive`, which defaults to the
+/// Tofu base) wraps the base policy in the failure-aware health
+/// overlay.
 pub fn parse_victim(
     name: &str,
     alpha: f64,
     local_tries: u32,
 ) -> Result<dws_core::VictimPolicy, String> {
-    use dws_core::VictimPolicy;
-    Ok(match name.to_ascii_lowercase().as_str() {
+    use dws_core::{BaseVictimPolicy, VictimPolicy};
+    let lower = name.to_ascii_lowercase();
+    if let Some(base) = lower.strip_prefix("adaptive") {
+        let base = match base.strip_prefix('-').unwrap_or(base) {
+            // Bare `adaptive`: the paper's best static policy, learned.
+            "" | "tofu" | "skew" | "distance" => BaseVictimPolicy::DistanceSkewed { alpha },
+            "reference" | "roundrobin" | "rr" => BaseVictimPolicy::RoundRobin,
+            "rand" | "uniform" => BaseVictimPolicy::Uniform,
+            "latskew" | "latency" => BaseVictimPolicy::LatencySkewed { alpha },
+            "hier" | "hierarchical" => BaseVictimPolicy::Hierarchical { local_tries },
+            other => return Err(format!("unknown adaptive base policy {other:?}")),
+        };
+        return Ok(VictimPolicy::Adaptive { base });
+    }
+    Ok(match lower.as_str() {
         "reference" | "roundrobin" | "rr" => VictimPolicy::RoundRobin,
         "rand" | "uniform" => VictimPolicy::Uniform,
         "tofu" | "skew" | "distance" => VictimPolicy::DistanceSkewed { alpha },
@@ -174,6 +190,25 @@ mod tests {
             "Reference"
         );
         assert!(parse_victim("nope", 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn adaptive_victim_names() {
+        assert_eq!(
+            parse_victim("adaptive", 1.0, 4).expect("ok").label(),
+            "AdaptTofu"
+        );
+        assert_eq!(
+            parse_victim("adaptive-rand", 1.0, 4).expect("ok").label(),
+            "AdaptRand"
+        );
+        assert_eq!(
+            parse_victim("adaptive-reference", 1.0, 4)
+                .expect("ok")
+                .label(),
+            "AdaptRef"
+        );
+        assert!(parse_victim("adaptive-nope", 1.0, 4).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::args::{parse, parse_mapping, parse_steal, parse_victim, Flags};
 use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, FaultToleranceCfg};
-use dws_simnet::{Brownout, Crash, FaultPlan, SlowdownWindow};
+use dws_simnet::{Brownout, Crash, CrashDomain, FaultPlan, Partition, SlowdownWindow};
 
 use dws_metrics::export::link_matrix_json;
 use dws_metrics::perflab::{self, BenchMetric, BenchRecord, MetricDelta, Verdict};
@@ -36,12 +36,11 @@ const CONFIG_FLAGS: &[&str] = &[
     "fault-crash",
     "fault-brownout",
     "fault-slowdown",
+    "fault-partition",
+    "fault-node-crash",
     "fault-timeout-mult",
     "threads",
     "alloc",
-    // Deprecated (ignored): the skewed-sampler backend is now chosen
-    // automatically; kept so old invocations keep working.
-    "alias-threshold",
 ];
 
 fn workload_flag(flags: &Flags, default: &str) -> Result<Workload, String> {
@@ -70,7 +69,13 @@ fn rank_at(spec: &str) -> Result<(u32, &str), String> {
 }
 
 /// Build a [`FaultPlan`] from `--fault-*` flags (inactive when absent).
-fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
+/// The mapping and node count expand `--fault-node-crash` node indices
+/// into full per-node rank crash domains.
+fn fault_plan_from(
+    flags: &Flags,
+    mapping: dws_topology::RankMapping,
+    n_nodes: u32,
+) -> Result<FaultPlan, String> {
     let mut plan = FaultPlan {
         drop_prob: flags.parse_or("fault-drop", 0.0)?,
         dup_prob: flags.parse_or("fault-dup", 0.0)?,
@@ -121,6 +126,39 @@ fn fault_plan_from(flags: &Flags) -> Result<FaultPlan, String> {
                 factor: factor
                     .parse()
                     .map_err(|_| format!("bad slowdown {spec:?}"))?,
+            });
+        }
+    }
+    if let Some(list) = flags.get("fault-partition") {
+        for spec in list.split(',') {
+            let (boundary, rest) = rank_at(spec.trim())?;
+            let (from, until) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad partition {spec:?} (expected boundary@from:until)"))?;
+            plan.partitions.push(Partition {
+                boundary,
+                from_ns: from
+                    .parse()
+                    .map_err(|_| format!("bad partition {spec:?}"))?,
+                until_ns: until
+                    .parse()
+                    .map_err(|_| format!("bad partition {spec:?}"))?,
+            });
+        }
+    }
+    if let Some(list) = flags.get("fault-node-crash") {
+        for spec in list.split(',') {
+            let (node, at) = rank_at(spec.trim())?;
+            if node >= n_nodes {
+                return Err(format!(
+                    "--fault-node-crash: node {node} out of range ({n_nodes} nodes)"
+                ));
+            }
+            plan.crash_domains.push(CrashDomain {
+                ranks: mapping.ranks_on_slot(node as usize, n_nodes),
+                at_ns: at
+                    .parse()
+                    .map_err(|_| format!("bad node crash in {spec:?} (expected node@ns)"))?,
             });
         }
     }
@@ -192,15 +230,7 @@ fn config_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     if flags.has("no-trace") {
         cfg.collect_trace = false;
     }
-    if flags.get("alias-threshold").is_some() {
-        eprintln!(
-            "warning: --alias-threshold is deprecated and ignored; skewed draws \
-             now use the shared offset-alias table on torus-symmetric jobs, \
-             per-rank alias tables up to {} ranks, and rejection sampling beyond",
-            dws_core::FALLBACK_LIMIT
-        );
-    }
-    cfg.fault_plan = fault_plan_from(flags)?;
+    cfg.fault_plan = fault_plan_from(flags, cfg.mapping, cfg.n_nodes)?;
     if flags.has("fault-tolerant") {
         cfg.fault_tolerance = Some(FaultToleranceCfg::default());
     }
@@ -325,8 +355,13 @@ pub fn run(rest: &[String]) -> Result<(), String> {
     }
     if let Some(fr) = &r.fault {
         println!(
-            "faults        : {} dropped, {} duplicated, {} spiked, {} brownout-lost",
-            fr.stats.dropped, fr.stats.duplicated, fr.stats.spiked, fr.stats.brownout_drops
+            "faults        : {} dropped, {} duplicated, {} spiked, {} brownout-lost, \
+             {} partition-lost",
+            fr.stats.dropped,
+            fr.stats.duplicated,
+            fr.stats.spiked,
+            fr.stats.brownout_drops,
+            fr.stats.partition_drops
         );
         println!(
             "recovery      : {} timeouts, {} retransmits, {} dup + {} stale replies dropped",
@@ -342,6 +377,12 @@ pub fn run(rest: &[String]) -> Result<(), String> {
                 fr.crashed_ranks, fr.lost_frontier_nodes, fr.lost_subtree_nodes
             );
         }
+    }
+    if t.quarantines > 0 || t.probe_steals > 0 || t.overlay_rejections > 0 {
+        println!(
+            "adaptive      : {} quarantines, {} probe steals, {} overlay rejections",
+            t.quarantines, t.probe_steals, t.overlay_rejections
+        );
     }
     if let Some(occ) = r.occupancy() {
         println!(
@@ -537,6 +578,12 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
             "dup-frac",
             "spike-frac",
             "gen-rounds",
+            "victim",
+            "alpha",
+            "local-tries",
+            "fault-partition",
+            "fault-node-crash",
+            "threads",
         ],
         &[],
     )?;
@@ -546,6 +593,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     let mapping = parse_mapping(flags.get("mapping").unwrap_or("1/N"))?;
     let steal = parse_steal(flags.get("steal").unwrap_or("half"))?;
     let seeds: u64 = flags.parse_or("seeds", 2u64)?;
+    let threads: u32 = flags.parse_or("threads", 1u32)?;
     let rates: Vec<f64> = flags
         .get("rates")
         .unwrap_or("0,0.01,0.02,0.05")
@@ -556,14 +604,27 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     // the drop rate, so one knob sweeps the whole fault mix.
     let dup_frac: f64 = flags.parse_or("dup-frac", 0.5)?;
     let spike_frac: f64 = flags.parse_or("spike-frac", 1.0)?;
-    let strategies = [
-        ("Reference", dws_core::VictimPolicy::RoundRobin),
-        ("Rand", dws_core::VictimPolicy::Uniform),
-        (
-            "Tofu",
-            dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 },
-        ),
-    ];
+    // Structural faults (partitions, whole-node crash domains) apply on
+    // top of every rate in the sweep.
+    let structural = fault_plan_from(&flags, mapping, n_nodes)?;
+    // `--victim` narrows the sweep to one policy (e.g. `adaptive` for
+    // the failure-aware overlay); default is the paper's static trio.
+    let strategies: Vec<(String, dws_core::VictimPolicy)> = if let Some(name) = flags.get("victim")
+    {
+        let alpha: f64 = flags.parse_or("alpha", 1.0)?;
+        let local_tries: u32 = flags.parse_or("local-tries", 4)?;
+        let victim = parse_victim(name, alpha, local_tries)?;
+        vec![(victim.label().to_string(), victim)]
+    } else {
+        vec![
+            ("Reference".into(), dws_core::VictimPolicy::RoundRobin),
+            ("Rand".into(), dws_core::VictimPolicy::Uniform),
+            (
+                "Tofu".into(),
+                dws_core::VictimPolicy::DistanceSkewed { alpha: 1.0 },
+            ),
+        ]
+    };
     let mut rows = Vec::new();
     for &rate in &rates {
         for (label, victim) in &strategies {
@@ -571,6 +632,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
             let mut timeouts = Summary::new();
             let mut retransmits = Summary::new();
             let mut stale = Summary::new();
+            let mut quarantines = Summary::new();
             for k in 0..seeds {
                 let mut cfg = ExperimentConfig::new(workload.clone(), n_nodes);
                 cfg.mapping = mapping;
@@ -578,8 +640,12 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 cfg.steal = steal;
                 cfg.seed = 0xC4A0_5000 + k;
                 cfg.collect_trace = false;
-                cfg.fault_plan =
-                    FaultPlan::message_faults(rate, rate * dup_frac, rate * spike_frac);
+                cfg.threads = threads;
+                let mut plan = FaultPlan::message_faults(rate, rate * dup_frac, rate * spike_frac);
+                plan.partitions = structural.partitions.clone();
+                plan.crash_domains = structural.crash_domains.clone();
+                cfg.fault_plan = plan;
+                cfg.validate()?;
                 eprint!("  {label} rate={rate} seed={k}...        \r");
                 let r = run_experiment(&cfg);
                 let t = r.stats.total();
@@ -587,6 +653,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 timeouts.add(t.steal_timeouts as f64);
                 retransmits.add(t.retransmits as f64);
                 stale.add((t.stale_replies_dropped + t.dup_replies_dropped) as f64);
+                quarantines.add(t.quarantines as f64);
             }
             rows.push(vec![
                 format!("{rate}"),
@@ -595,6 +662,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 format!("{:.0}", timeouts.mean()),
                 format!("{:.0}", retransmits.mean()),
                 format!("{:.0}", stale.mean()),
+                format!("{:.0}", quarantines.mean()),
             ]);
         }
     }
@@ -609,6 +677,7 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 "timeouts",
                 "retransmits",
                 "dup+stale dropped",
+                "quarantines",
             ],
             &rows
         )

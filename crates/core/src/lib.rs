@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod health;
 pub mod network;
 pub mod runner;
 pub mod scheduler;
@@ -51,6 +52,7 @@ pub mod termination;
 pub mod victim;
 
 pub use alias::AliasTable;
+pub use health::{AdaptiveCfg, Gate, HealthTracker, VictimHealth};
 pub use network::{LinkContendedNetwork, NicContendedNetwork};
 pub use runner::{
     run_experiment, sequential_baseline, ExperimentConfig, ExperimentResult, FaultReport,
@@ -60,5 +62,6 @@ pub use stack::{Chunk, ChunkedStack};
 pub use sweep::{Cell, Sweep};
 pub use termination::{Colour, TerminationState, Token, TokenAction};
 pub use victim::{
-    skew_weight, OffsetAliasSet, VictimContext, VictimPolicy, VictimSelector, FALLBACK_LIMIT,
+    skew_weight, BaseVictimPolicy, OffsetAliasSet, VictimContext, VictimPolicy, VictimSelector,
+    FALLBACK_LIMIT,
 };

@@ -14,6 +14,7 @@
 //! - the activity trace must be well-formed,
 //! - every rank must have observed termination with an empty stack.
 
+use crate::health::{AdaptiveCfg, VictimHealth};
 use crate::scheduler::{Counters, FaultToleranceCfg, SchedulerCfg, StealAmount, Worker};
 use crate::victim::VictimPolicy;
 use dws_metrics::export::{chrome_trace, histograms_json, span_counts_json};
@@ -236,7 +237,7 @@ impl ExperimentConfig {
         self.latency.check()?;
         self.fault_plan
             .validate(self.mapping.rank_count(self.n_nodes))?;
-        if !self.fault_plan.crashes.is_empty() && self.effective_fault_tolerance().is_none() {
+        if self.fault_plan.has_crashes() && self.effective_fault_tolerance().is_none() {
             return Err(
                 "crash injection without fault tolerance would deadlock the token ring".into(),
             );
@@ -384,6 +385,31 @@ fn fault_plan_json(plan: &FaultPlan) -> JsonValue {
                     .collect(),
             ),
         ),
+        (
+            "partitions",
+            JsonValue::Arr(
+                plan.partitions
+                    .iter()
+                    .map(|p| {
+                        JsonValue::Arr(vec![p.boundary.into(), p.from_ns.into(), p.until_ns.into()])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "crash_domains",
+            JsonValue::Arr(
+                plan.crash_domains
+                    .iter()
+                    .map(|d| {
+                        JsonValue::Arr(vec![
+                            JsonValue::Arr(d.ranks.iter().map(|&r| r.into()).collect()),
+                            d.at_ns.into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -426,7 +452,14 @@ pub struct ExperimentResult {
     pub fingerprint: String,
     /// Engine self-profile, when the run was profiled.
     pub profile: Option<ProfileReport>,
+    /// Adaptive victim selection: each rank's learned per-victim health
+    /// records at the end of the run, in rank order. `None` unless the
+    /// run used a [`VictimPolicy::Adaptive`] policy.
+    pub victim_health: Option<VictimHealthLedger>,
 }
+
+/// Per-rank adaptive health ledgers: `(rank, [(victim, health), …])`.
+pub type VictimHealthLedger = Vec<(u32, Vec<(u32, VictimHealth)>)>;
 
 /// What the faults actually did to one run.
 #[derive(Debug, Clone)]
@@ -563,6 +596,29 @@ impl ExperimentResult {
                 ]),
             ));
         }
+        if let Some(vh) = &self.victim_health {
+            pairs.push((
+                "victim_health",
+                JsonValue::Arr(
+                    vh.iter()
+                        .map(|(rank, tracked)| {
+                            JsonValue::obj(vec![
+                                ("rank", (*rank).into()),
+                                (
+                                    "victims",
+                                    JsonValue::Arr(
+                                        tracked
+                                            .iter()
+                                            .map(|(v, h)| victim_health_json(*v, h))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(fault) = &self.fault {
             pairs.push((
                 "fault",
@@ -571,6 +627,7 @@ impl ExperimentResult {
                     ("duplicated", fault.stats.duplicated.into()),
                     ("spiked", fault.stats.spiked.into()),
                     ("brownout_drops", fault.stats.brownout_drops.into()),
+                    ("partition_drops", fault.stats.partition_drops.into()),
                     (
                         "crash_lost_deliveries",
                         fault.stats.crash_lost_deliveries.into(),
@@ -596,6 +653,22 @@ impl ExperimentResult {
     }
 }
 
+/// One learned health record as JSON (a row of the report's
+/// `victim_health` section).
+fn victim_health_json(victim: u32, h: &VictimHealth) -> JsonValue {
+    JsonValue::obj(vec![
+        ("victim", victim.into()),
+        ("score", h.score.into()),
+        ("rtt_ewma_ns", h.rtt_ewma_ns.into()),
+        ("successes", h.successes.into()),
+        ("empties", h.empties.into()),
+        ("timeouts", h.timeouts.into()),
+        ("quarantines", h.quarantines.into()),
+        ("probes", h.probes.into()),
+        ("quarantined_until_ns", h.quarantined_until_ns.into()),
+    ])
+}
+
 fn steal_stats_json(s: &StealStats) -> JsonValue {
     JsonValue::obj(vec![
         ("steal_attempts", s.steal_attempts.into()),
@@ -619,6 +692,9 @@ fn steal_stats_json(s: &StealStats) -> JsonValue {
         ("token_regenerations", s.token_regenerations.into()),
         ("nodes_stranded", s.nodes_stranded.into()),
         ("nodes_refused", s.nodes_refused.into()),
+        ("quarantines", s.quarantines.into()),
+        ("probe_steals", s.probe_steals.into()),
+        ("overlay_rejections", s.overlay_rejections.into()),
     ])
 }
 
@@ -645,6 +721,9 @@ fn to_steal_stats(c: &Counters) -> StealStats {
         token_regenerations: c.token_regenerations,
         nodes_stranded: c.nodes_stranded,
         nodes_refused: c.nodes_refused,
+        quarantines: c.quarantines,
+        probe_steals: c.probe_steals,
+        overlay_rejections: c.overlay_rejections,
     }
 }
 
@@ -719,6 +798,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             if ft_on {
                 // Timeouts derive from the placed job's latency model.
                 w = w.with_job(Arc::clone(&job));
+            }
+            if cfg.victim.is_adaptive() {
+                w = w.with_health(AdaptiveCfg::default());
             }
             if cfg.collect_spans {
                 w = w.with_tracing();
@@ -926,6 +1008,23 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     } else {
         None
     };
+    let victim_health = if cfg.victim.is_adaptive() {
+        Some(
+            sim.actors()
+                .iter()
+                .enumerate()
+                .map(|(r, w)| {
+                    let tracked: Vec<(u32, VictimHealth)> = w
+                        .health()
+                        .map(|h| h.iter().map(|(v, e)| (v, e.clone())).collect())
+                        .unwrap_or_default();
+                    (r as u32, tracked)
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
     let net = sim.net_trace().cloned();
     let config = cfg.config_json();
     let fingerprint = config
@@ -951,6 +1050,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         config,
         fingerprint,
         profile,
+        victim_health,
     }
 }
 

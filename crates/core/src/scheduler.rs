@@ -38,6 +38,7 @@
 //! - **Tracing**: active ⇄ idle transitions are recorded with the
 //!   rank's *local* (possibly skewed) clock, as a real tracer would.
 
+use crate::health::{AdaptiveCfg, Gate, HealthTracker};
 use crate::stack::{Chunk, ChunkedStack};
 use crate::termination::{TerminationState, Token, TokenAction};
 use crate::victim::VictimSelector;
@@ -326,6 +327,14 @@ pub struct Counters {
     /// degraded (lossy) termination; the sender's unacknowledged
     /// transfer accounts them as lost.
     pub nodes_refused: u64,
+    /// Adaptive selection: victims this rank pushed into quarantine.
+    pub quarantines: u64,
+    /// Adaptive selection: probe steals sent to quarantined victims
+    /// whose probation window had expired.
+    pub probe_steals: u64,
+    /// Adaptive selection: base-policy draws rejected by the health
+    /// overlay (quarantined victim, or acceptance-weight miss).
+    pub overlay_rejections: u64,
 }
 
 /// One rank of the distributed work-stealing computation.
@@ -421,6 +430,10 @@ pub struct Worker {
     /// reads the host clock; one branch per site when absent, so the
     /// event schedule is identical with profiling on or off.
     probe: Option<Arc<PerfProbe>>,
+    /// Adaptive victim selection: per-victim health ledger. `None`
+    /// (the default) keeps the draw path exactly the base policy's —
+    /// zero extra RNG draws, so the schedule is untouched.
+    health: Option<HealthTracker>,
     /// Statistics counters.
     pub counters: Counters,
 }
@@ -485,9 +498,24 @@ impl Worker {
             crash_seen: false,
             tracer: Tracer::off(),
             probe: None,
+            health: None,
             counters: Counters::default(),
             cfg,
         }
+    }
+
+    /// Enable the adaptive victim-health overlay (builder style). The
+    /// base selector's draws are filtered through learned per-victim
+    /// outcome scores and the quarantine state machine — see
+    /// [`crate::health`].
+    pub fn with_health(mut self, cfg: AdaptiveCfg) -> Self {
+        self.health = Some(HealthTracker::new(cfg));
+        self
+    }
+
+    /// The adaptive health ledger, if the overlay is enabled.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
     }
 
     /// Enable causal span recording for this rank (builder style).
@@ -868,32 +896,107 @@ impl Worker {
         self.start_batch(ctx);
     }
 
-    fn send_steal_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        debug_assert!(self.outstanding.is_none());
-        let t_draw = prof_start(&self.probe);
-        let mut victim = self.selector.next_victim(ctx.rng());
-        debug_assert_ne!(victim, ctx.me());
-        if self.ft_on() && ctx.is_crashed(victim) {
-            // Re-draw past dead victims; a stubbornly deterministic
-            // policy (round-robin stuck on a corpse advances on redraw)
-            // falls back to a linear scan for any live peer.
-            let n = ctx.n_ranks();
-            let mut tries = 0;
-            while ctx.is_crashed(victim) && tries < 2 * n {
-                victim = self.selector.next_victim(ctx.rng());
-                tries += 1;
+    /// Draw a victim through the adaptive health overlay: bounded
+    /// rejection against the base selector — quarantined victims are
+    /// redrawn, non-quarantined ones accepted with probability equal
+    /// to their learned score, an expired quarantine turns the draw
+    /// into a probe steal. Falls back to a deterministic scan from
+    /// `me + 1` when the rejection budget runs out, so the draw stays
+    /// O(1) on top of the base policy's O(1) path.
+    fn draw_victim_adaptive(&mut self, ctx: &mut Ctx<'_, Msg>) -> Option<Rank> {
+        let now = ctx.now().ns();
+        let ft = self.ft_on();
+        let rounds = {
+            let h = self.health.as_ref().expect("adaptive overlay enabled");
+            h.cfg().max_overlay_rounds.max(1)
+        };
+        let mut fallback = None;
+        for _ in 0..rounds {
+            let v = self.selector.next_victim(ctx.rng());
+            debug_assert_ne!(v, ctx.me());
+            if ft && ctx.is_crashed(v) {
+                // The crash oracle preempts the overlay; the health
+                // score learns the same fact from timeouts when the
+                // oracle is off.
+                self.counters.overlay_rejections += 1;
+                continue;
             }
-            if ctx.is_crashed(victim) {
-                let me = ctx.me();
-                match (0..n).find(|&r| r != me && !ctx.is_crashed(r)) {
-                    Some(live) => victim = live,
-                    None => {
-                        prof_record(&self.probe, Phase::VictimDraw, t_draw);
-                        return; // nobody left to steal from
+            fallback = Some(v);
+            let h = self.health.as_mut().expect("adaptive overlay enabled");
+            match h.gate(v, now) {
+                Gate::Probe => {
+                    self.counters.probe_steals += 1;
+                    return Some(v);
+                }
+                Gate::Reject => {
+                    self.counters.overlay_rejections += 1;
+                }
+                Gate::Allow => {
+                    let w = h.accept_weight(v);
+                    if w >= 1.0 || ctx.rng().next_f64() < w {
+                        return Some(v);
                     }
+                    self.counters.overlay_rejections += 1;
                 }
             }
         }
+        // Rejection budget exhausted: scan deterministically from
+        // me + 1 for a live, non-quarantined peer.
+        let n = ctx.n_ranks();
+        let me = ctx.me();
+        for i in 1..n {
+            let r = (me + i) % n;
+            if ft && ctx.is_crashed(r) {
+                continue;
+            }
+            let h = self.health.as_ref().expect("adaptive overlay enabled");
+            if !h.is_quarantined(r, now) {
+                return Some(r);
+            }
+        }
+        // Everyone left is quarantined: better to hammer a suspect
+        // than to stall — reuse the last non-crashed draw, else any
+        // live peer at all.
+        fallback.or_else(|| (0..n).find(|&r| r != me && !(ft && ctx.is_crashed(r))))
+    }
+
+    fn send_steal_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        debug_assert!(self.outstanding.is_none());
+        let t_draw = prof_start(&self.probe);
+        let victim = if self.health.is_some() {
+            match self.draw_victim_adaptive(ctx) {
+                Some(v) => v,
+                None => {
+                    prof_record(&self.probe, Phase::VictimDraw, t_draw);
+                    return; // nobody left to steal from
+                }
+            }
+        } else {
+            let mut victim = self.selector.next_victim(ctx.rng());
+            debug_assert_ne!(victim, ctx.me());
+            if self.ft_on() && ctx.is_crashed(victim) {
+                // Re-draw past dead victims; a stubbornly deterministic
+                // policy (round-robin stuck on a corpse advances on redraw)
+                // falls back to a linear scan for any live peer.
+                let n = ctx.n_ranks();
+                let mut tries = 0;
+                while ctx.is_crashed(victim) && tries < 2 * n {
+                    victim = self.selector.next_victim(ctx.rng());
+                    tries += 1;
+                }
+                if ctx.is_crashed(victim) {
+                    let me = ctx.me();
+                    match (0..n).find(|&r| r != me && !ctx.is_crashed(r)) {
+                        Some(live) => victim = live,
+                        None => {
+                            prof_record(&self.probe, Phase::VictimDraw, t_draw);
+                            return; // nobody left to steal from
+                        }
+                    }
+                }
+            }
+            victim
+        };
         prof_record(&self.probe, Phase::VictimDraw, t_draw);
         let seq = self.req_seq;
         self.req_seq += 1;
@@ -985,6 +1088,16 @@ impl Worker {
                     self.counters.search_ns += rtt_ns;
                 }
                 let attempt_id = trace_id(ctx.me() as usize, seq);
+                // Health updates live at exactly the sites that bump
+                // the steal counters, so span/counter reconciliation
+                // covers them too.
+                if let Some(h) = self.health.as_mut() {
+                    if chunks.is_empty() {
+                        h.on_empty(from, rtt_ns);
+                    } else {
+                        h.on_success(from, rtt_ns);
+                    }
+                }
                 if self.ft_on() && !chunks.is_empty() {
                     if self.absorbed.contains(&(from, xfer)) {
                         // The retransmission already delivered this
@@ -1192,6 +1305,11 @@ impl Worker {
         xfer: u64,
         chunks: Vec<Chunk>,
     ) {
+        // Any reply — stale, duplicated, or late — proves the sender
+        // is alive; lift its quarantine.
+        if let Some(h) = self.health.as_mut() {
+            h.on_alive(from);
+        }
         if chunks.is_empty() {
             self.counters.stale_replies_dropped += 1;
             return;
@@ -1291,6 +1409,11 @@ impl Worker {
         self.counters.steals_failed += 1;
         self.consecutive_timeouts += 1;
         self.consecutive_fails += 1;
+        if let Some(h) = self.health.as_mut() {
+            if h.on_timeout(victim, ctx.now().ns()) {
+                self.counters.quarantines += 1;
+            }
+        }
         self.span(
             ctx,
             trace_id(ctx.me() as usize, seq),

@@ -1,0 +1,200 @@
+//! End-to-end behavior of the failure-aware adaptive victim overlay.
+//!
+//! Crashes are visible to every scheduler through the engine's crash
+//! oracle (the static policies already re-draw past corpses), but a
+//! network partition is invisible: requests into it just vanish. The
+//! static policy keeps hammering unreachable victims for the whole
+//! partition window, while adaptive thieves quarantine them after two
+//! timeouts and only send bounded probe steals until the network heals.
+
+use dws_core::{
+    run_experiment, BaseVictimPolicy, ExperimentConfig, ExperimentResult, VictimPolicy,
+};
+use dws_metrics::SpanKind;
+use dws_simnet::{CrashDomain, FaultPlan, Partition};
+use dws_topology::RankMapping;
+use dws_uts::{TreeSpec, Workload};
+
+const BOUNDARY: u32 = 4;
+const FROM_NS: u64 = 300_000;
+const UNTIL_NS: u64 = 3_000_000;
+
+fn run(victim: VictimPolicy) -> ExperimentResult {
+    let workload = Workload {
+        name: "adaptive-e2e",
+        spec: TreeSpec::Binomial {
+            b0: 2_000,
+            m: 2,
+            q: 0.47,
+        },
+        seed: 23,
+        gen_rounds: 1,
+        base_node_ns: 1_000,
+    };
+    // 8 nodes, one rank each; ranks 0..4 are cut off from ranks 4..8
+    // for most of the run's midgame.
+    let mut cfg = ExperimentConfig::new(workload, 8).with_victim(victim);
+    cfg.fault_plan = FaultPlan {
+        partitions: vec![Partition {
+            boundary: BOUNDARY,
+            from_ns: FROM_NS,
+            until_ns: UNTIL_NS,
+        }],
+        ..FaultPlan::default()
+    };
+    cfg.collect_spans = true;
+    run_experiment(&cfg)
+}
+
+/// Steal requests that crossed the partition boundary while it was up
+/// (every one of them is doomed to time out).
+fn doomed_requests(r: &ExperimentResult) -> u64 {
+    r.spans
+        .as_ref()
+        .expect("spans were collected")
+        .records()
+        .iter()
+        .filter(|s| {
+            (FROM_NS..UNTIL_NS).contains(&s.at_ns)
+                && matches!(s.kind, SpanKind::StealRequestSent { victim }
+                    if ((s.rank as u32) < BOUNDARY) != ((victim as u32) < BOUNDARY))
+        })
+        .count() as u64
+}
+
+#[test]
+fn adaptive_quarantines_partitioned_victims() {
+    let static_run = run(VictimPolicy::DistanceSkewed { alpha: 1.0 });
+    let adaptive_run = run(VictimPolicy::Adaptive {
+        base: BaseVictimPolicy::DistanceSkewed { alpha: 1.0 },
+    });
+
+    assert!(static_run.completed && adaptive_run.completed);
+    assert_eq!(static_run.total_nodes, adaptive_run.total_nodes);
+    assert!(
+        static_run
+            .fault
+            .as_ref()
+            .expect("faults on")
+            .stats
+            .partition_drops
+            > 0,
+        "partition never fired"
+    );
+
+    let static_doomed = doomed_requests(&static_run);
+    let adaptive_doomed = doomed_requests(&adaptive_run);
+    assert!(
+        static_doomed >= 50,
+        "static policy must keep stealing across the partition for this \
+         test to discriminate (saw {static_doomed} doomed requests)"
+    );
+    // The fault-tolerant steal protocol's own per-victim timeout
+    // backoff already throttles the static policy, so the overlay's
+    // margin on top of it is a solid fraction, not an order of
+    // magnitude: require at least a 20% cut.
+    assert!(
+        adaptive_doomed * 5 <= static_doomed * 4,
+        "adaptive sent {adaptive_doomed} requests into the partition vs \
+         {static_doomed} static — quarantine is not engaging"
+    );
+
+    // The mechanism, visible in the counters: quarantines fired, probe
+    // steals re-checked the cut-off ranks, and the static run saw none.
+    let t = adaptive_run.stats.total();
+    assert!(t.quarantines > 0, "no quarantines recorded");
+    assert!(t.probe_steals > 0, "no probe steals recorded");
+    let s = static_run.stats.total();
+    assert_eq!(s.quarantines, 0);
+    assert_eq!(s.probe_steals, 0);
+    assert_eq!(s.overlay_rejections, 0);
+
+    // The final health ledger agrees: some cross-boundary victim was
+    // quarantined and probed, and the victims a thief quarantined sit
+    // on the far side of the cut.
+    let vh = adaptive_run
+        .victim_health
+        .as_ref()
+        .expect("adaptive runs report victim health");
+    let mut cross_quarantines = 0u64;
+    let mut cross_probes = 0u64;
+    for (rank, tracked) in vh {
+        for (victim, h) in tracked {
+            if h.quarantines > 0 {
+                assert!(
+                    (*rank < BOUNDARY) != (*victim < BOUNDARY),
+                    "rank {rank} quarantined same-side victim {victim}"
+                );
+                cross_quarantines += h.quarantines;
+                cross_probes += h.probes;
+            }
+        }
+    }
+    assert!(
+        cross_quarantines > 0,
+        "health ledger records no quarantines"
+    );
+    assert!(cross_probes > 0, "health ledger records no probes");
+    assert!(t.probe_steals >= cross_probes);
+}
+
+/// The chaos-stress acceptance run CI drives: 128 ranks (16 nodes, 8G)
+/// under the adaptive overlay with message faults, a whole-node crash
+/// domain, *and* a mid-run partition, all at once. Beyond termination
+/// (run_experiment panics internally on a stalled protocol or
+/// inconsistent survivor counters), this pins the two global ledgers:
+/// the span stream reconciles exactly with the steal counters, and
+/// processed + lost-subtree nodes add up to the sequential tree size.
+#[test]
+fn chaos_stress_128_ranks_reconciles() {
+    let workload = Workload {
+        name: "adaptive-chaos",
+        spec: TreeSpec::Binomial {
+            b0: 15_000,
+            m: 2,
+            q: 0.47,
+        },
+        seed: 41,
+        gen_rounds: 1,
+        base_node_ns: 1_000,
+    };
+    let expect = dws_uts::search(&workload).nodes;
+    let mapping = RankMapping::Grouped { ppn: 8 };
+    let n_nodes = 16;
+    let domain = mapping.ranks_on_slot(5, n_nodes);
+    let mut cfg = ExperimentConfig::new(workload, n_nodes)
+        .with_mapping(mapping)
+        .with_victim(VictimPolicy::Adaptive {
+            base: BaseVictimPolicy::DistanceSkewed { alpha: 1.0 },
+        });
+    cfg.expect_nodes = Some(expect);
+    cfg.collect_spans = true;
+    let mut plan = FaultPlan::message_faults(0.02, 0.01, 0.02);
+    plan.crash_domains.push(CrashDomain {
+        ranks: domain.clone(),
+        at_ns: 400_000,
+    });
+    plan.partitions.push(Partition {
+        boundary: 64,
+        from_ns: 200_000,
+        until_ns: 900_000,
+    });
+    cfg.fault_plan = plan;
+    let r = run_experiment(&cfg);
+
+    assert!(r.completed, "chaos run must terminate");
+    let fr = r.fault.as_ref().expect("fault plan was active");
+    assert_eq!(fr.crashed_ranks, domain, "whole node 5 dies together");
+    assert!(fr.stats.partition_drops > 0, "partition never fired");
+    assert!(r.stats.total().quarantines > 0, "overlay never engaged");
+    r.spans
+        .as_ref()
+        .expect("spans were collected")
+        .reconcile(&r.stats)
+        .expect("span stream reconciles with steal counters under chaos");
+    assert_eq!(
+        r.total_nodes + fr.lost_subtree_nodes,
+        expect,
+        "lost-subtree accounting must balance the tree size"
+    );
+}

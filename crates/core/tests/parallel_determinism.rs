@@ -4,8 +4,10 @@
 //! counters, same spans, same machine-readable report — across seeds,
 //! fault plans, and rank mappings.
 
-use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, VictimPolicy};
-use dws_simnet::{Crash, FaultPlan};
+use dws_core::{
+    run_experiment, BaseVictimPolicy, ExperimentConfig, ExperimentResult, VictimPolicy,
+};
+use dws_simnet::{Crash, CrashDomain, FaultPlan, Partition};
 use dws_topology::RankMapping;
 use dws_uts::{TreeSpec, Workload};
 
@@ -104,6 +106,58 @@ fn faulty_runs_are_identical_across_thread_counts() {
             pf.lost_subtree_nodes, fr.lost_subtree_nodes,
             "loss reconciliation differs at {threads}"
         );
+    }
+}
+
+/// The adaptive overlay joins the bit-identity matrix: its health
+/// updates and overlay redraws must be the same function of the config
+/// for every thread count, across seeds and correlated fault plans
+/// (whole-node crash domains plus a network partition).
+#[test]
+fn adaptive_runs_are_identical_across_thread_counts() {
+    for seed in [11u64, 0xFEED] {
+        for plan in [FaultPlan::default(), {
+            let mut p = FaultPlan::message_faults(0.03, 0.01, 0.03);
+            // Node 3 of the 2-rank-per-node job dies whole: ranks
+            // 6 and 7 share its crash domain.
+            p.crash_domains.push(CrashDomain {
+                ranks: vec![6, 7],
+                at_ns: 300_000,
+            });
+            p.partitions.push(Partition {
+                boundary: 4,
+                from_ns: 100_000,
+                until_ns: 900_000,
+            });
+            p
+        }] {
+            let mut cfg = ExperimentConfig::new(workload(1200), 8)
+                .with_mapping(RankMapping::Grouped { ppn: 2 })
+                .with_victim(VictimPolicy::Adaptive {
+                    base: BaseVictimPolicy::DistanceSkewed { alpha: 1.0 },
+                });
+            cfg.seed = seed;
+            cfg.fault_plan = plan.clone();
+            cfg.collect_spans = true;
+            let baseline = run_at(&cfg, 1);
+            if plan.is_active() {
+                let fr = baseline.fault.as_ref().expect("fault plan was active");
+                assert_eq!(fr.crashed_ranks, vec![6, 7], "domain crash must fire");
+                assert!(fr.stats.partition_drops > 0, "partition must fire");
+                assert!(
+                    baseline.stats.total().quarantines > 0,
+                    "crash domain must trigger quarantines"
+                );
+            }
+            for threads in [2, 3, 8] {
+                let parallel = run_at(&cfg, threads);
+                assert_identical(
+                    &baseline,
+                    &parallel,
+                    &format!("adaptive seed {seed} threads {threads}"),
+                );
+            }
+        }
     }
 }
 

@@ -54,7 +54,10 @@ pub mod trace;
 pub use export::JsonValue;
 pub use histogram::{Histogram, LatencyHistograms};
 pub use occupancy::OccupancyCurve;
-pub use perflab::{BenchMetric, BenchRecord, MetricDelta, Polarity, ProfileReport, Verdict};
+pub use perflab::{
+    BenchMetric, BenchRecord, MetricDelta, Polarity, ProfileReport, Verdict,
+    BENCH_SCHEMA_MIN_VERSION, BENCH_SCHEMA_VERSION,
+};
 pub use report::{ascii_chart, render_table, write_csv, Perf};
 pub use span::{trace_id, SpanKind, SpanRecord, SpanTrace, Tracer};
 pub use steal_stats::{RunStats, StealStats};

@@ -31,8 +31,14 @@ use crate::export::{parse, JsonValue};
 use crate::summary::Summary;
 
 /// Schema version stamped into every [`BenchRecord`]; bump on
-/// incompatible layout changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// incompatible layout changes. Version 2 added the adaptive
+/// victim-selection counters (quarantines, probe steals, overlay
+/// rejections) to the run-report bridge; version-1 records carry the
+/// same core layout and are still readable.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`BenchRecord::from_json`] still accepts.
+pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// Two-sided 95% critical value of Student's t for `df` degrees of
 /// freedom (exact table for 1–30, the normal 1.96 beyond).
@@ -239,9 +245,10 @@ impl BenchRecord {
                 .ok_or_else(|| format!("bench record missing numeric field {key:?}"))
         };
         let schema = get_u64("schema")?;
-        if schema != BENCH_SCHEMA_VERSION {
+        if !(BENCH_SCHEMA_MIN_VERSION..=BENCH_SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "unsupported bench record schema {schema} (expected {BENCH_SCHEMA_VERSION})"
+                "unsupported bench record schema {schema} \
+                 (supported: {BENCH_SCHEMA_MIN_VERSION}..={BENCH_SCHEMA_VERSION})"
             ));
         }
         let metrics_json = doc
@@ -811,6 +818,13 @@ mod tests {
         let mut bad = rec.clone();
         bad.schema = 99;
         assert!(BenchRecord::from_json(&bad.to_json()).is_err());
+        // Records from every still-supported schema version parse.
+        for v in BENCH_SCHEMA_MIN_VERSION..=BENCH_SCHEMA_VERSION {
+            let mut old = rec.clone();
+            old.schema = v;
+            let back = BenchRecord::from_json(&old.to_json()).unwrap();
+            assert_eq!(back.schema, v);
+        }
         let mut empty = rec;
         empty.metrics.clear();
         assert!(BenchRecord::from_json(&empty.to_json()).is_err());

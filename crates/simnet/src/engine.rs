@@ -575,6 +575,17 @@ impl<M: Clone> ShardCore<M> {
                 });
                 return;
             }
+            // Partition cuts are window-based like brownouts and consume
+            // no RNG draws — the three draws above already happened, so
+            // the surviving traffic's fault schedule is unchanged by
+            // adding a partition to the plan.
+            if shared.fault.partitioned(from, to, depart_ns) {
+                self.fault_stats.partition_drops += 1;
+                self.messages_sent += 1;
+                prof_record(&self.profiler, Phase::FaultEval, t0);
+                self.log_fault(ObsKind::Partitioned { from, to });
+                return;
+            }
             if u_drop < shared.fault.drop_prob {
                 self.fault_stats.dropped += 1;
                 self.messages_sent += 1;
@@ -1024,6 +1035,7 @@ fn owner_rank(kind: &ObsKind) -> u32 {
     match *kind {
         ObsKind::Sent { from, .. }
         | ObsKind::Dropped { from, .. }
+        | ObsKind::Partitioned { from, .. }
         | ObsKind::Duplicated { from, .. }
         | ObsKind::Delayed { from, .. } => from,
         ObsKind::Delivered { to, .. } => to,
@@ -2216,6 +2228,38 @@ mod tests {
         for shards in [2u32, 3, 8] {
             let other = run_chatter(8, shards, false, plan.clone());
             assert_eq!(base, other, "shard count {shards} diverged under faults");
+        }
+    }
+
+    #[test]
+    fn partitions_and_crash_domains_are_shard_count_invariant() {
+        let plan = FaultPlan {
+            partitions: vec![crate::fault::Partition {
+                boundary: 4,
+                from_ns: 500,
+                until_ns: 2_500,
+            }],
+            crash_domains: vec![crate::fault::CrashDomain {
+                ranks: vec![6, 7],
+                at_ns: 1_200,
+            }],
+            ..FaultPlan::default()
+        };
+        let base = run_chatter(8, 1, false, plan.clone());
+        assert!(
+            base.2.partition_drops > 0,
+            "partition window must actually cut traffic for this test to mean anything"
+        );
+        assert!(
+            base.2.crash_lost_deliveries + base.2.crash_lost_timers > 0,
+            "crash domain must actually kill events"
+        );
+        for shards in [2u32, 3, 8] {
+            let other = run_chatter(8, shards, false, plan.clone());
+            assert_eq!(
+                base, other,
+                "shard count {shards} diverged under partition/domain faults"
+            );
         }
     }
 

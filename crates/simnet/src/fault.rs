@@ -5,8 +5,10 @@
 //! duplication probabilities, heavy-tailed latency spikes, NIC
 //! brownout windows (all traffic touching a rank is lost), per-rank
 //! slowdown windows (local timers stretch, modelling a slow or
-//! oversubscribed node), and permanent rank crashes at scheduled
-//! times.
+//! oversubscribed node), permanent rank crashes at scheduled times,
+//! network partitions (a rank-range cut severs all traffic across it
+//! for a window), and node-level crash domains (a whole node's ranks
+//! die together, matching the paper's 8-ranks-per-node allocations).
 //!
 //! Faults draw from a dedicated RNG stream
 //! (`DetRng::for_rank(seed, u32::MAX - 1)`) that is **only touched
@@ -56,6 +58,35 @@ pub struct Crash {
     pub at_ns: u64,
 }
 
+/// A half-open time window `[from_ns, until_ns)` during which the
+/// network is split in two: ranks below `boundary` cannot exchange
+/// messages with ranks at or above it, in either direction. Deliveries
+/// crossing the cut are silently lost. Like brownouts, partitions are
+/// window-based and consume no RNG draws, so adding one to a plan never
+/// perturbs the drop/spike/dup schedule of the surviving traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First rank of the upper side: the cut separates ranks
+    /// `0..boundary` from ranks `boundary..n_ranks`.
+    pub boundary: Rank,
+    /// Window start (inclusive), in simulated nanoseconds.
+    pub from_ns: u64,
+    /// Window end (exclusive).
+    pub until_ns: u64,
+}
+
+/// A node-level crash domain: every listed rank dies together at
+/// `at_ns`, modelling the loss of a whole compute node (the paper's 8G
+/// allocation packs 8 ranks per node, so one node failure takes out a
+/// contiguous block of eight).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashDomain {
+    /// Ranks that die together.
+    pub ranks: Vec<Rank>,
+    /// Time of death, in simulated nanoseconds.
+    pub at_ns: u64,
+}
+
 /// The complete, seed-deterministic fault schedule for one run.
 ///
 /// The default plan injects nothing and adds zero overhead.
@@ -94,6 +125,10 @@ pub struct FaultPlan {
     pub brownouts: Vec<Brownout>,
     /// Scheduled permanent crashes.
     pub crashes: Vec<Crash>,
+    /// Network partition windows (rank-range cuts).
+    pub partitions: Vec<Partition>,
+    /// Node-level crash domains (groups of ranks dying together).
+    pub crash_domains: Vec<CrashDomain>,
 }
 
 impl Default for FaultPlan {
@@ -108,6 +143,8 @@ impl Default for FaultPlan {
             slowdowns: Vec::new(),
             brownouts: Vec::new(),
             crashes: Vec::new(),
+            partitions: Vec::new(),
+            crash_domains: Vec::new(),
         }
     }
 }
@@ -122,6 +159,8 @@ impl FaultPlan {
             || !self.slowdowns.is_empty()
             || !self.brownouts.is_empty()
             || !self.crashes.is_empty()
+            || !self.partitions.is_empty()
+            || !self.crash_domains.is_empty()
     }
 
     /// A convenience plan with uniform message-level fault rates and no
@@ -191,6 +230,35 @@ impl FaultPlan {
                 return Err("rank 0 cannot crash: it owns the root and the probe".into());
             }
         }
+        for p in &self.partitions {
+            if p.boundary == 0 || p.boundary >= n_ranks {
+                return Err(format!(
+                    "partition boundary {} leaves one side empty (need 1..{n_ranks})",
+                    p.boundary
+                ));
+            }
+            if p.until_ns <= p.from_ns {
+                return Err(format!(
+                    "partition window at boundary {} is empty",
+                    p.boundary
+                ));
+            }
+        }
+        for d in &self.crash_domains {
+            if d.ranks.is_empty() {
+                return Err("crash domain lists no ranks".into());
+            }
+            for &r in &d.ranks {
+                if r >= n_ranks {
+                    return Err(format!("crash domain names unknown rank {r}"));
+                }
+                if r == 0 {
+                    return Err(
+                        "rank 0 cannot crash: it owns the root and the probe (crash domain)".into(),
+                    );
+                }
+            }
+        }
         Ok(())
     }
 
@@ -213,13 +281,34 @@ impl FaultPlan {
             .any(|b| b.rank == rank && (b.from_ns..b.until_ns).contains(&now_ns))
     }
 
-    /// The scheduled crash time of `rank`, if any.
+    /// True if a partition cut separates `src` from `dst` at `now_ns`.
+    pub fn partitioned(&self, src: Rank, dst: Rank, now_ns: u64) -> bool {
+        self.partitions.iter().any(|p| {
+            (src < p.boundary) != (dst < p.boundary) && (p.from_ns..p.until_ns).contains(&now_ns)
+        })
+    }
+
+    /// The scheduled crash time of `rank`, if any — the earliest over
+    /// individual crashes and any crash domain containing the rank.
     pub fn crash_time(&self, rank: Rank) -> Option<u64> {
         self.crashes
             .iter()
             .filter(|c| c.rank == rank)
             .map(|c| c.at_ns)
+            .chain(
+                self.crash_domains
+                    .iter()
+                    .filter(|d| d.ranks.contains(&rank))
+                    .map(|d| d.at_ns),
+            )
             .min()
+    }
+
+    /// True if the plan schedules any crash at all, individual or
+    /// domain-level (the runner refuses crashes without fault
+    /// tolerance, as a dead rank would wedge the token ring).
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty() || !self.crash_domains.is_empty()
     }
 
     /// Sample a heavy-tailed spike magnitude from a uniform draw in
@@ -242,6 +331,8 @@ pub struct FaultStats {
     pub spiked: u64,
     /// Messages lost to a NIC brownout window.
     pub brownout_drops: u64,
+    /// Messages lost crossing a partition cut.
+    pub partition_drops: u64,
     /// Deliveries suppressed because the destination had crashed.
     pub crash_lost_deliveries: u64,
     /// Timers suppressed because their rank had crashed.
@@ -251,7 +342,7 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total messages that never reached their destination.
     pub fn total_lost_messages(&self) -> u64 {
-        self.dropped + self.brownout_drops + self.crash_lost_deliveries
+        self.dropped + self.brownout_drops + self.partition_drops + self.crash_lost_deliveries
     }
 
     /// Add another counter set into this one (used to total the
@@ -261,6 +352,7 @@ impl FaultStats {
         self.duplicated += o.duplicated;
         self.spiked += o.spiked;
         self.brownout_drops += o.brownout_drops;
+        self.partition_drops += o.partition_drops;
         self.crash_lost_deliveries += o.crash_lost_deliveries;
         self.crash_lost_timers += o.crash_lost_timers;
     }
@@ -360,6 +452,95 @@ mod tests {
         assert_eq!(plan.spike_ns(0.0), 1_000);
         assert!(plan.spike_ns(0.5) > 1_000);
         assert_eq!(plan.spike_ns(0.999_999_999), 100_000);
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_inside_window_only() {
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                boundary: 4,
+                from_ns: 100,
+                until_ns: 200,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_active());
+        assert!(plan.partitioned(1, 5, 150));
+        assert!(plan.partitioned(5, 1, 150));
+        assert!(!plan.partitioned(1, 3, 150)); // same side, low
+        assert!(!plan.partitioned(5, 7, 150)); // same side, high
+        assert!(!plan.partitioned(1, 5, 99)); // before window
+        assert!(!plan.partitioned(1, 5, 200)); // half-open end
+    }
+
+    #[test]
+    fn partition_validation_rejects_empty_sides_and_windows() {
+        let side = |boundary| FaultPlan {
+            partitions: vec![Partition {
+                boundary,
+                from_ns: 0,
+                until_ns: 10,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(side(0).validate(8).is_err());
+        assert!(side(8).validate(8).is_err());
+        assert!(side(4).validate(8).is_ok());
+        let empty = FaultPlan {
+            partitions: vec![Partition {
+                boundary: 4,
+                from_ns: 10,
+                until_ns: 10,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(empty.validate(8).is_err());
+    }
+
+    #[test]
+    fn crash_domain_kills_all_members_together() {
+        let plan = FaultPlan {
+            crash_domains: vec![CrashDomain {
+                ranks: vec![8, 9, 10, 11],
+                at_ns: 500,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_active());
+        assert!(plan.has_crashes());
+        for r in 8..12 {
+            assert_eq!(plan.crash_time(r), Some(500));
+        }
+        assert_eq!(plan.crash_time(7), None);
+    }
+
+    #[test]
+    fn crash_domain_validation() {
+        let with = |ranks: Vec<Rank>| FaultPlan {
+            crash_domains: vec![CrashDomain { ranks, at_ns: 5 }],
+            ..FaultPlan::default()
+        };
+        assert!(with(vec![]).validate(8).is_err());
+        assert!(with(vec![0, 1]).validate(8).is_err()); // rank 0 protected
+        assert!(with(vec![9]).validate(8).is_err()); // unknown rank
+        assert!(with(vec![4, 5, 6, 7]).validate(8).is_ok());
+    }
+
+    #[test]
+    fn crash_time_merges_individual_and_domain_schedules() {
+        let plan = FaultPlan {
+            crashes: vec![Crash {
+                rank: 3,
+                at_ns: 900,
+            }],
+            crash_domains: vec![CrashDomain {
+                ranks: vec![3, 4],
+                at_ns: 400,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.crash_time(3), Some(400));
+        assert_eq!(plan.crash_time(4), Some(400));
     }
 
     #[test]

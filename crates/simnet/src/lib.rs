@@ -93,7 +93,7 @@ pub use engine::{
     Actor, ConstantLatency, Ctx, LatencyFn, NetworkModel, ParallelConfig, PureNetwork, Rank,
     RunReport, ShardProfile, SimConfig, Simulation,
 };
-pub use fault::{Brownout, Crash, FaultPlan, FaultStats, SlowdownWindow};
+pub use fault::{Brownout, Crash, CrashDomain, FaultPlan, FaultStats, Partition, SlowdownWindow};
 pub use observer::{EventKind, EventLog, EventRecord, NetTrace, PairTally};
 pub use profiler::{allocation_count, CountingAlloc, PerfProbe, Phase};
 pub use rng::DetRng;

@@ -48,6 +48,13 @@ pub enum EventKind {
         /// the random drop probability.
         brownout: bool,
     },
+    /// A message was lost crossing a network-partition cut.
+    Partitioned {
+        /// Sender rank.
+        from: u32,
+        /// Destination rank (on the far side of the cut).
+        to: u32,
+    },
     /// Fault injection duplicated a message; the copy rides one tick
     /// behind the original.
     Duplicated {

@@ -84,6 +84,22 @@ impl RankMapping {
         (0..n_ranks).map(|r| self.node_slot(r, n_nodes)).collect()
     }
 
+    /// All ranks hosted by allocation slot `slot` (ascending) — the
+    /// crash domain of one physical node, for a job over `n_nodes`
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range.
+    pub fn ranks_on_slot(&self, slot: usize, n_nodes: u32) -> Vec<Rank> {
+        assert!(
+            slot < n_nodes as usize,
+            "slot {slot} out of range ({n_nodes} nodes)"
+        );
+        (0..self.rank_count(n_nodes))
+            .filter(|&r| self.node_slot(r, n_nodes) == slot)
+            .collect()
+    }
+
     /// Validate the mapping against an allocation.
     pub fn check(&self, alloc: &JobAllocation) -> Result<(), String> {
         if self.ppn() == 0 {
@@ -169,5 +185,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn node_slot_rejects_bad_rank() {
         RankMapping::OneToOne.node_slot(4, 4);
+    }
+
+    #[test]
+    fn ranks_on_slot_inverts_node_slot() {
+        for mapping in [
+            RankMapping::OneToOne,
+            RankMapping::RoundRobin { ppn: 8 },
+            RankMapping::Grouped { ppn: 8 },
+        ] {
+            let n_nodes = 4;
+            for slot in 0..n_nodes as usize {
+                let ranks = mapping.ranks_on_slot(slot, n_nodes);
+                assert_eq!(ranks.len(), mapping.ppn() as usize);
+                for r in ranks {
+                    assert_eq!(mapping.node_slot(r, n_nodes), slot);
+                }
+            }
+        }
+        // 8RR slot 1 over 4 nodes: ranks 1, 5, 9, ...
+        assert_eq!(
+            RankMapping::RoundRobin { ppn: 8 }.ranks_on_slot(1, 4),
+            vec![1, 5, 9, 13, 17, 21, 25, 29]
+        );
+        // 8G slot 1: ranks 8..16.
+        assert_eq!(
+            RankMapping::Grouped { ppn: 8 }.ranks_on_slot(1, 4),
+            (8..16).collect::<Vec<_>>()
+        );
     }
 }
