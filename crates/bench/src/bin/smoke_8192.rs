@@ -15,7 +15,7 @@
 //! Results are emitted like any figure (`results/smoke_8192.csv`, plus
 //! a BenchRecord for the trajectory store via `--trajectory`).
 
-use dws_bench::{emit, f, run_logged, FigArgs};
+use dws_bench::{emit, f, run_logged_streamed, FigArgs};
 use dws_core::VictimPolicy;
 use dws_topology::{AllocationPolicy, Job, LatencyParams, Machine, RankMapping};
 use std::sync::Arc;
@@ -59,8 +59,11 @@ fn main() {
     cfg.alloc = AllocationPolicy::TorusFill;
     cfg.collect_trace = false;
 
+    // Streaming telemetry (`--live`, `--snapshot`, `--snapshot-every`)
+    // attaches here; the schedule is identical with it on or off, so
+    // the smoke metrics stay comparable either way.
     let wall = Instant::now();
-    let res = run_logged(&cfg);
+    let res = run_logged_streamed(&cfg, args.streaming());
     let wall_s = wall.elapsed().as_secs_f64();
 
     assert!(res.completed, "smoke run must observe termination");

@@ -25,9 +25,13 @@
 //! cargo run --release -p dws-bench --bin fig03_reference_large -- --full
 //! ```
 
-use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, StealAmount, VictimPolicy};
+use dws_core::{
+    run_experiment_streamed, ExperimentConfig, ExperimentResult, StealAmount, StreamingSetup,
+    VictimPolicy,
+};
 use dws_metrics::perflab::{self, BenchMetric, BenchRecord, Polarity};
 use dws_metrics::{ascii_chart, render_table, write_csv};
+use dws_simnet::StreamingCfg;
 use dws_topology::RankMapping;
 use dws_uts::Workload;
 use std::path::PathBuf;
@@ -47,6 +51,17 @@ pub struct FigArgs {
     pub trajectory: Option<PathBuf>,
     /// Simulation worker threads for every run (`--threads`).
     pub threads: u32,
+    /// Print a live progress line per telemetry snapshot (`--live`).
+    pub live: bool,
+    /// Snapshot cadence in simulated nanoseconds (`--snapshot-every`).
+    pub snapshot_every_ns: Option<u64>,
+    /// Stream snapshot JSONL lines to this file (`--snapshot`).
+    pub snapshot: Option<PathBuf>,
+    /// Write a flight-recorder dump here on abort (`--flight-dump`).
+    pub flight_dump: Option<PathBuf>,
+    /// Engine-enforced wall-clock budget in ns (`--wall-budget`);
+    /// overrunning it aborts the run and writes the flight dump.
+    pub wall_budget_ns: Option<u64>,
     /// When the binary started, for the wall-clock bench metric.
     pub started: Instant,
 }
@@ -63,6 +78,11 @@ impl FigArgs {
             seed: 0xD15_7EA1,
             trajectory: None,
             threads: 1,
+            live: false,
+            snapshot_every_ns: None,
+            snapshot: None,
+            flight_dump: None,
+            wall_budget_ns: None,
             started: Instant::now(),
         };
         while let Some(a) = args.next() {
@@ -92,11 +112,32 @@ impl FigArgs {
                         .expect("--threads must be an integer");
                     assert!(out.threads >= 1, "--threads must be at least 1");
                 }
+                "--live" => out.live = true,
+                "--snapshot-every" => {
+                    let d = args.next().expect("--snapshot-every needs a value");
+                    out.snapshot_every_ns =
+                        Some(parse_duration_ns(&d).expect("--snapshot-every: bad duration"));
+                }
+                "--snapshot" => {
+                    let path = args.next().expect("--snapshot needs a value");
+                    out.snapshot = Some(PathBuf::from(path));
+                }
+                "--flight-dump" => {
+                    let path = args.next().expect("--flight-dump needs a value");
+                    out.flight_dump = Some(PathBuf::from(path));
+                }
+                "--wall-budget" => {
+                    let d = args.next().expect("--wall-budget needs a value");
+                    out.wall_budget_ns =
+                        Some(parse_duration_ns(&d).expect("--wall-budget: bad duration"));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --full (paper-scale ranks)  --no-csv  \
                          --csv-dir <dir>  --seed <n>  --trajectory <path>  \
-                         --threads <n>"
+                         --threads <n>  --live  --snapshot <path>  \
+                         --snapshot-every <dur, e.g. 500ms of simulated time>  \
+                         --flight-dump <path>  --wall-budget <dur of host time>"
                     );
                     std::process::exit(0);
                 }
@@ -149,6 +190,59 @@ impl FigArgs {
         cfg.threads = self.threads;
         cfg
     }
+
+    /// Streaming-telemetry attachment from the `--live` /
+    /// `--snapshot` / `--snapshot-every` / `--flight-dump` /
+    /// `--wall-budget` flags, or `None` when none was given. Build one
+    /// per run — the sink file is truncated on each call.
+    pub fn streaming(&self) -> Option<StreamingSetup> {
+        if !self.live
+            && self.snapshot.is_none()
+            && self.snapshot_every_ns.is_none()
+            && self.flight_dump.is_none()
+            && self.wall_budget_ns.is_none()
+        {
+            return None;
+        }
+        let mut cfg = StreamingCfg::default();
+        if let Some(every) = self.snapshot_every_ns {
+            cfg.snapshot_every_sim_ns = Some(every);
+        }
+        cfg.live = self.live;
+        cfg.flight_dump_path = self.flight_dump.clone();
+        cfg.wall_budget = self.wall_budget_ns.map(std::time::Duration::from_nanos);
+        let sink: Option<Box<dyn std::io::Write + Send>> = self.snapshot.as_ref().map(|path| {
+            let file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write + Send>
+        });
+        Some(StreamingSetup { cfg, sink })
+    }
+}
+
+/// Parse a duration with a unit suffix (`ns`, `us`, `ms`, `s`) into
+/// nanoseconds; a bare number is nanoseconds.
+pub fn parse_duration_ns(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let (num, mult) = if let Some(x) = t.strip_suffix("ns") {
+        (x, 1u64)
+    } else if let Some(x) = t.strip_suffix("us") {
+        (x, 1_000)
+    } else if let Some(x) = t.strip_suffix("ms") {
+        (x, 1_000_000)
+    } else if let Some(x) = t.strip_suffix('s') {
+        (x, 1_000_000_000)
+    } else {
+        (t, 1)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration {s:?} (expected e.g. 500ms, 2s, 250us)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("bad duration {s:?} (must be non-negative)"));
+    }
+    Ok((v * mult as f64) as u64)
 }
 
 /// The strategy axes the paper sweeps, with its legend names.
@@ -203,13 +297,23 @@ static RUNS: Mutex<Vec<RunSample>> = Mutex::new(Vec::new());
 
 /// Run one configured experiment, echoing progress to stderr.
 pub fn run_logged(cfg: &ExperimentConfig) -> ExperimentResult {
+    run_logged_streamed(cfg, None)
+}
+
+/// [`run_logged`] with a streaming-telemetry attachment (see
+/// [`FigArgs::streaming`]); the schedule — and thus every bench metric
+/// except wall time — is identical with and without it.
+pub fn run_logged_streamed(
+    cfg: &ExperimentConfig,
+    streaming: Option<StreamingSetup>,
+) -> ExperimentResult {
     let started = std::time::Instant::now();
     eprint!(
         "  running {:24} ranks={:5} ... ",
         cfg.label(),
         cfg.mapping.rank_count(cfg.n_nodes)
     );
-    let r = run_experiment(cfg);
+    let r = run_experiment_streamed(cfg, streaming);
     let wall = started.elapsed();
     eprintln!(
         "makespan={} speedup={:.1} ({:.1?})",
@@ -378,6 +482,11 @@ mod tests {
             seed: 0,
             trajectory: None,
             threads: 1,
+            live: false,
+            snapshot_every_ns: None,
+            snapshot: None,
+            flight_dump: None,
+            wall_budget_ns: None,
             started: Instant::now(),
         };
         let full = FigArgs {

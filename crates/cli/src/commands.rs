@@ -1,8 +1,13 @@
 //! Subcommand implementations.
 
-use crate::args::{parse, parse_mapping, parse_steal, parse_victim, Flags};
-use dws_core::{run_experiment, ExperimentConfig, ExperimentResult, FaultToleranceCfg};
-use dws_simnet::{Brownout, Crash, CrashDomain, FaultPlan, Partition, SlowdownWindow};
+use crate::args::{parse, parse_duration_ns, parse_mapping, parse_steal, parse_victim, Flags};
+use dws_core::{
+    run_experiment, run_experiment_streamed, ExperimentConfig, ExperimentResult, FaultToleranceCfg,
+    StreamingSetup,
+};
+use dws_simnet::{
+    Brownout, Crash, CrashDomain, FaultPlan, Partition, SlowdownWindow, StreamingCfg,
+};
 
 use dws_metrics::export::link_matrix_json;
 use dws_metrics::perflab::{self, BenchMetric, BenchRecord, MetricDelta, Verdict};
@@ -302,23 +307,81 @@ fn write_observability(flags: &Flags, r: &ExperimentResult) -> Result<(), String
     Ok(())
 }
 
+/// Build the streaming-telemetry attachment from the `dws run` flags,
+/// or `None` when no streaming flag was given.
+fn streaming_from(flags: &Flags) -> Result<Option<StreamingSetup>, String> {
+    let wanted = flags.has("live")
+        || [
+            "snapshot",
+            "snapshot-every",
+            "snapshot-events",
+            "flight-dump",
+            "wall-budget",
+        ]
+        .iter()
+        .any(|f| flags.get(f).is_some())
+        || flags.get("rss-budget-mb").is_some();
+    if !wanted {
+        return Ok(None);
+    }
+    let mut cfg = StreamingCfg::default();
+    if let Some(every) = flags.get("snapshot-every") {
+        cfg.snapshot_every_sim_ns = Some(parse_duration_ns(every)?);
+    }
+    cfg.snapshot_every_events = flags.parse_opt("snapshot-events")?;
+    if cfg.snapshot_every_events.is_some() && flags.get("snapshot-every").is_none() {
+        // An explicit event cadence replaces the default sim-time one.
+        cfg.snapshot_every_sim_ns = None;
+    }
+    cfg.live = flags.has("live");
+    cfg.flight_ring = flags.parse_or("flight-ring", cfg.flight_ring)?;
+    cfg.flight_dump_path = flags.get("flight-dump").map(std::path::PathBuf::from);
+    if let Some(budget) = flags.get("wall-budget") {
+        cfg.wall_budget = Some(std::time::Duration::from_nanos(parse_duration_ns(budget)?));
+    }
+    if let Some(mb) = flags.parse_opt::<u64>("rss-budget-mb")? {
+        cfg.rss_budget_bytes = Some(mb * 1024 * 1024);
+    }
+    let sink: Option<Box<dyn std::io::Write + Send>> = match flags.get("snapshot") {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    Ok(Some(StreamingSetup { cfg, sink }))
+}
+
+/// Valued streaming-telemetry flags of `dws run`.
+const STREAM_FLAGS: &[&str] = &[
+    "snapshot",
+    "snapshot-every",
+    "snapshot-events",
+    "flight-dump",
+    "flight-ring",
+    "wall-budget",
+    "rss-budget-mb",
+];
+
 /// `dws run`
 pub fn run(rest: &[String]) -> Result<(), String> {
     let valued: Vec<&str> = CONFIG_FLAGS
         .iter()
         .chain(["csv", "trace", "json", "links"].iter())
+        .chain(STREAM_FLAGS.iter())
         .copied()
         .collect();
     let flags = parse(
         rest,
         &valued,
-        &["lifestory", "fault-tolerant", "profile", "no-trace"],
+        &["lifestory", "fault-tolerant", "profile", "no-trace", "live"],
     )?;
     let mut cfg = config_from(&flags)?;
     // Any observability artifact turns the span/network tracer on.
     cfg.collect_spans =
         flags.get("trace").is_some() || flags.get("json").is_some() || flags.get("links").is_some();
     cfg.profile = flags.has("profile");
+    let streaming = streaming_from(&flags)?;
     eprintln!(
         "running {} on {} nodes ({} ranks), tree {}...",
         cfg.label(),
@@ -326,7 +389,7 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         cfg.mapping.rank_count(cfg.n_nodes),
         cfg.workload.name
     );
-    let r = run_experiment(&cfg);
+    let r = run_experiment_streamed(&cfg, streaming);
     println!("configuration : {}", r.label);
     println!("tree nodes    : {}", r.total_nodes);
     println!("makespan      : {}", r.makespan);
@@ -446,6 +509,9 @@ pub fn run(rest: &[String]) -> Result<(), String> {
         println!("[per-rank stats written to {path}]");
     }
     write_observability(&flags, &r)?;
+    if let Some(path) = flags.get("snapshot") {
+        println!("[snapshot stream written to {path}; replay with `dws top {path}`]");
+    }
     Ok(())
 }
 
@@ -1064,6 +1130,57 @@ pub fn diff(rest: &[String]) -> Result<(), String> {
         // (exit 1), so CI can gate precisely.
         std::process::exit(2);
     }
+    Ok(())
+}
+
+/// `dws top <snapshots.jsonl>` — replay a snapshot stream (or the
+/// snapshot line of a flight dump) as the `--live` terminal view, then
+/// summarize it. Errors when the file holds no well-formed snapshot
+/// line, so CI can use it as a stream validator.
+pub fn top(rest: &[String]) -> Result<(), String> {
+    let (path, flag_rest) = match rest.split_first() {
+        Some((p, r)) if !p.starts_with("--") => (p.as_str(), r),
+        _ => return Err("usage: dws top <snapshots.jsonl> [--tail <n>]".into()),
+    };
+    let flags = parse(flag_rest, &["tail"], &[])?;
+    let tail: usize = flags.parse_or("tail", usize::MAX)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut snaps: Vec<dws_metrics::Snapshot> = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match dws_metrics::export::parse(line)
+            .ok()
+            .and_then(|doc| dws_metrics::Snapshot::from_json(&doc).ok())
+        {
+            Some(snap) => snaps.push(snap),
+            // Flight dumps interleave header and event lines with the
+            // snapshot; anything non-snapshot is skipped, not fatal.
+            None => skipped += 1,
+        }
+    }
+    if snaps.is_empty() {
+        return Err(format!(
+            "{path}: no well-formed snapshot lines (schema {}; {skipped} other lines)",
+            dws_metrics::SNAPSHOT_SCHEMA_VERSION
+        ));
+    }
+    let start = snaps.len().saturating_sub(tail);
+    for snap in &snaps[start..] {
+        println!("{}", snap.progress_line());
+    }
+    let last = snaps.last().expect("non-empty");
+    println!(
+        "---\n{} snapshots ({} other lines) | wall {:.1}s | final: {} events, {} ranks busy (peak {}), \
+         {} steals ok / {} empty",
+        snaps.len(),
+        skipped,
+        last.wall_ms as f64 / 1e3,
+        last.events,
+        last.active_workers,
+        last.w_max,
+        last.steals_ok,
+        last.steals_empty,
+    );
     Ok(())
 }
 

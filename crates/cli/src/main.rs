@@ -8,6 +8,7 @@
 //! dws tree   --tree t3sim-l
 //! dws topo   --nodes 1024 [--rank 0]
 //! dws shmem  --tree t3sim-l --workers 8
+//! dws top    snapshots.jsonl
 //! ```
 
 mod args;
@@ -38,6 +39,7 @@ fn main() {
         "shmem" => commands::shmem(rest),
         "profile" => commands::profile(rest),
         "diff" => commands::diff(rest),
+        "top" => commands::top(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -85,6 +87,16 @@ commands:
           --trace <path>       write a Chrome trace-event file (Perfetto)
           --json <path>        write the machine-readable run report
           --links <path>       write the per-link Tofu load matrix
+          --live               print a live progress line per snapshot
+          --snapshot <path>    stream periodic JSONL snapshots to a file
+          --snapshot-every <d> simulated-time cadence (500ms, 2s, ... ;
+                               default 1ms of simulated time)
+          --snapshot-events <n> event-count cadence instead
+          --flight-dump <path> crash flight recorder: dump the last
+                               --flight-ring events per shard (default
+                               1024) on panic, budget overrun, or SIGTERM
+          --wall-budget <d>    abort (with dump) past this wall time
+          --rss-budget-mb <n>  abort (with dump) past this peak RSS
   trace   run once with the causal steal-protocol tracer on
           (accepts the same configuration flags as run)
           --out <path>         Chrome trace output (default trace.json)
@@ -118,5 +130,9 @@ commands:
           verdict per metric: regression / improvement / within-noise,
           significant iff |delta| > max(ci95_a + ci95_b, tol*|a|)
           exit code 2 if any metric regressed (for CI gating)
+  top     replay a snapshot stream as the --live terminal view
+          dws top <snapshots.jsonl> [--tail <n>]
+          errors if the file holds no well-formed snapshot line, so CI
+          can use it to validate a stream or flight dump
   help    this text"
 }

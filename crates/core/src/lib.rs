@@ -55,7 +55,8 @@ pub use alias::AliasTable;
 pub use health::{AdaptiveCfg, Gate, HealthTracker, VictimHealth};
 pub use network::{LinkContendedNetwork, NicContendedNetwork};
 pub use runner::{
-    run_experiment, sequential_baseline, ExperimentConfig, ExperimentResult, FaultReport,
+    run_experiment, run_experiment_streamed, sequential_baseline, ExperimentConfig,
+    ExperimentResult, FaultReport, StreamingSetup,
 };
 pub use scheduler::{FaultToleranceCfg, Msg, SchedulerCfg, StealAmount, Worker};
 pub use stack::{Chunk, ChunkedStack};

@@ -20,13 +20,13 @@ use crate::victim::VictimPolicy;
 use dws_metrics::export::{chrome_trace, histograms_json, span_counts_json};
 use dws_metrics::perflab::{self, ProfileReport};
 use dws_metrics::{
-    ActivityTrace, JsonValue, LatencyHistograms, OccupancyCurve, Perf, RunStats, SpanTrace,
-    StealStats,
+    ActivityTrace, Histogram, JsonValue, LatencyHistograms, OccupancyCurve, OnlineOccupancy, Perf,
+    RunStats, SpanTrace, StealStats,
 };
 use dws_simnet::profiler::{allocation_count, PerfProbe};
 use dws_simnet::{
     FaultPlan, FaultStats, NetTrace, NetworkModel, ParallelConfig, PureNetwork, RunReport,
-    SimConfig, SimTime, Simulation,
+    SimConfig, SimTime, Simulation, StreamingCfg,
 };
 use dws_topology::routing::LinkLoad;
 use dws_topology::{AllocationPolicy, Job, LatencyParams, RankMapping};
@@ -456,6 +456,17 @@ pub struct ExperimentResult {
     /// records at the end of the run, in rank order. `None` unless the
     /// run used a [`VictimPolicy::Adaptive`] policy.
     pub victim_health: Option<VictimHealthLedger>,
+    /// Occupancy aggregates folded incrementally at window barriers
+    /// (O(ranks) memory, no retained transition log), when the run
+    /// streamed telemetry. Element-identical to the post-hoc
+    /// [`OccupancyCurve`] built from `trace` — a property test holds
+    /// the two paths to it.
+    pub online_occupancy: Option<OnlineOccupancy>,
+    /// Steal-RTT histogram recorded online at the scheduler's
+    /// `StealOk`/`StealEmpty` sites and merged over ranks in rank
+    /// order, when the run streamed telemetry. Element-identical to
+    /// `latency_histograms().steal_rtt_ns`.
+    pub online_steal_rtt: Option<Histogram>,
 }
 
 /// Per-rank adaptive health ledgers: `(rank, [(victim, health), …])`.
@@ -549,27 +560,48 @@ impl ExperimentResult {
             ),
             ("config", self.config.clone()),
         ];
-        if let Some(occ) = self.occupancy() {
+        // Occupancy section: post-hoc curve when a trace was collected;
+        // otherwise fall back to the online aggregates from a streamed
+        // run (the two are element-identical, so the section is the
+        // same either way).
+        let occ_values = if let Some(occ) = self.occupancy() {
+            Some((
+                occ.w_max(),
+                occ.average_occupancy(),
+                [0.25, 0.50, 0.90].map(|p| occ.starting_latency(p)),
+                [0.25, 0.50, 0.90].map(|p| occ.ending_latency(p)),
+            ))
+        } else {
+            self.online_occupancy.as_ref().map(|occ| {
+                (
+                    occ.w_max(),
+                    occ.average_occupancy(),
+                    [0.25, 0.50, 0.90].map(|p| occ.starting_latency(p)),
+                    [0.25, 0.50, 0.90].map(|p| occ.ending_latency(p)),
+                )
+            })
+        };
+        if let Some((w_max, average, sl, el)) = occ_values {
             let latency = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
             pairs.push((
                 "occupancy",
                 JsonValue::obj(vec![
-                    ("w_max", occ.w_max().into()),
-                    ("average", occ.average_occupancy().into()),
+                    ("w_max", w_max.into()),
+                    ("average", average.into()),
                     (
                         "sl",
                         JsonValue::obj(vec![
-                            ("25", latency(occ.starting_latency(0.25))),
-                            ("50", latency(occ.starting_latency(0.50))),
-                            ("90", latency(occ.starting_latency(0.90))),
+                            ("25", latency(sl[0])),
+                            ("50", latency(sl[1])),
+                            ("90", latency(sl[2])),
                         ]),
                     ),
                     (
                         "el",
                         JsonValue::obj(vec![
-                            ("25", latency(occ.ending_latency(0.25))),
-                            ("50", latency(occ.ending_latency(0.50))),
-                            ("90", latency(occ.ending_latency(0.90))),
+                            ("25", latency(el[0])),
+                            ("50", latency(el[1])),
+                            ("90", latency(el[2])),
                         ]),
                     ),
                 ]),
@@ -744,6 +776,22 @@ fn subtree_nodes(workload: &Workload, roots: Vec<Node>) -> u64 {
     count
 }
 
+/// Streaming-telemetry attachment for one run: the engine-side
+/// configuration plus an optional JSONL snapshot sink.
+///
+/// Deliberately *not* part of [`ExperimentConfig`]: streaming is an
+/// observability switch, proven not to perturb the schedule, so — like
+/// `collect_spans` and `threads` — it must stay out of the config
+/// fingerprint and reports taken with and without it must stay
+/// diffable as the same configuration.
+pub struct StreamingSetup {
+    /// Snapshot cadence, flight-recorder, and budget knobs.
+    pub cfg: StreamingCfg,
+    /// Where snapshot JSONL lines go (`None` folds accounting without
+    /// emitting — still feeds `online_occupancy` and the abort path).
+    pub sink: Option<Box<dyn std::io::Write + Send>>,
+}
+
 /// Run one experiment to completion (or to its limits) and verify it.
 ///
 /// # Panics
@@ -751,6 +799,20 @@ fn subtree_nodes(workload: &Workload, roots: Vec<Node>) -> u64 {
 /// mismatched tree size, or a rank that never observed termination in a
 /// completed run.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    run_experiment_streamed(cfg, None)
+}
+
+/// [`run_experiment`] with streaming telemetry attached: periodic
+/// [`dws_metrics::Snapshot`] lines to the sink, online occupancy and
+/// steal-RTT aggregates in the result, and the flight-recorder /
+/// budget-abort machinery from [`StreamingCfg`].
+///
+/// # Panics
+/// Same integrity panics as [`run_experiment`].
+pub fn run_experiment_streamed(
+    cfg: &ExperimentConfig,
+    streaming: Option<StreamingSetup>,
+) -> ExperimentResult {
     cfg.validate()
         .unwrap_or_else(|e| panic!("invalid experiment configuration: {e}"));
     let n_ranks = cfg.mapping.rank_count(cfg.n_nodes);
@@ -805,6 +867,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
             if cfg.collect_spans {
                 w = w.with_tracing();
             }
+            if streaming.is_some() {
+                w = w.with_rtt_histogram();
+            }
             if let Some(p) = &probe {
                 w = w.with_profiler(Arc::clone(p));
             }
@@ -846,6 +911,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     if cfg.collect_spans {
         sim.attach_net_trace();
+    }
+    let streaming_on = streaming.is_some();
+    if let Some(s) = streaming {
+        sim.attach_streaming(s.cfg, s.sink);
     }
     if let Some(p) = &probe {
         sim.attach_profiler(Arc::clone(p));
@@ -892,6 +961,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
 
     let makespan = report.end_time;
+    let online_occupancy = sim.finish_streaming(makespan.ns());
+    let online_steal_rtt = if streaming_on {
+        let mut h = Histogram::new();
+        for w in sim.actors() {
+            if let Some(r) = w.rtt_histogram() {
+                h.merge(r);
+            }
+        }
+        Some(h)
+    } else {
+        None
+    };
     let per_rank: Vec<StealStats> = sim
         .actors()
         .iter()
@@ -1051,6 +1132,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         fingerprint,
         profile,
         victim_health,
+        online_occupancy,
+        online_steal_rtt,
     }
 }
 

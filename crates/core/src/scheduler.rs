@@ -42,7 +42,7 @@ use crate::health::{AdaptiveCfg, Gate, HealthTracker};
 use crate::stack::{Chunk, ChunkedStack};
 use crate::termination::{TerminationState, Token, TokenAction};
 use crate::victim::VictimSelector;
-use dws_metrics::{trace_id, SpanKind, SpanRecord, Tracer};
+use dws_metrics::{trace_id, Histogram, SpanKind, SpanRecord, Tracer};
 use dws_simnet::profiler::{prof_record, prof_start, PerfProbe, Phase};
 use dws_simnet::{Actor, Ctx, Rank};
 use dws_topology::Job;
@@ -434,6 +434,11 @@ pub struct Worker {
     /// (the default) keeps the draw path exactly the base policy's —
     /// zero extra RNG draws, so the schedule is untouched.
     health: Option<HealthTracker>,
+    /// Online steal-RTT histogram for streaming runs. Recorded at
+    /// exactly the span sites that feed
+    /// `SpanTrace::histograms().steal_rtt_ns`, so merging every rank's
+    /// histogram in rank order reproduces the post-hoc value.
+    rtt_hist: Option<Histogram>,
     /// Statistics counters.
     pub counters: Counters,
 }
@@ -499,6 +504,7 @@ impl Worker {
             tracer: Tracer::off(),
             probe: None,
             health: None,
+            rtt_hist: None,
             counters: Counters::default(),
             cfg,
         }
@@ -528,6 +534,31 @@ impl Worker {
     /// [`with_tracing`](Self::with_tracing) was used).
     pub fn spans(&self) -> &[SpanRecord] {
         self.tracer.records()
+    }
+
+    /// Record steal round-trips into an online histogram (builder
+    /// style). One branch per steal reply when off; when on, the
+    /// recording sites mirror the span tracer's `StealOk`/`StealEmpty`
+    /// exactly, including the duplicated-reply `StealOk` under fault
+    /// tolerance, so the merged per-rank histograms are
+    /// element-identical to the post-hoc span-derived ones.
+    pub fn with_rtt_histogram(mut self) -> Self {
+        self.rtt_hist = Some(Histogram::new());
+        self
+    }
+
+    /// The online steal-RTT histogram, if enabled.
+    pub fn rtt_histogram(&self) -> Option<&Histogram> {
+        self.rtt_hist.as_ref()
+    }
+
+    /// Mirror one steal round-trip into the online histogram. Call
+    /// only beside a `StealOk`/`StealEmpty` span site.
+    #[inline]
+    fn record_rtt(&mut self, rtt_ns: u64) {
+        if let Some(h) = self.rtt_hist.as_mut() {
+            h.record(rtt_ns);
+        }
     }
 
     /// Share the engine's self-profiling probe with this rank (builder
@@ -844,6 +875,7 @@ impl Worker {
         if self.traced_active {
             let t0 = prof_start(&self.probe);
             self.trace.push((ctx.local_now().ns(), false));
+            ctx.record_activity(false);
             self.traced_active = false;
             prof_record(&self.probe, Phase::TraceRecord, t0);
         }
@@ -890,6 +922,7 @@ impl Worker {
         if !self.traced_active {
             let t0 = prof_start(&self.probe);
             self.trace.push((ctx.local_now().ns(), true));
+            ctx.record_activity(true);
             self.traced_active = true;
             prof_record(&self.probe, Phase::TraceRecord, t0);
         }
@@ -1104,6 +1137,7 @@ impl Worker {
                         // transfer; count the attempt as served.
                         self.counters.steals_ok += 1;
                         self.counters.dup_replies_dropped += 1;
+                        self.record_rtt(rtt_ns);
                         self.span(
                             ctx,
                             attempt_id,
@@ -1134,6 +1168,7 @@ impl Worker {
                 if chunks.is_empty() {
                     self.counters.steals_failed += 1;
                     self.consecutive_fails += 1;
+                    self.record_rtt(rtt_ns);
                     self.span(
                         ctx,
                         attempt_id,
@@ -1179,6 +1214,7 @@ impl Worker {
                 } else {
                     self.counters.steals_ok += 1;
                     let nodes: usize = chunks.iter().map(|c| c.len()).sum();
+                    self.record_rtt(rtt_ns);
                     self.span(
                         ctx,
                         attempt_id,
@@ -1528,11 +1564,21 @@ impl Worker {
 impl Actor for Worker {
     type Msg = Msg;
 
+    fn live_stats(&self) -> dws_simnet::LiveStats {
+        dws_simnet::LiveStats {
+            ready_chunks: self.stack.stealable_chunks() as u64,
+            steals_ok: self.counters.steals_ok,
+            steals_empty: self.counters.steals_failed,
+            quarantined: self.counters.quarantines,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if ctx.me() == 0 {
             self.stack
                 .push(self.cfg.workload.spec.root(self.cfg.workload.seed));
             self.trace.push((ctx.local_now().ns(), true));
+            ctx.record_activity(true);
             self.traced_active = true;
             self.start_batch(ctx);
         } else {

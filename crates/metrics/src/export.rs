@@ -561,7 +561,7 @@ pub fn chrome_trace(
     if let Some(trace) = activity {
         let sorted = trace.sorted();
         let mut open: Vec<bool> = vec![false; trace.n_ranks() as usize];
-        for t in sorted.transitions() {
+        for t in sorted.iter() {
             let rank = t.rank as usize;
             if t.active && !open[rank] {
                 events.push((

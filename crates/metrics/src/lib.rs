@@ -17,6 +17,9 @@
 //!   session durations;
 //! - [`export`] — dependency-free JSON, Chrome trace-event output and
 //!   machine-readable run reports;
+//! - [`streaming`] — online (incremental) occupancy/busy-time
+//!   accounting proven element-identical to the sorted-log path, plus
+//!   the periodic [`Snapshot`] JSONL stream;
 //! - [`report`] — efficiency/speedup math, text tables, CSV output and
 //!   terminal ASCII charts for regenerating the paper's figures;
 //! - [`perflab`] — benchmark trajectory records ([`BenchRecord`]),
@@ -48,6 +51,7 @@ pub mod perflab;
 pub mod report;
 pub mod span;
 pub mod steal_stats;
+pub mod streaming;
 pub mod summary;
 pub mod trace;
 
@@ -61,5 +65,8 @@ pub use perflab::{
 pub use report::{ascii_chart, render_table, write_csv, Perf};
 pub use span::{trace_id, SpanKind, SpanRecord, SpanTrace, Tracer};
 pub use steal_stats::{RunStats, StealStats};
+pub use streaming::{
+    OnlineAccounting, OnlineOccupancy, ShardSnap, Snapshot, SNAPSHOT_SCHEMA_VERSION,
+};
 pub use summary::Summary;
 pub use trace::{ActivityTrace, SortedTrace, Transition};

@@ -53,19 +53,18 @@ impl OccupancyCurve {
     /// Same-timestamp transitions are netted before the step is
     /// emitted, so only the settled worker count at each instant is
     /// recorded regardless of within-timestamp ordering.
-    pub fn from_sorted(sorted: &SortedTrace, total_ns: u64) -> Self {
-        let transitions = sorted.transitions();
-        let mut steps = Vec::with_capacity(transitions.len() + 1);
+    pub fn from_sorted(sorted: &SortedTrace<'_>, total_ns: u64) -> Self {
+        let mut steps = Vec::with_capacity(sorted.len() + 1);
         steps.push((0u64, 0u32));
         let mut current: i64 = 0;
         let mut i = 0;
-        while i < transitions.len() {
-            let t = transitions[i].at_ns;
+        while i < sorted.len() {
+            let t = sorted.get(i).at_ns;
             // Net all deltas at this instant so an idle→active swap at
             // the same nanosecond never shows a transient dip.
             let mut delta: i64 = 0;
-            while i < transitions.len() && transitions[i].at_ns == t {
-                delta += if transitions[i].active { 1 } else { -1 };
+            while i < sorted.len() && sorted.get(i).at_ns == t {
+                delta += if sorted.get(i).active { 1 } else { -1 };
                 i += 1;
             }
             current += delta;
@@ -87,6 +86,14 @@ impl OccupancyCurve {
     #[inline]
     pub fn n_ranks(&self) -> u32 {
         self.n_ranks
+    }
+
+    /// The `(time_ns, workers)` step list, time-sorted, starting at
+    /// `(0, 0)` — exposed so the streaming accounting's differential
+    /// tests can assert element-identical curves, not just identical
+    /// summaries.
+    pub fn steps(&self) -> &[(u64, u32)] {
+        &self.steps
     }
 
     /// Run length in nanoseconds.

@@ -33,9 +33,12 @@ use crate::summary::Summary;
 /// Schema version stamped into every [`BenchRecord`]; bump on
 /// incompatible layout changes. Version 2 added the adaptive
 /// victim-selection counters (quarantines, probe steals, overlay
-/// rejections) to the run-report bridge; version-1 records carry the
-/// same core layout and are still readable.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// rejections) to the run-report bridge. Version 3 marks the
+/// streaming-telemetry era: run reports may now derive their
+/// occupancy section from online (barrier-folded) aggregates instead
+/// of a retained trace — the values are element-identical, so
+/// version-1 and -2 records stay comparable and readable.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`BenchRecord::from_json`] still accepts.
 pub const BENCH_SCHEMA_MIN_VERSION: u64 = 1;

@@ -135,15 +135,27 @@ impl ActivityTrace {
     /// sorted pass, so analyzing a large trace costs one sort instead
     /// of one per question.
     ///
+    /// The view *borrows* the trace: only a permutation index (4 bytes
+    /// per transition) is allocated, not a second copy of the 16-byte
+    /// transitions themselves.
+    ///
     /// The sort is stable, so each rank's transitions keep their
     /// recording order at equal timestamps.
     ///
     /// [`OccupancyCurve::from_sorted`]: crate::OccupancyCurve::from_sorted
-    pub fn sorted(&self) -> SortedTrace {
-        let mut transitions = self.transitions.clone();
-        transitions.sort_by_key(|t| (t.at_ns, t.rank));
+    pub fn sorted(&self) -> SortedTrace<'_> {
+        assert!(
+            self.transitions.len() <= u32::MAX as usize,
+            "trace too large for a u32 permutation index"
+        );
+        let mut order: Vec<u32> = (0..self.transitions.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            let t = self.transitions[i as usize];
+            (t.at_ns, t.rank)
+        });
         SortedTrace {
-            transitions,
+            transitions: &self.transitions,
+            order,
             n_ranks: self.n_ranks,
         }
     }
@@ -159,24 +171,47 @@ impl ActivityTrace {
     }
 }
 
-/// A trace whose transitions are sorted by `(time, rank)` — the shared
-/// single sorted pass behind every post-mortem computation.
+/// A sorted *view* of a trace: transitions in `(time, rank)` order —
+/// the shared single sorted pass behind every post-mortem computation.
+///
+/// The view borrows the underlying trace and carries only a
+/// permutation index, so sorting a large trace costs one `u32` per
+/// transition instead of cloning every 16-byte record.
 #[derive(Debug, Clone)]
-pub struct SortedTrace {
-    transitions: Vec<Transition>,
+pub struct SortedTrace<'a> {
+    transitions: &'a [Transition],
+    order: Vec<u32>,
     n_ranks: u32,
 }
 
-impl SortedTrace {
+impl SortedTrace<'_> {
     /// Number of ranks the trace covers.
     #[inline]
     pub fn n_ranks(&self) -> u32 {
         self.n_ranks
     }
 
-    /// Transitions in `(time, rank)` order.
-    pub fn transitions(&self) -> &[Transition] {
-        &self.transitions
+    /// Number of transitions in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The `i`-th transition in `(time, rank)` order.
+    #[inline]
+    pub fn get(&self, i: usize) -> Transition {
+        self.transitions[self.order[i] as usize]
+    }
+
+    /// Iterate the transitions in `(time, rank)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Transition> + '_ {
+        self.order.iter().map(|&i| self.transitions[i as usize])
     }
 
     /// Total busy time per rank, assuming the run ends at `end_ns` (an
@@ -184,7 +219,7 @@ impl SortedTrace {
     pub fn busy_ns_per_rank(&self, end_ns: u64) -> Vec<u64> {
         let mut busy = vec![0u64; self.n_ranks as usize];
         let mut since: Vec<Option<u64>> = vec![None; self.n_ranks as usize];
-        for t in &self.transitions {
+        for t in self.iter() {
             let r = t.rank as usize;
             match (t.active, since[r]) {
                 (true, None) => since[r] = Some(t.at_ns),
@@ -280,7 +315,7 @@ mod tests {
         t.record(1, 150, false);
         t.record(0, 100, false);
         let sorted = t.sorted();
-        let at: Vec<u64> = sorted.transitions().iter().map(|tr| tr.at_ns).collect();
+        let at: Vec<u64> = sorted.iter().map(|tr| tr.at_ns).collect();
         assert_eq!(at, vec![0, 50, 100, 150]);
         assert_eq!(sorted.busy_ns_per_rank(200), t.busy_ns_per_rank(200));
         assert_eq!(sorted.busy_ns_per_rank(200), vec![100, 100]);
@@ -293,8 +328,8 @@ mod tests {
         t.record(0, 10, true);
         t.record(0, 10, false);
         let sorted = t.sorted();
-        assert!(sorted.transitions()[0].active);
-        assert!(!sorted.transitions()[1].active);
+        assert!(sorted.get(0).active);
+        assert!(!sorted.get(1).active);
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl<P> CalendarQueue<P> {
         }
     }
 
-    #[cfg(test)]
+    /// Number of pending events.
     pub(crate) fn len(&self) -> usize {
         self.len
     }

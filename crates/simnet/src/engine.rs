@@ -45,14 +45,18 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::io::Write;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use dws_metrics::{OnlineAccounting, ShardSnap, Snapshot, Transition};
+
+use crate::abort;
 use crate::calqueue::{CalendarQueue, EvKey};
 use crate::fault::{FaultPlan, FaultStats};
-use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, NetTrace};
+use crate::observer::{EventKind as ObsKind, EventLog, EventRecord, FlightRecorder, NetTrace};
 use crate::profiler::{prof_record, prof_start, PerfProbe, Phase};
 use crate::rng::DetRng;
 use crate::time::SimTime;
@@ -201,6 +205,38 @@ pub trait Actor {
     /// Called when a timer armed with [`Ctx::set_timer`] fires; `token`
     /// is the value passed when arming.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64);
+
+    /// Read-only vital signs for the streaming snapshot stream
+    /// ([`Simulation::attach_streaming`]). Called between windows,
+    /// never during event dispatch, so it cannot affect the schedule.
+    /// The default reports nothing; schedulers override it.
+    fn live_stats(&self) -> LiveStats {
+        LiveStats::default()
+    }
+}
+
+/// Per-actor vital signs aggregated into each streaming [`Snapshot`].
+/// All counters are cumulative; the engine sums them across ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Work units currently queued and ready to execute.
+    pub ready_chunks: u64,
+    /// Successful steals completed so far.
+    pub steals_ok: u64,
+    /// Empty-handed steal replies received so far.
+    pub steals_empty: u64,
+    /// Times this actor quarantined a victim so far.
+    pub quarantined: u64,
+}
+
+impl LiveStats {
+    /// Accumulate another actor's stats into this one.
+    pub fn absorb(&mut self, other: &LiveStats) {
+        self.ready_chunks += other.ready_chunks;
+        self.steals_ok += other.steals_ok;
+        self.steals_empty += other.steals_empty;
+        self.quarantined += other.quarantined;
+    }
 }
 
 /// Simulation-wide configuration.
@@ -300,6 +336,241 @@ pub struct ShardProfile {
     /// Host nanoseconds spent waiting at window barriers (zero for
     /// single-threaded windowed runs).
     pub wait_ns: u64,
+}
+
+/// Configuration for the streaming telemetry subsystem
+/// ([`Simulation::attach_streaming`]): snapshot cadence, the per-shard
+/// flight-recorder ring, and the emergency-abort budgets.
+///
+/// Cadence is expressed in *simulated* time and event counts — both
+/// pure functions of the deterministic schedule — so the set of window
+/// barriers that emit a snapshot is identical for every thread count.
+/// Wall-clock is only ever *read* when a snapshot is being written
+/// (for `wall_ms` / `events_per_sec`), never consulted for control
+/// flow, except by the explicitly wall-clock abort budgets.
+#[derive(Debug, Clone)]
+pub struct StreamingCfg {
+    /// Emit a snapshot whenever this much simulated time has elapsed
+    /// since the last one (`None` = no time-based cadence).
+    pub snapshot_every_sim_ns: Option<u64>,
+    /// Emit a snapshot whenever this many events have been processed
+    /// since the last one (`None` = no event-based cadence).
+    pub snapshot_every_events: Option<u64>,
+    /// Echo each snapshot's one-line rendering to stderr (the
+    /// `dws run --live` terminal view).
+    pub live: bool,
+    /// Per-shard flight-recorder capacity in events; 0 disables the
+    /// ring.
+    pub flight_ring: usize,
+    /// Where to write the flight dump on panic, budget overrun, or
+    /// SIGTERM. `None` disables dumping (the ring still records).
+    pub flight_dump_path: Option<std::path::PathBuf>,
+    /// Abort the run (with a dump) once this much wall time has
+    /// elapsed.
+    pub wall_budget: Option<Duration>,
+    /// Abort the run (with a dump) once the process peak RSS exceeds
+    /// this many bytes. Checked every few windows via `/proc`.
+    pub rss_budget_bytes: Option<u64>,
+}
+
+impl Default for StreamingCfg {
+    fn default() -> Self {
+        Self {
+            snapshot_every_sim_ns: Some(1_000_000), // one simulated ms
+            snapshot_every_events: None,
+            live: false,
+            flight_ring: 1024,
+            flight_dump_path: None,
+            wall_budget: None,
+            rss_budget_bytes: None,
+        }
+    }
+}
+
+/// Windows between RSS budget probes (`/proc` reads are cheap but not
+/// free; windows are often microseconds of host time).
+const RSS_CHECK_EVERY_WINDOWS: u32 = 32;
+
+/// Live state of an attached streaming subsystem.
+struct StreamState {
+    cfg: StreamingCfg,
+    accounting: OnlineAccounting,
+    sink: Option<Box<dyn Write + Send>>,
+    seq: u64,
+    /// Next simulated-time snapshot threshold (`u64::MAX` = disabled).
+    next_sim: u64,
+    /// Next event-count snapshot threshold (`u64::MAX` = disabled).
+    next_events: u64,
+    run_started: Option<Instant>,
+    last_emit: Option<Instant>,
+    last_events: u64,
+    rss_countdown: u32,
+    /// SIGTERM generation at attach time; only signals arriving after
+    /// that count as an abort request for this run.
+    sigterm_base: u64,
+}
+
+impl StreamState {
+    fn new(cfg: StreamingCfg, sink: Option<Box<dyn Write + Send>>, n_ranks: u32) -> Self {
+        Self {
+            next_sim: cfg.snapshot_every_sim_ns.unwrap_or(u64::MAX),
+            next_events: cfg.snapshot_every_events.unwrap_or(u64::MAX),
+            cfg,
+            accounting: OnlineAccounting::new(n_ranks),
+            sink,
+            seq: 0,
+            run_started: None,
+            last_emit: None,
+            last_events: 0,
+            rss_countdown: 0,
+            sigterm_base: abort::sigterm_generation(),
+        }
+    }
+
+    fn mark_started(&mut self) {
+        if self.run_started.is_none() {
+            self.run_started = Some(Instant::now());
+        }
+    }
+
+    /// Whether the window ending at `end_ns` (with `events` processed)
+    /// crosses a snapshot threshold. Pure function of schedule state.
+    fn due(&self, end_ns: u64, events: u64) -> bool {
+        end_ns >= self.next_sim || events >= self.next_events
+    }
+
+    /// Advance the thresholds after emitting at `(end_ns, events)`.
+    /// Window ends are schedule-deterministic, so the emission points
+    /// are identical for every thread count.
+    fn advance(&mut self, end_ns: u64, events: u64) {
+        if let Some(every) = self.cfg.snapshot_every_sim_ns {
+            self.next_sim = end_ns.saturating_add(every);
+        }
+        if let Some(every) = self.cfg.snapshot_every_events {
+            self.next_events = events.saturating_add(every);
+        }
+    }
+
+    /// Assemble a snapshot from the folded accounting plus published
+    /// per-shard rows and live stats. Reads the wall clock
+    /// (observation only).
+    fn make_snapshot(&mut self, events: u64, shards: Vec<ShardSnap>, live: LiveStats) -> Snapshot {
+        let now = Instant::now();
+        let wall_ms = self
+            .run_started
+            .map(|t0| now.duration_since(t0).as_millis() as u64)
+            .unwrap_or(0);
+        let dt = self
+            .last_emit
+            .or(self.run_started)
+            .map(|t| now.duration_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        let events_per_sec = if dt > 0.0 {
+            events.saturating_sub(self.last_events) as f64 / dt
+        } else {
+            0.0
+        };
+        self.last_emit = Some(now);
+        self.last_events = events;
+        Snapshot {
+            schema: dws_metrics::SNAPSHOT_SCHEMA_VERSION,
+            seq: self.seq,
+            n_ranks: self.accounting.n_ranks(),
+            wall_ms,
+            sim_ns: shards.iter().map(|s| s.now_ns).max().unwrap_or(0),
+            events,
+            events_per_sec,
+            queue_depth: shards.iter().map(|s| s.queue_depth).sum(),
+            ready_chunks: live.ready_chunks,
+            steals_ok: live.steals_ok,
+            steals_empty: live.steals_empty,
+            quarantined: live.quarantined,
+            active_workers: self.accounting.current_workers(),
+            w_max: self.accounting.w_max(),
+            shards,
+        }
+    }
+
+    /// Write one snapshot line (and the `--live` stderr line).
+    fn emit(&mut self, snap: &Snapshot) {
+        if let Some(sink) = &mut self.sink {
+            let _ = writeln!(sink, "{}", snap.to_json());
+            let _ = sink.flush();
+        }
+        if self.cfg.live {
+            eprintln!("{}", snap.progress_line());
+        }
+        self.seq += 1;
+    }
+
+    /// Check the emergency-abort conditions: SIGTERM, wall budget,
+    /// RSS budget (throttled). Returns the abort reason, if any.
+    fn abort_reason(&mut self) -> Option<&'static str> {
+        if abort::sigterm_generation() > self.sigterm_base {
+            return Some("sigterm");
+        }
+        if let (Some(budget), Some(t0)) = (self.cfg.wall_budget, self.run_started) {
+            if t0.elapsed() >= budget {
+                return Some("wall_budget");
+            }
+        }
+        if let Some(limit) = self.cfg.rss_budget_bytes {
+            if self.rss_countdown == 0 {
+                self.rss_countdown = RSS_CHECK_EVERY_WINDOWS;
+                if dws_metrics::perflab::peak_rss_bytes().is_some_and(|rss| rss > limit) {
+                    return Some("rss_budget");
+                }
+            }
+            self.rss_countdown -= 1;
+        }
+        None
+    }
+}
+
+/// One shard's published contribution to a snapshot (parallel driver).
+#[derive(Default)]
+struct ShardPub {
+    activity: Vec<Transition>,
+    snap: Option<ShardSnap>,
+    live: LiveStats,
+}
+
+/// Drain every shard's published activity into the streaming
+/// accounting and fold; when `collect`, also take the published
+/// snapshot rows and live stats (shard 0, after barrier B).
+fn drain_published(
+    st: &mut StreamState,
+    pubs: &[Mutex<ShardPub>],
+    collect: bool,
+) -> (Vec<ShardSnap>, LiveStats) {
+    let mut snaps = Vec::new();
+    let mut live = LiveStats::default();
+    for slot in pubs {
+        let mut p = slot.lock().expect("publish slot poisoned");
+        st.accounting.record_all(&p.activity);
+        p.activity.clear();
+        if collect {
+            if let Some(s) = p.snap.take() {
+                snaps.push(s);
+            }
+            live.absorb(&p.live);
+        }
+    }
+    st.accounting.fold();
+    (snaps, live)
+}
+
+/// Snapshot row for one shard's current engine state.
+fn shard_snap<M>(core: &ShardCore<M>) -> ShardSnap {
+    ShardSnap {
+        shard: core.id as u32,
+        now_ns: core.now.ns(),
+        windows: core.windows,
+        events: core.events,
+        queue_depth: core.queue.len() as u64,
+        busy_ns: core.busy_ns,
+        wait_ns: core.wait_ns,
+    }
 }
 
 enum EventKind<M> {
@@ -423,6 +694,15 @@ impl<M> EventQueue<M> {
             EventQueue::ReferenceHeap(h) => h.peek().map(|r| r.0.time.ns()),
         }
     }
+
+    /// Number of pending events (the snapshot stream's queue depth).
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::ReferenceHeap(h) => h.len(),
+        }
+    }
 }
 
 /// Per-rank deterministic state. Every stream is a function of the
@@ -482,6 +762,11 @@ struct ShardCore<M> {
     fault_stats: FaultStats,
     log: Option<EventLog>,
     net_trace: Option<NetTrace>,
+    /// Activity transitions recorded via [`Ctx::record_activity`] since
+    /// the last window barrier; drained into the streaming accounting.
+    activity: Option<Vec<Transition>>,
+    /// Fixed-size ring of the last K canonical events (crash forensics).
+    flight: Option<Arc<FlightRecorder>>,
     /// Events destined for other shards, exchanged at window barriers.
     outboxes: Vec<Vec<Event<M>>>,
     profiler: Option<Arc<PerfProbe>>,
@@ -522,15 +807,19 @@ impl<M> ShardCore<M> {
         self.log_event(at, kind);
     }
 
-    /// Record an engine event in the event log, if attached; the
-    /// append is accounted to the trace-record profile phase.
+    /// Record an engine event in the event log and/or flight ring, if
+    /// attached; the append is accounted to the trace-record phase.
     fn log_event(&mut self, at: SimTime, kind: ObsKind) {
-        if self.log.is_none() {
+        if self.log.is_none() && self.flight.is_none() {
             return;
         }
         let t0 = prof_start(&self.profiler);
+        let rec = EventRecord { at, kind };
+        if let Some(flight) = &self.flight {
+            flight.record(&rec);
+        }
         if let Some(log) = &mut self.log {
-            log.record(EventRecord { at, kind });
+            log.record(rec);
         }
         prof_record(&self.profiler, Phase::TraceRecord, t0);
     }
@@ -621,13 +910,13 @@ impl<M: Clone> ShardCore<M> {
         };
         self.fifo.insert(key, at);
         self.messages_sent += 1;
-        let t_rec = if self.log.is_some() || self.net_trace.is_some() {
+        let t_rec = if self.log.is_some() || self.net_trace.is_some() || self.flight.is_some() {
             prof_start(&self.profiler)
         } else {
             None
         };
-        if let Some(log) = &mut self.log {
-            log.record(EventRecord {
+        if self.log.is_some() || self.flight.is_some() {
+            let rec = EventRecord {
                 at: self.now,
                 kind: ObsKind::Sent {
                     from,
@@ -635,7 +924,13 @@ impl<M: Clone> ShardCore<M> {
                     bytes: bytes as u32,
                     deliver_at: at,
                 },
-            });
+            };
+            if let Some(flight) = &self.flight {
+                flight.record(&rec);
+            }
+            if let Some(log) = &mut self.log {
+                log.record(rec);
+            }
         }
         if let Some(nt) = &mut self.net_trace {
             // Network latency as experienced by the message: scheduled
@@ -718,6 +1013,23 @@ impl<M> Ctx<'_, M> {
     #[inline]
     pub fn skew_ns(&self) -> u64 {
         self.state.skew_ns
+    }
+
+    /// Record an active/idle transition for the streaming accounting
+    /// ([`Simulation::attach_streaming`]). One branch when streaming is
+    /// off. Timestamps use the *global* clock — the exact value the
+    /// post-hoc pipeline arrives at after harvesting the skewed
+    /// [`local_now`](Self::local_now) trace and correcting skew — so
+    /// the streaming and sorted-log paths see element-identical input.
+    #[inline]
+    pub fn record_activity(&mut self, active: bool) {
+        if let Some(buf) = self.core.activity.as_mut() {
+            buf.push(Transition {
+                rank: self.me,
+                at_ns: self.core.now.ns(),
+                active,
+            });
+        }
     }
 
     /// Arm a timer to fire after `delay_ns`; `token` is returned to
@@ -1068,6 +1380,7 @@ pub struct Simulation<A: Actor> {
     profiler: Option<Arc<PerfProbe>>,
     merged_log: Option<EventLog>,
     merged_net: Option<NetTrace>,
+    streaming: Option<StreamState>,
     /// Recycled buffer for the single-threaded outbox exchange, so
     /// windowed execution allocates nothing per window.
     exchange_scratch: Vec<Event<A::Msg>>,
@@ -1136,6 +1449,8 @@ impl<A: Actor> Simulation<A> {
                 fault_stats: FaultStats::default(),
                 log: None,
                 net_trace: None,
+                activity: None,
+                flight: None,
                 outboxes: Vec::new(),
                 profiler: None,
                 windows: 0,
@@ -1161,6 +1476,7 @@ impl<A: Actor> Simulation<A> {
             profiler: None,
             merged_log: None,
             merged_net: None,
+            streaming: None,
             exchange_scratch: Vec::new(),
         }
     }
@@ -1276,6 +1592,8 @@ impl<A: Actor> Simulation<A> {
                     } else {
                         None
                     },
+                    activity: None,
+                    flight: None,
                     outboxes: (0..s_count).map(|_| Vec::new()).collect(),
                     profiler: self.profiler.clone(),
                     windows: 0,
@@ -1406,9 +1724,19 @@ impl<A: Actor> Simulation<A> {
         max_events: Option<u64>,
     ) -> RunReport {
         self.ensure_started();
+        if let Some(st) = self.streaming.as_mut() {
+            st.mark_started();
+        }
         let mt = max_time.map(|t| t.ns());
         let limit_hit;
+        let mut aborted = false;
         loop {
+            if let Some(reason) = self.streaming.as_mut().and_then(|st| st.abort_reason()) {
+                self.stream_abort_local(reason);
+                limit_hit = true;
+                aborted = true;
+                break;
+            }
             let min_next = self
                 .shards
                 .iter_mut()
@@ -1444,10 +1772,32 @@ impl<A: Actor> Simulation<A> {
                         shard.core.busy_ns += b0.elapsed().as_nanos() as u64;
                     }
                     self.exchange_outboxes();
+                    self.stream_tick_local(end, false);
                 }
             }
         }
+        if !aborted {
+            self.stream_final();
+        }
         self.finish_windowed(limit_hit)
+    }
+
+    /// Closing snapshot at normal completion: every streamed run ends
+    /// with one forced emission carrying the final totals, so even a
+    /// run shorter than the snapshot cadence leaves at least one line
+    /// in the stream. The end time is the schedule-derived maximum
+    /// shard clock, so the line is identical across thread counts.
+    fn stream_final(&mut self) {
+        if self.streaming.is_none() {
+            return;
+        }
+        let end_ns = self
+            .shards
+            .iter()
+            .map(|s| s.core.now.ns())
+            .max()
+            .unwrap_or(0);
+        self.stream_tick_local(end_ns, true);
     }
 
     fn finish_windowed(&mut self, limit_hit: bool) -> RunReport {
@@ -1609,6 +1959,121 @@ impl<A: Actor> Simulation<A> {
         }
     }
 
+    /// Attach the streaming telemetry subsystem: per-window incremental
+    /// occupancy accounting, a periodic snapshot stream written to
+    /// `sink` as JSONL (one [`Snapshot`] per line), a per-shard flight
+    /// recorder, and the emergency-abort budgets. Call after
+    /// [`configure_parallel`](Self::configure_parallel) and before the
+    /// first run.
+    ///
+    /// Streaming only ever *reads* engine state at window barriers —
+    /// the event schedule, every RNG stream, and all other run
+    /// artifacts are byte-identical with streaming on or off (enforced
+    /// by property tests in `tests/`).
+    ///
+    /// # Panics
+    /// Panics if the simulation already started or is not windowed.
+    pub fn attach_streaming(&mut self, cfg: StreamingCfg, sink: Option<Box<dyn Write + Send>>) {
+        assert!(
+            !self.started,
+            "attach_streaming must be called before the first run"
+        );
+        assert!(
+            self.windowed,
+            "attach_streaming requires configure_parallel (windowed execution)"
+        );
+        let mut rings = Vec::new();
+        for shard in self.shards.iter_mut() {
+            shard.core.activity = Some(Vec::new());
+            if cfg.flight_ring > 0 {
+                let ring = Arc::new(FlightRecorder::new(cfg.flight_ring));
+                shard.core.flight = Some(Arc::clone(&ring));
+                rings.push(ring);
+            }
+        }
+        if let Some(path) = &cfg.flight_dump_path {
+            if !rings.is_empty() {
+                abort::register_panic_dump(path, &rings);
+            }
+            abort::install_sigterm_hook();
+        }
+        self.streaming = Some(StreamState::new(cfg, sink, self.n_ranks));
+    }
+
+    /// Close the streaming accounting at `end_ns` and return the
+    /// finished O(ranks) occupancy aggregates; `None` when streaming
+    /// was never attached. Call once, after the run.
+    pub fn finish_streaming(&mut self, end_ns: u64) -> Option<dws_metrics::OnlineOccupancy> {
+        let mut st = self.streaming.take()?;
+        // Catch transitions recorded after the last barrier (e.g. a
+        // zero-window run whose only activity came from `on_start`).
+        for shard in self.shards.iter_mut() {
+            if let Some(act) = shard.core.activity.as_mut() {
+                st.accounting.record_all(act);
+                act.clear();
+            }
+        }
+        Some(st.accounting.finish(end_ns))
+    }
+
+    /// The per-shard flight-recorder rings, when attached.
+    fn flight_rings(&self) -> Vec<Arc<FlightRecorder>> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.core.flight.as_ref().map(Arc::clone))
+            .collect()
+    }
+
+    /// Single-threaded streaming hook, called at each window barrier:
+    /// drain per-shard activity, fold, and emit a snapshot when due
+    /// (or when `force` is set — the abort path). Returns the emitted
+    /// snapshot.
+    fn stream_tick_local(&mut self, end_ns: u64, force: bool) -> Option<Snapshot> {
+        let st = self.streaming.as_mut()?;
+        for shard in self.shards.iter_mut() {
+            if let Some(act) = shard.core.activity.as_mut() {
+                st.accounting.record_all(act);
+                act.clear();
+            }
+        }
+        st.accounting.fold();
+        let events: u64 = self.shards.iter().map(|s| s.core.events).sum();
+        if !force && !st.due(end_ns, events) {
+            return None;
+        }
+        st.advance(end_ns, events);
+        let shard_snaps: Vec<ShardSnap> = self.shards.iter().map(|s| shard_snap(&s.core)).collect();
+        let mut live = LiveStats::default();
+        for shard in &self.shards {
+            for actor in &shard.actors {
+                live.absorb(&actor.live_stats());
+            }
+        }
+        let snap = st.make_snapshot(events, shard_snaps, live);
+        st.emit(&snap);
+        Some(snap)
+    }
+
+    /// Abort path shared by the single-threaded driver: emit a final
+    /// snapshot and write the flight dump.
+    fn stream_abort_local(&mut self, reason: &str) {
+        let end_ns = self
+            .shards
+            .iter()
+            .map(|s| s.core.now.ns())
+            .max()
+            .unwrap_or(0);
+        let snap = self.stream_tick_local(end_ns, true);
+        let path = self
+            .streaming
+            .as_ref()
+            .and_then(|st| st.cfg.flight_dump_path.clone());
+        if let Some(path) = path {
+            let rings = self.flight_rings();
+            let _ = abort::write_flight_dump(&path, reason, &rings, snap.as_ref());
+        }
+    }
+
     /// Host-side execution profile per shard (events, windows, busy and
     /// barrier-wait time). Meaningful after a windowed run.
     pub fn shard_profiles(&self) -> Vec<ShardProfile> {
@@ -1662,6 +2127,33 @@ where
             (0..n_shards).map(|_| Mutex::new(Vec::new())).collect();
         let barrier = HybridBarrier::new(n_shards);
         let limit_flag = AtomicBool::new(false);
+        // --- streaming telemetry scaffolding (inert when detached) ---
+        // Snapshot cadence is derived from published schedule state, so
+        // every shard computes the identical `due` without coordination;
+        // shard 0 is only special for the fold/write after barrier B.
+        if let Some(st) = self.streaming.as_mut() {
+            st.mark_started();
+        }
+        let cadence = self
+            .streaming
+            .as_ref()
+            .map(|st| (st.next_sim, st.next_events, &st.cfg));
+        let cadence = cadence.map(|(ns, ne, cfg)| {
+            (
+                ns,
+                ne,
+                cfg.snapshot_every_sim_ns,
+                cfg.snapshot_every_events,
+                cfg.flight_dump_path.clone(),
+            )
+        });
+        let rings = self.flight_rings();
+        let stream_central = self.streaming.as_mut().map(Mutex::new);
+        let pubs: Vec<Mutex<ShardPub>> = (0..n_shards)
+            .map(|_| Mutex::new(ShardPub::default()))
+            .collect();
+        let abort_flag = AtomicBool::new(false);
+        let abort_why = Mutex::new("");
         let shared = Shared {
             n_ranks: self.n_ranks,
             rank_loc: &self.rank_loc,
@@ -1680,10 +2172,33 @@ where
                 let inboxes = &inboxes;
                 let barrier = &barrier;
                 let limit_flag = &limit_flag;
+                let stream_central = &stream_central;
+                let pubs = &pubs;
+                let abort_flag = &abort_flag;
+                let abort_why = &abort_why;
+                let rings = &rings;
+                let cadence = cadence.clone();
                 scope.spawn(move || {
                     let id = shard.core.id;
                     let mut sense = false;
+                    let streaming_on = cadence.is_some();
+                    let (mut next_sim, mut next_events, every_sim, every_events, dump_path) =
+                        cadence.unwrap_or((u64::MAX, u64::MAX, None, None, None));
                     loop {
+                        // Shard 0 checks the emergency-abort budgets and
+                        // publishes the flag before the barrier; everyone
+                        // reads it after, so all shards agree.
+                        if streaming_on && id == 0 {
+                            let mut st = stream_central
+                                .as_ref()
+                                .expect("streaming on")
+                                .lock()
+                                .expect("stream state poisoned");
+                            if let Some(reason) = st.abort_reason() {
+                                *abort_why.lock().expect("abort reason poisoned") = reason;
+                                abort_flag.store(true, Ordering::SeqCst);
+                            }
+                        }
                         // Ingest events other shards flushed last window.
                         {
                             let mut inbox = inboxes[id].lock().expect("inbox poisoned");
@@ -1697,7 +2212,46 @@ where
                         halts[id].store(shard.core.halted, Ordering::SeqCst);
                         let w0 = Instant::now();
                         barrier.wait(&mut sense);
-                        shard.core.wait_ns += w0.elapsed().as_nanos() as u64;
+                        let waited = w0.elapsed();
+                        shard.core.wait_ns += waited.as_nanos() as u64;
+                        if let Some(probe) = &shard.core.profiler {
+                            probe.add(Phase::Barrier, waited);
+                        }
+                        if abort_flag.load(Ordering::SeqCst) {
+                            // Publish this shard's final state, meet at
+                            // one more barrier, then shard 0 dumps.
+                            {
+                                let mut p = pubs[id].lock().expect("publish slot poisoned");
+                                if let Some(act) = shard.core.activity.as_mut() {
+                                    p.activity.append(act);
+                                }
+                                p.snap = Some(shard_snap(&shard.core));
+                                let mut live = LiveStats::default();
+                                for actor in &shard.actors {
+                                    live.absorb(&actor.live_stats());
+                                }
+                                p.live = live;
+                            }
+                            barrier.wait(&mut sense);
+                            if id == 0 {
+                                limit_flag.store(true, Ordering::SeqCst);
+                                let mut st = stream_central
+                                    .as_ref()
+                                    .expect("streaming on")
+                                    .lock()
+                                    .expect("stream state poisoned");
+                                let (snaps, live) = drain_published(&mut st, pubs, true);
+                                let events: u64 = snaps.iter().map(|s| s.events).sum();
+                                let snap = st.make_snapshot(events, snaps, live);
+                                st.emit(&snap);
+                                let reason = *abort_why.lock().expect("abort reason poisoned");
+                                if let Some(path) = &dump_path {
+                                    let _ =
+                                        abort::write_flight_dump(path, reason, rings, Some(&snap));
+                                }
+                            }
+                            break;
+                        }
                         // Every shard derives the identical verdict from
                         // the published values — leaderless by design.
                         let min_next = mins
@@ -1715,6 +2269,18 @@ where
                                 break;
                             }
                             Verdict::Window { end } => {
+                                // Deterministic snapshot decision: every
+                                // shard sees the same (end, events).
+                                let due =
+                                    streaming_on && (end >= next_sim || events >= next_events);
+                                if due {
+                                    if let Some(every) = every_sim {
+                                        next_sim = end.saturating_add(every);
+                                    }
+                                    if let Some(every) = every_events {
+                                        next_events = events.saturating_add(every);
+                                    }
+                                }
                                 let b0 = Instant::now();
                                 shard.run_window(shared, end, mt);
                                 for (j, inbox) in inboxes.iter().enumerate() {
@@ -1727,15 +2293,57 @@ where
                                     }
                                 }
                                 shard.core.busy_ns += b0.elapsed().as_nanos() as u64;
+                                if streaming_on {
+                                    // Publish before barrier B; shard 0
+                                    // folds after it, while the others
+                                    // are still blocked from repub-
+                                    // lishing by the next barrier A.
+                                    let mut p = pubs[id].lock().expect("publish slot poisoned");
+                                    if let Some(act) = shard.core.activity.as_mut() {
+                                        p.activity.append(act);
+                                    }
+                                    if due {
+                                        p.snap = Some(shard_snap(&shard.core));
+                                        let mut live = LiveStats::default();
+                                        for actor in &shard.actors {
+                                            live.absorb(&actor.live_stats());
+                                        }
+                                        p.live = live;
+                                    }
+                                }
                                 let w1 = Instant::now();
                                 barrier.wait(&mut sense);
-                                shard.core.wait_ns += w1.elapsed().as_nanos() as u64;
+                                let waited = w1.elapsed();
+                                shard.core.wait_ns += waited.as_nanos() as u64;
+                                if let Some(probe) = &shard.core.profiler {
+                                    probe.add(Phase::Barrier, waited);
+                                }
+                                if streaming_on && id == 0 {
+                                    let mut st = stream_central
+                                        .as_ref()
+                                        .expect("streaming on")
+                                        .lock()
+                                        .expect("stream state poisoned");
+                                    let (snaps, live) = drain_published(&mut st, pubs, due);
+                                    if due {
+                                        let events_now: u64 = snaps.iter().map(|s| s.events).sum();
+                                        let snap = st.make_snapshot(events_now, snaps, live);
+                                        st.emit(&snap);
+                                    }
+                                }
                             }
                         }
                     }
                 });
             }
         });
+        // The abort branch already emitted its final snapshot (and the
+        // flight dump) inside the scope; a normal stop emits the
+        // closing one here, from the main thread, exactly like the
+        // single-threaded driver.
+        if !abort_flag.load(Ordering::SeqCst) {
+            self.stream_final();
+        }
         self.finish_windowed(limit_flag.load(Ordering::SeqCst))
     }
 }
@@ -2373,5 +2981,211 @@ mod tests {
         let mut sim = Simulation::new(vec![Halter], ConstantLatency(1), SimConfig::default());
         sim.run();
         sim.configure_parallel(ParallelConfig::new(2, 100));
+    }
+
+    /// A sink that keeps the snapshot JSONL bytes reachable after the
+    /// simulation consumed the `Box<dyn Write>`.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn take_lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().unwrap().clone())
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    /// Actor that toggles activity on a timer chain and mirrors every
+    /// transition into its own oracle buffer for differential checks.
+    #[derive(Clone)]
+    struct Flicker {
+        n: u32,
+        oracle: Vec<(u64, bool)>,
+    }
+
+    impl Actor for Flicker {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.record_activity(true);
+            self.oracle.push((ctx.now().ns(), true));
+            let to = (ctx.me() + 1) % self.n;
+            if to != ctx.me() {
+                ctx.send(to, 16, 1);
+            }
+            ctx.set_timer(100 + 13 * ctx.me() as u64, 1);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u64>, _from: Rank, _msg: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, token: u64) {
+            let active = token.is_multiple_of(2);
+            ctx.record_activity(active);
+            self.oracle.push((ctx.now().ns(), active));
+            if token < 6 {
+                ctx.set_timer(50 + (7 * ctx.me() as u64) % 40, token + 1);
+            }
+        }
+        fn live_stats(&self) -> LiveStats {
+            LiveStats {
+                ready_chunks: 1,
+                steals_ok: 2,
+                steals_empty: 1,
+                quarantined: 0,
+            }
+        }
+    }
+
+    fn flicker_fleet(n: u32) -> Vec<Flicker> {
+        (0..n).map(|_| Flicker { n, oracle: vec![] }).collect()
+    }
+
+    fn run_flicker_streamed(
+        n: u32,
+        shards: u32,
+        threaded: bool,
+        cfg: StreamingCfg,
+    ) -> (RunReport, Simulation<Flicker>, SharedBuf) {
+        let mut sim = Simulation::new(flicker_fleet(n), ConstantLatency(100), SimConfig::default());
+        sim.configure_parallel(ParallelConfig::new(shards, 100));
+        let buf = SharedBuf::default();
+        sim.attach_streaming(cfg, Some(Box::new(buf.clone())));
+        let report = if threaded {
+            sim.run_parallel()
+        } else {
+            sim.run()
+        };
+        (report, sim, buf)
+    }
+
+    #[test]
+    fn streaming_occupancy_matches_posthoc_oracle() {
+        let (report, mut sim, _) = run_flicker_streamed(
+            6,
+            2,
+            false,
+            StreamingCfg {
+                snapshot_every_sim_ns: Some(100),
+                flight_ring: 0,
+                ..StreamingCfg::default()
+            },
+        );
+        let end_ns = report.end_time.ns();
+        let online = sim.finish_streaming(end_ns).expect("streaming attached");
+        let mut trace = dws_metrics::ActivityTrace::new(6);
+        for (rank, actor) in sim.actors().iter().enumerate() {
+            for &(at, active) in &actor.oracle {
+                trace.record(rank as u32, at, active);
+            }
+        }
+        trace.check().expect("oracle trace is well-formed");
+        let sorted = trace.sorted();
+        let curve = dws_metrics::OccupancyCurve::from_sorted(&sorted, end_ns);
+        assert_eq!(
+            online.busy_ns_per_rank(),
+            &sorted.busy_ns_per_rank(end_ns)[..]
+        );
+        assert_eq!(online.w_max(), curve.w_max());
+        assert_eq!(online.busy_integral_ns(), curve.busy_integral_ns());
+        for p in [0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(online.first_reach_ns(p), curve.first_reach_ns(p));
+            assert_eq!(online.last_reach_ns(p), curve.last_reach_ns(p));
+        }
+    }
+
+    #[test]
+    fn streaming_snapshots_parse_and_leave_the_schedule_unchanged() {
+        // Baseline without streaming.
+        let mut plain =
+            Simulation::new(flicker_fleet(6), ConstantLatency(100), SimConfig::default());
+        plain.configure_parallel(ParallelConfig::new(2, 100));
+        let base = plain.run();
+        let base_oracles: Vec<Vec<(u64, bool)>> =
+            plain.actors().iter().map(|a| a.oracle.clone()).collect();
+
+        for threaded in [false, true] {
+            let (report, sim, buf) = run_flicker_streamed(
+                6,
+                2,
+                threaded,
+                StreamingCfg {
+                    snapshot_every_sim_ns: Some(100),
+                    ..StreamingCfg::default()
+                },
+            );
+            assert_eq!(report, base, "streaming must not perturb the schedule");
+            let oracles: Vec<Vec<(u64, bool)>> =
+                sim.actors().iter().map(|a| a.oracle.clone()).collect();
+            assert_eq!(oracles, base_oracles);
+            let lines = buf.take_lines();
+            assert!(!lines.is_empty(), "at least one snapshot line");
+            let mut last_seq = None;
+            for line in &lines {
+                let doc = dws_metrics::export::parse(line).expect("valid JSON line");
+                let snap = Snapshot::from_json(&doc).expect("valid snapshot");
+                assert_eq!(snap.schema, dws_metrics::SNAPSHOT_SCHEMA_VERSION);
+                // Live stats aggregate across all 6 ranks.
+                assert_eq!(snap.steals_ok, 12);
+                assert_eq!(snap.steals_empty, 6);
+                assert_eq!(snap.ready_chunks, 6);
+                assert_eq!(snap.shards.len(), 2);
+                if let Some(prev) = last_seq {
+                    assert_eq!(snap.seq, prev + 1);
+                }
+                last_seq = Some(snap.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn wall_budget_abort_dumps_the_flight_recorder() {
+        for threaded in [false, true] {
+            let dir = std::env::temp_dir().join("dws_engine_abort_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("dump_{threaded}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let (report, _, buf) = run_flicker_streamed(
+                6,
+                3,
+                threaded,
+                StreamingCfg {
+                    snapshot_every_sim_ns: Some(100),
+                    flight_ring: 64,
+                    flight_dump_path: Some(path.clone()),
+                    wall_budget: Some(Duration::ZERO),
+                    ..StreamingCfg::default()
+                },
+            );
+            assert!(report.halted, "budget abort reports a halted run");
+            let text = std::fs::read_to_string(&path).expect("dump written");
+            let mut lines = text.lines();
+            let header = dws_metrics::export::parse(lines.next().expect("header")).unwrap();
+            assert_eq!(
+                header.get("kind").and_then(|v| v.as_str()),
+                Some("flight_dump")
+            );
+            assert_eq!(
+                header.get("reason").and_then(|v| v.as_str()),
+                Some("wall_budget")
+            );
+            // The final snapshot rides along in the dump and in the
+            // sink stream.
+            let snap_line = lines.next().expect("snapshot line");
+            let snap = Snapshot::from_json(&dws_metrics::export::parse(snap_line).unwrap())
+                .expect("valid snapshot");
+            assert_eq!(snap.shards.len(), 3);
+            assert!(!buf.take_lines().is_empty());
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }

@@ -81,6 +81,7 @@
 
 #![deny(missing_docs)]
 
+pub mod abort;
 mod calqueue;
 pub mod engine;
 pub mod fault;
@@ -89,12 +90,13 @@ pub mod profiler;
 pub mod rng;
 pub mod time;
 
+pub use abort::{install_sigterm_hook, sigterm_requested, write_flight_dump};
 pub use engine::{
-    Actor, ConstantLatency, Ctx, LatencyFn, NetworkModel, ParallelConfig, PureNetwork, Rank,
-    RunReport, ShardProfile, SimConfig, Simulation,
+    Actor, ConstantLatency, Ctx, LatencyFn, LiveStats, NetworkModel, ParallelConfig, PureNetwork,
+    Rank, RunReport, ShardProfile, SimConfig, Simulation, StreamingCfg,
 };
 pub use fault::{Brownout, Crash, CrashDomain, FaultPlan, FaultStats, Partition, SlowdownWindow};
-pub use observer::{EventKind, EventLog, EventRecord, NetTrace, PairTally};
+pub use observer::{EventKind, EventLog, EventRecord, FlightRecorder, NetTrace, PairTally};
 pub use profiler::{allocation_count, CountingAlloc, PerfProbe, Phase};
 pub use rng::DetRng;
 pub use time::{SimTime, MS, SEC, US};

@@ -9,6 +9,7 @@
 use crate::time::SimTime;
 use dws_metrics::Histogram;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One observed engine event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +165,163 @@ impl EventLog {
     }
 }
 
+/// Flight-recorder ring: the last K canonical engine events of one
+/// shard, readable from *any* thread at any moment.
+///
+/// This is the crash observability primitive: each shard's driver
+/// thread records into its own ring with relaxed atomic stores (single
+/// writer, wait-free, no locks), and a dump path — the panic hook, a
+/// budget-overrun abort, or SIGTERM — decodes whatever is present at
+/// that instant. A record is four words, so a concurrent reader can
+/// observe a *torn* slot (half old record, half new); the decoder
+/// validates the discriminant and drops anything unintelligible rather
+/// than synchronize the hot path. Overhead when attached is four
+/// relaxed stores per observed event; when not attached, one branch.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[[AtomicU64; 4]]>,
+    /// Total records ever written (monotone; `head % cap` is the next
+    /// slot).
+    head: AtomicU64,
+}
+
+/// Discriminant values of the flight-ring encoding (word 1, top byte).
+const FLIGHT_SENT: u64 = 1;
+const FLIGHT_DELIVERED: u64 = 2;
+const FLIGHT_TIMER: u64 = 3;
+const FLIGHT_DROPPED: u64 = 4;
+const FLIGHT_PARTITIONED: u64 = 5;
+const FLIGHT_DUPLICATED: u64 = 6;
+const FLIGHT_DELAYED: u64 = 7;
+const FLIGHT_CRASH_LOST: u64 = 8;
+
+/// Encode one record into four words: `[at_ns, disc|flag|bytes,
+/// from<<32|to, aux]`.
+fn flight_encode(rec: &EventRecord) -> [u64; 4] {
+    let at = rec.at.ns();
+    let (disc, flag, bytes, from, to, aux) = match rec.kind {
+        EventKind::Sent {
+            from,
+            to,
+            bytes,
+            deliver_at,
+        } => (FLIGHT_SENT, 0, bytes, from, to, deliver_at.ns()),
+        EventKind::Delivered { from, to } => (FLIGHT_DELIVERED, 0, 0, from, to, 0),
+        EventKind::Timer { rank, token } => (FLIGHT_TIMER, 0, 0, rank, 0, token),
+        EventKind::Dropped { from, to, brownout } => {
+            (FLIGHT_DROPPED, brownout as u64, 0, from, to, 0)
+        }
+        EventKind::Partitioned { from, to } => (FLIGHT_PARTITIONED, 0, 0, from, to, 0),
+        EventKind::Duplicated { from, to } => (FLIGHT_DUPLICATED, 0, 0, from, to, 0),
+        EventKind::Delayed { from, to, spike_ns } => (FLIGHT_DELAYED, 0, 0, from, to, spike_ns),
+        EventKind::CrashLost { rank, timer } => (FLIGHT_CRASH_LOST, timer as u64, 0, rank, 0, 0),
+    };
+    [
+        at,
+        (disc << 56) | (flag << 48) | bytes as u64,
+        ((from as u64) << 32) | to as u64,
+        aux,
+    ]
+}
+
+/// Decode four words back into a record; `None` for an invalid (torn
+/// or never-written) slot.
+fn flight_decode(w: [u64; 4]) -> Option<EventRecord> {
+    let disc = w[1] >> 56;
+    let flag = (w[1] >> 48) & 0xFF != 0;
+    let bytes = (w[1] & 0xFFFF_FFFF) as u32;
+    let from = (w[2] >> 32) as u32;
+    let to = (w[2] & 0xFFFF_FFFF) as u32;
+    let kind = match disc {
+        FLIGHT_SENT => EventKind::Sent {
+            from,
+            to,
+            bytes,
+            deliver_at: SimTime(w[3]),
+        },
+        FLIGHT_DELIVERED => EventKind::Delivered { from, to },
+        FLIGHT_TIMER => EventKind::Timer {
+            rank: from,
+            token: w[3],
+        },
+        FLIGHT_DROPPED => EventKind::Dropped {
+            from,
+            to,
+            brownout: flag,
+        },
+        FLIGHT_PARTITIONED => EventKind::Partitioned { from, to },
+        FLIGHT_DUPLICATED => EventKind::Duplicated { from, to },
+        FLIGHT_DELAYED => EventKind::Delayed {
+            from,
+            to,
+            spike_ns: w[3],
+        },
+        FLIGHT_CRASH_LOST => EventKind::CrashLost {
+            rank: from,
+            timer: flag,
+        },
+        _ => return None,
+    };
+    Some(EventRecord {
+        at: SimTime(w[0]),
+        kind,
+    })
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `cap` events.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "flight ring capacity must be positive");
+        let slots = (0..cap)
+            .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event (single-writer hot path: four relaxed stores).
+    #[inline]
+    pub fn record(&self, rec: &EventRecord) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        let w = flight_encode(rec);
+        for (cell, word) in slot.iter().zip(w) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Decode the retained window, oldest first. Safe to call from a
+    /// different thread than the writer (the panic hook does); slots
+    /// caught mid-write decode to `None` and are skipped.
+    pub fn dump(&self) -> Vec<EventRecord> {
+        let h = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = h.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for i in 0..retained {
+            let idx = ((h - retained + i) % cap) as usize;
+            let slot = &self.slots[idx];
+            let mut w = [0u64; 4];
+            for (word, cell) in w.iter_mut().zip(slot.iter()) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+            if let Some(rec) = flight_decode(w) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+}
+
 /// Per-pair traffic tally of a [`NetTrace`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PairTally {
@@ -285,6 +443,78 @@ mod tests {
             let via_iter: Vec<EventRecord> = log.iter().copied().collect();
             assert_eq!(via_iter, log.window());
         }
+    }
+
+    #[test]
+    fn flight_ring_round_trips_every_kind() {
+        let kinds = [
+            EventKind::Sent {
+                from: 3,
+                to: 9,
+                bytes: 128,
+                deliver_at: SimTime(777),
+            },
+            EventKind::Delivered { from: 3, to: 9 },
+            EventKind::Timer { rank: 5, token: 42 },
+            EventKind::Dropped {
+                from: 1,
+                to: 2,
+                brownout: true,
+            },
+            EventKind::Dropped {
+                from: 1,
+                to: 2,
+                brownout: false,
+            },
+            EventKind::Partitioned { from: 0, to: 7 },
+            EventKind::Duplicated { from: 4, to: 6 },
+            EventKind::Delayed {
+                from: 2,
+                to: 3,
+                spike_ns: 5_000,
+            },
+            EventKind::CrashLost {
+                rank: 11,
+                timer: true,
+            },
+        ];
+        let ring = FlightRecorder::new(16);
+        for (i, kind) in kinds.iter().enumerate() {
+            ring.record(&EventRecord {
+                at: SimTime(i as u64 * 10),
+                kind: *kind,
+            });
+        }
+        let dumped = ring.dump();
+        assert_eq!(dumped.len(), kinds.len());
+        for (rec, kind) in dumped.iter().zip(kinds.iter()) {
+            assert_eq!(rec.kind, *kind);
+        }
+        assert_eq!(ring.total_recorded(), kinds.len() as u64);
+    }
+
+    #[test]
+    fn flight_ring_keeps_only_the_latest_window() {
+        let ring = FlightRecorder::new(4);
+        for t in 0..10u64 {
+            ring.record(&EventRecord {
+                at: SimTime(t),
+                kind: EventKind::Timer { rank: 0, token: t },
+            });
+        }
+        let at: Vec<u64> = ring.dump().iter().map(|r| r.at.ns()).collect();
+        assert_eq!(at, vec![6, 7, 8, 9]);
+        assert_eq!(ring.total_recorded(), 10);
+    }
+
+    #[test]
+    fn flight_ring_skips_unwritten_and_invalid_slots() {
+        let ring = FlightRecorder::new(8);
+        assert!(ring.dump().is_empty());
+        // A torn/garbage slot (bad discriminant) is dropped, not
+        // misdecoded.
+        assert!(flight_decode([1, 0, 0, 0]).is_none());
+        assert!(flight_decode([1, 99u64 << 56, 0, 0]).is_none());
     }
 
     #[test]

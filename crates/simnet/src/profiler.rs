@@ -37,10 +37,14 @@ pub enum Phase {
     /// Observability recording: span tracer, activity trace, event
     /// log, and network trace appends.
     TraceRecord,
+    /// Parallel-driver barrier waits: time a shard thread spends parked
+    /// at the two window barriers (lookahead decision and outbox
+    /// exchange), i.e. load-imbalance stall, not useful work.
+    Barrier,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 4;
+pub const PHASE_COUNT: usize = 5;
 
 impl Phase {
     /// Stable snake_case name used in reports.
@@ -50,6 +54,7 @@ impl Phase {
             Phase::FaultEval => "fault_eval",
             Phase::VictimDraw => "victim_draw",
             Phase::TraceRecord => "trace_record",
+            Phase::Barrier => "barrier_wait",
         }
     }
 }
@@ -94,6 +99,7 @@ impl PerfProbe {
             Phase::FaultEval,
             Phase::VictimDraw,
             Phase::TraceRecord,
+            Phase::Barrier,
         ]
         .iter()
         .map(|p| {

@@ -1,0 +1,248 @@
+//! End-to-end checks of the streaming-telemetry subsystem: the online
+//! (barrier-folded) aggregates must be element-identical to the
+//! post-hoc trace-derived ones across seeds, fault plans, and thread
+//! counts; attaching streaming must leave the schedule — and the
+//! machine-readable report — byte-identical; and an induced budget
+//! abort must leave behind a well-formed flight dump.
+
+use dws::core::{
+    run_experiment, run_experiment_streamed, ExperimentConfig, StealAmount, StreamingSetup,
+    VictimPolicy,
+};
+use dws::metrics::export::parse;
+use dws::metrics::{OccupancyCurve, Snapshot};
+use dws::simnet::{FaultPlan, StreamingCfg};
+use dws::uts::presets;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A snapshot sink whose bytes stay reachable after the run consumed
+/// the boxed writer.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedSink {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+fn base_config(seed: u64, threads: u32, fault: FaultPlan) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(presets::t3sim_xs(), 16)
+        .with_victim(VictimPolicy::DistanceSkewed { alpha: 1.0 })
+        .with_steal(StealAmount::Half);
+    cfg.seed = seed;
+    cfg.threads = threads;
+    cfg.jitter = 0.2;
+    cfg.clock_skew_max_ns = 1_500;
+    cfg.collect_spans = true;
+    cfg.fault_plan = fault;
+    cfg
+}
+
+fn streamed(sink: &SharedSink, every_ns: u64) -> Option<StreamingSetup> {
+    Some(StreamingSetup {
+        cfg: StreamingCfg {
+            snapshot_every_sim_ns: Some(every_ns),
+            ..StreamingCfg::default()
+        },
+        sink: Some(Box::new(sink.clone())),
+    })
+}
+
+/// The tentpole acceptance property: across seeds × fault plans ×
+/// thread counts, the occupancy aggregates folded incrementally at
+/// window barriers (O(ranks) memory, no retained log) and the online
+/// steal-RTT histogram must be *element-identical* to the post-hoc
+/// path that sorts the full activity trace and distills the span log.
+#[test]
+fn online_aggregates_match_posthoc_across_seeds_faults_threads() {
+    let plans = [
+        ("clean", FaultPlan::default()),
+        ("faulty", FaultPlan::message_faults(0.05, 0.02, 0.05)),
+    ];
+    for seed in [1u64, 2] {
+        for (plan_name, plan) in &plans {
+            for threads in [1u32, 2, 8] {
+                let tag = format!("seed={seed} plan={plan_name} threads={threads}");
+                let sink = SharedSink::default();
+                let r = run_experiment_streamed(
+                    &base_config(seed, threads, plan.clone()),
+                    streamed(&sink, 50_000),
+                );
+                assert!(r.completed, "{tag}: run must complete");
+                assert!(!sink.lines().is_empty(), "{tag}: snapshots emitted");
+
+                // Occupancy: online fold vs post-hoc sorted trace.
+                let online = r.online_occupancy.as_ref().expect("streamed run");
+                let trace = r.trace.as_ref().expect("trace collected");
+                let end = r.makespan.ns();
+                let sorted = trace.sorted();
+                let curve = OccupancyCurve::from_sorted(&sorted, end);
+                assert_eq!(
+                    online.busy_ns_per_rank(),
+                    &sorted.busy_ns_per_rank(end)[..],
+                    "{tag}: busy time per rank"
+                );
+                assert_eq!(online.w_max(), curve.w_max(), "{tag}: w_max");
+                assert_eq!(
+                    online.busy_integral_ns(),
+                    curve.busy_integral_ns(),
+                    "{tag}: busy integral"
+                );
+                for p in [0.25, 0.5, 0.9, 1.0] {
+                    assert_eq!(
+                        online.first_reach_ns(p),
+                        curve.first_reach_ns(p),
+                        "{tag}: first reach at {p}"
+                    );
+                    assert_eq!(
+                        online.last_reach_ns(p),
+                        curve.last_reach_ns(p),
+                        "{tag}: last reach at {p}"
+                    );
+                }
+
+                // Steal RTT: online per-rank histograms merged in rank
+                // order vs the span-derived distribution.
+                let online_rtt = r.online_steal_rtt.as_ref().expect("streamed run");
+                let posthoc = r.latency_histograms().expect("spans collected");
+                assert_eq!(
+                    online_rtt.buckets(),
+                    posthoc.steal_rtt_ns.buckets(),
+                    "{tag}: steal-RTT buckets"
+                );
+                assert_eq!(online_rtt.count(), posthoc.steal_rtt_ns.count(), "{tag}");
+                assert_eq!(online_rtt.sum(), posthoc.steal_rtt_ns.sum(), "{tag}");
+                assert_eq!(online_rtt.min(), posthoc.steal_rtt_ns.min(), "{tag}");
+                assert_eq!(online_rtt.max(), posthoc.steal_rtt_ns.max(), "{tag}");
+            }
+        }
+    }
+}
+
+/// Snapshot streams from the same configuration must agree on every
+/// schedule-derived field at every emission point regardless of thread
+/// count (wall-clock fields are observational and may differ).
+#[test]
+fn snapshot_cadence_is_thread_count_invariant() {
+    let mut streams: Vec<Vec<Snapshot>> = Vec::new();
+    for threads in [1u32, 2, 8] {
+        let sink = SharedSink::default();
+        let r = run_experiment_streamed(
+            &base_config(7, threads, FaultPlan::default()),
+            streamed(&sink, 100_000),
+        );
+        assert!(r.completed);
+        let snaps: Vec<Snapshot> = sink
+            .lines()
+            .iter()
+            .map(|l| Snapshot::from_json(&parse(l).expect("valid JSON")).expect("valid snapshot"))
+            .collect();
+        assert!(!snaps.is_empty());
+        streams.push(snaps);
+    }
+    for other in &streams[1..] {
+        assert_eq!(streams[0].len(), other.len(), "same number of snapshots");
+        for (a, b) in streams[0].iter().zip(other.iter()) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.events, b.events, "seq {}", a.seq);
+            assert_eq!(a.steals_ok, b.steals_ok, "seq {}", a.seq);
+            assert_eq!(a.steals_empty, b.steals_empty, "seq {}", a.seq);
+            assert_eq!(a.ready_chunks, b.ready_chunks, "seq {}", a.seq);
+            assert_eq!(a.quarantined, b.quarantined, "seq {}", a.seq);
+            assert_eq!(a.w_max, b.w_max, "seq {}", a.seq);
+            assert_eq!(a.active_workers, b.active_workers, "seq {}", a.seq);
+            assert_eq!(a.n_ranks, b.n_ranks, "seq {}", a.seq);
+        }
+    }
+}
+
+/// Attaching streaming must not perturb the schedule: the run report —
+/// every simulated metric, histogram, and the config fingerprint — is
+/// byte-identical with streaming on or off.
+#[test]
+fn streaming_off_is_schedule_and_byte_identical() {
+    let plain = run_experiment(&base_config(42, 2, FaultPlan::default()));
+    let sink = SharedSink::default();
+    let streamed_run = run_experiment_streamed(
+        &base_config(42, 2, FaultPlan::default()),
+        streamed(&sink, 50_000),
+    );
+    assert!(!sink.lines().is_empty(), "snapshots were actually emitted");
+    assert_eq!(plain.report, streamed_run.report, "engine-level schedule");
+    assert_eq!(
+        plain.json_report().to_string(),
+        streamed_run.json_report().to_string(),
+        "machine-readable report must be byte-identical"
+    );
+}
+
+/// An induced budget abort must halt the run and leave a well-formed
+/// flight dump: a header line, the final snapshot, and the retained
+/// ring events, all parseable JSONL.
+#[test]
+fn induced_abort_writes_a_valid_flight_dump() {
+    let dir = std::env::temp_dir().join("dws_streaming_abort_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flight.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let sink = SharedSink::default();
+    let setup = StreamingSetup {
+        cfg: StreamingCfg {
+            snapshot_every_sim_ns: Some(50_000),
+            flight_ring: 256,
+            flight_dump_path: Some(path.clone()),
+            wall_budget: Some(std::time::Duration::ZERO),
+            ..StreamingCfg::default()
+        },
+        sink: Some(Box::new(sink.clone())),
+    };
+    let r = run_experiment_streamed(&base_config(3, 2, FaultPlan::default()), Some(setup));
+    assert!(!r.completed, "zero wall budget must abort the run");
+    assert!(r.report.halted, "abort reports as a halted run");
+
+    let text = std::fs::read_to_string(&path).expect("flight dump written");
+    let mut lines = text.lines();
+    let header = parse(lines.next().expect("header line")).expect("header parses");
+    assert_eq!(
+        header.get("kind").and_then(|v| v.as_str()),
+        Some("flight_dump")
+    );
+    assert_eq!(
+        header.get("reason").and_then(|v| v.as_str()),
+        Some("wall_budget")
+    );
+    let recorded = header
+        .get("events_recorded")
+        .and_then(|v| v.as_u64())
+        .expect("events_recorded");
+    assert!(recorded > 0, "startup sends reach the ring before abort");
+    let snap_line = lines.next().expect("snapshot line");
+    let snap = Snapshot::from_json(&parse(snap_line).expect("snapshot parses"))
+        .expect("valid final snapshot");
+    assert_eq!(snap.n_ranks, 16);
+    let mut event_lines = 0usize;
+    for line in lines {
+        let doc = parse(line).expect("event line parses");
+        assert!(doc.get("kind").and_then(|v| v.as_str()).is_some());
+        assert!(doc.get("at_ns").and_then(|v| v.as_u64()).is_some());
+        event_lines += 1;
+    }
+    assert!(event_lines > 0, "ring events dumped");
+    let _ = std::fs::remove_file(&path);
+}
