@@ -1135,17 +1135,19 @@ pub fn diff(rest: &[String]) -> Result<(), String> {
 
 /// `dws top <snapshots.jsonl>` — replay a snapshot stream (or the
 /// snapshot line of a flight dump) as the `--live` terminal view, then
-/// summarize it. Errors when the file holds no well-formed snapshot
-/// line, so CI can use it as a stream validator.
+/// summarize it. A run report (`dws run --json`) is accepted too: its
+/// histogram quantiles are summarized instead of a replay. Errors when
+/// the file holds neither, so CI can use it as a stream validator.
 pub fn top(rest: &[String]) -> Result<(), String> {
     let (path, flag_rest) = match rest.split_first() {
         Some((p, r)) if !p.starts_with("--") => (p.as_str(), r),
-        _ => return Err("usage: dws top <snapshots.jsonl> [--tail <n>]".into()),
+        _ => return Err("usage: dws top <snapshots.jsonl | report.json> [--tail <n>]".into()),
     };
     let flags = parse(flag_rest, &["tail"], &[])?;
     let tail: usize = flags.parse_or("tail", usize::MAX)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut snaps: Vec<dws_metrics::Snapshot> = Vec::new();
+    let mut histograms: Option<JsonValue> = None;
     let mut skipped = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         match dws_metrics::export::parse(line)
@@ -1154,33 +1156,127 @@ pub fn top(rest: &[String]) -> Result<(), String> {
         {
             Some(snap) => snaps.push(snap),
             // Flight dumps interleave header and event lines with the
-            // snapshot; anything non-snapshot is skipped, not fatal.
-            None => skipped += 1,
+            // snapshot; anything non-snapshot is skipped, not fatal —
+            // except a run report, whose histograms we summarize.
+            None => match dws_metrics::export::parse(line)
+                .ok()
+                .and_then(|doc| doc.get("histograms").cloned())
+            {
+                Some(h) => histograms = Some(h),
+                None => skipped += 1,
+            },
         }
     }
-    if snaps.is_empty() {
+    if snaps.is_empty() && histograms.is_none() {
         return Err(format!(
             "{path}: no well-formed snapshot lines (schema {}; {skipped} other lines)",
             dws_metrics::SNAPSHOT_SCHEMA_VERSION
         ));
     }
-    let start = snaps.len().saturating_sub(tail);
-    for snap in &snaps[start..] {
-        println!("{}", snap.progress_line());
+    if !snaps.is_empty() {
+        let start = snaps.len().saturating_sub(tail);
+        for snap in &snaps[start..] {
+            println!("{}", snap.progress_line());
+        }
+        let last = snaps.last().expect("non-empty");
+        println!(
+            "---\n{} snapshots ({} other lines) | wall {:.1}s | final: {} events, {} ranks busy (peak {}), \
+             {} steals ok / {} empty",
+            snaps.len(),
+            skipped,
+            last.wall_ms as f64 / 1e3,
+            last.events,
+            last.active_workers,
+            last.w_max,
+            last.steals_ok,
+            last.steals_empty,
+        );
     }
-    let last = snaps.last().expect("non-empty");
+    if let Some(h) = &histograms {
+        print_histogram_quantiles(h);
+    }
+    Ok(())
+}
+
+/// Print the quantile summary (p50/p95/p99) of every log-bucketed
+/// histogram in a run report's `histograms` section.
+fn print_histogram_quantiles(histograms: &JsonValue) {
+    let JsonValue::Obj(pairs) = histograms else {
+        return;
+    };
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .filter_map(|(name, hist)| {
+            let q = |k: &str| hist.get(k).and_then(|v| v.as_u64());
+            Some(vec![
+                name.clone(),
+                q("count")?.to_string(),
+                q("p50")?.to_string(),
+                q("p95")?.to_string(),
+                q("p99")?.to_string(),
+                q("max")?.to_string(),
+            ])
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
     println!(
-        "---\n{} snapshots ({} other lines) | wall {:.1}s | final: {} events, {} ranks busy (peak {}), \
-         {} steals ok / {} empty",
-        snaps.len(),
-        skipped,
-        last.wall_ms as f64 / 1e3,
-        last.events,
-        last.active_workers,
-        last.w_max,
-        last.steals_ok,
-        last.steals_empty,
+        "{}",
+        render_table(&["histogram", "count", "p50", "p95", "p99", "max"], &rows)
     );
+}
+
+/// `dws why` — explain where a run's makespan went. With a positional
+/// run-report path (from `dws run --json`), render its blame section;
+/// with configuration flags, run the experiment with the causal tracer
+/// on and explain it directly. Exits 2 when the attribution-sum
+/// invariant fails, so CI can gate on it.
+pub fn why(rest: &[String]) -> Result<(), String> {
+    if let Some((p, flag_rest)) = rest.split_first() {
+        if !p.starts_with("--") {
+            // Report mode: a positional path, no further flags.
+            parse(flag_rest, &[], &[])?;
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let doc = dws_metrics::export::parse(text.trim()).map_err(|e| format!("{p}: {e}"))?;
+            return render_blame(&doc);
+        }
+    }
+    // Run mode: the same configuration flags as `dws run`.
+    let valued: Vec<&str> = CONFIG_FLAGS
+        .iter()
+        .chain(["json", "trace", "links"].iter())
+        .copied()
+        .collect();
+    let flags = parse(rest, &valued, &["fault-tolerant"])?;
+    let mut cfg = config_from(&flags)?;
+    // Blame needs both the causal spans and the activity trace; the
+    // analyzer is read-only, so turning them on cannot change the
+    // simulated schedule.
+    cfg.collect_spans = true;
+    cfg.collect_trace = true;
+    eprintln!(
+        "explaining {} on {} nodes ({} ranks), tree {}...",
+        cfg.label(),
+        cfg.n_nodes,
+        cfg.mapping.rank_count(cfg.n_nodes),
+        cfg.workload.name
+    );
+    let r = run_experiment(&cfg);
+    write_observability(&flags, &r)?;
+    render_blame(&r.json_report())
+}
+
+/// Verify and render a report's blame section. An attribution-sum
+/// violation exits 2 (distinct from usage errors at 1) so CI can gate
+/// on the exactness invariant.
+fn render_blame(doc: &JsonValue) -> Result<(), String> {
+    if let Err(e) = dws_metrics::blame::verify_report(doc) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let text = dws_metrics::blame::render_report(doc)?;
+    print!("{text}");
     Ok(())
 }
 

@@ -9,6 +9,7 @@
 //! dws topo   --nodes 1024 [--rank 0]
 //! dws shmem  --tree t3sim-l --workers 8
 //! dws top    snapshots.jsonl
+//! dws why    report.json
 //! ```
 
 mod args;
@@ -40,6 +41,7 @@ fn main() {
         "profile" => commands::profile(rest),
         "diff" => commands::diff(rest),
         "top" => commands::top(rest),
+        "why" => commands::why(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -133,6 +135,14 @@ commands:
   top     replay a snapshot stream as the --live terminal view
           dws top <snapshots.jsonl> [--tail <n>]
           errors if the file holds no well-formed snapshot line, so CI
-          can use it to validate a stream or flight dump
+          can use it to validate a stream or flight dump; a run report
+          (dws run --json) prints its histogram quantiles instead
+  why     explain where a run's makespan went: critical-path makespan
+          attribution (components sum to the makespan exactly), the
+          per-rank idle waterfall, top critical-path segments, and a
+          Coz-style what-if table of predicted speedups
+          dws why <report.json>      render an existing run report
+          dws why --tree ... [run flags]  run + explain in one step
+          exit code 2 if the attribution-sum invariant fails (CI gate)
   help    this text"
 }

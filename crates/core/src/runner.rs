@@ -17,11 +17,11 @@
 use crate::health::{AdaptiveCfg, VictimHealth};
 use crate::scheduler::{Counters, FaultToleranceCfg, SchedulerCfg, StealAmount, Worker};
 use crate::victim::VictimPolicy;
-use dws_metrics::export::{chrome_trace, histograms_json, span_counts_json};
+use dws_metrics::export::{chrome_trace_with_critpath, histograms_json, span_counts_json};
 use dws_metrics::perflab::{self, ProfileReport};
 use dws_metrics::{
-    ActivityTrace, Histogram, JsonValue, LatencyHistograms, OccupancyCurve, OnlineOccupancy, Perf,
-    RunStats, SpanTrace, StealStats,
+    ActivityTrace, BlameReport, CriticalPath, Histogram, JsonValue, LatencyHistograms,
+    OccupancyCurve, OnlineOccupancy, Perf, RunStats, SpanTrace, StealStats,
 };
 use dws_simnet::profiler::{allocation_count, PerfProbe};
 use dws_simnet::{
@@ -674,14 +674,51 @@ impl ExperimentResult {
                 ]),
             ));
         }
+        if let Some(blame) = self.blame_report() {
+            pairs.push(("blame", blame.to_json()));
+        }
         JsonValue::obj(pairs)
     }
 
+    /// Causal makespan attribution for this run: the critical-path
+    /// blame report ([`BlameReport`]) behind the `blame` section of
+    /// the JSON report and `dws why`. `None` unless the run collected
+    /// both spans and the activity trace. Read-only over recorded
+    /// data — computing it cannot perturb the schedule.
+    pub fn blame_report(&self) -> Option<BlameReport> {
+        let spans = self.spans.as_ref()?;
+        let trace = self.trace.as_ref()?;
+        let mut blame = BlameReport::from_run(spans, trace, self.makespan.ns());
+        if let Some(profile) = &self.profile {
+            if !profile.shards.is_empty() {
+                blame = blame.with_shards(
+                    profile
+                        .shards
+                        .iter()
+                        .map(|&(shard, _, _, _, busy_ns, wait_ns)| (shard, busy_ns, wait_ns))
+                        .collect(),
+                );
+            }
+        }
+        Some(blame)
+    }
+
     /// The Chrome trace-event document for this run (`dws trace`).
-    /// `None` unless the run collected spans.
+    /// `None` unless the run collected spans. When the activity trace
+    /// is also present, the document gains a dedicated "critical path"
+    /// track with flow arrows hopping rank tracks along the path.
     pub fn chrome_trace_json(&self) -> Option<JsonValue> {
         let spans = self.spans.as_ref()?;
-        Some(chrome_trace(spans, self.trace.as_ref(), self.makespan.ns()))
+        let cp = self
+            .trace
+            .as_ref()
+            .map(|t| CriticalPath::extract(spans, t, self.makespan.ns()));
+        Some(chrome_trace_with_critpath(
+            spans,
+            self.trace.as_ref(),
+            self.makespan.ns(),
+            cp.as_ref(),
+        ))
     }
 }
 

@@ -347,7 +347,10 @@ pub struct Worker {
     /// and only polls messages at batch boundaries).
     computing: bool,
     /// Messages that arrived while computing, handled at the next poll.
-    pending: VecDeque<(Rank, Msg)>,
+    /// The third field is the global arrival time — data-only (nothing
+    /// scheduled depends on it), kept so the tracer can attribute
+    /// queue-at-victim wait exactly.
+    pending: VecDeque<(Rank, Msg, u64)>,
     /// Victim of the outstanding steal request, if any.
     outstanding: Option<Rank>,
     /// Global time the outstanding steal request was sent (search-time
@@ -1053,8 +1056,10 @@ impl Worker {
     }
 
     /// Service one message (either immediately when idle, or from the
-    /// pending queue at a poll boundary).
-    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg) {
+    /// pending queue at a poll boundary). `arrived_ns` is the global
+    /// time the message was delivered — equal to now for an idle rank,
+    /// earlier when it sat in the pending queue (tracing only).
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, from: Rank, msg: Msg, arrived_ns: u64) {
         match msg {
             Msg::StealRequest { seq } => {
                 // The thief minted trace_id(from, seq); recomputing it
@@ -1098,6 +1103,15 @@ impl Worker {
                     SpanKind::StealReplySent {
                         thief: from as usize,
                         nodes: reply_nodes as u64,
+                    },
+                );
+                self.span(
+                    ctx,
+                    trace_id(from as usize, seq),
+                    SpanKind::StealServiced {
+                        thief: from as usize,
+                        queue_ns: ctx.now().ns().saturating_sub(arrived_ns),
+                        depart_delay_ns: self.service_offset_ns,
                     },
                 );
                 let reply = Msg::StealReply { seq, xfer, chunks };
@@ -1448,6 +1462,13 @@ impl Worker {
         if let Some(h) = self.health.as_mut() {
             if h.on_timeout(victim, ctx.now().ns()) {
                 self.counters.quarantines += 1;
+                self.span(
+                    ctx,
+                    trace_id(ctx.me() as usize, seq),
+                    SpanKind::Quarantined {
+                        victim: victim as usize,
+                    },
+                );
             }
         }
         self.span(
@@ -1594,11 +1615,11 @@ impl Actor for Worker {
         if self.computing {
             // Arrival is not handling: a working process only answers
             // at its polling points (paper §II-A).
-            self.pending.push_back((from, msg));
+            self.pending.push_back((from, msg, ctx.now().ns()));
         } else {
             // Idle ranks answer immediately, with no queueing delay.
             self.service_offset_ns = 0;
-            self.handle(ctx, from, msg);
+            self.handle(ctx, from, msg, ctx.now().ns());
         }
     }
 
@@ -1606,13 +1627,13 @@ impl Actor for Worker {
         match token {
             TIMER_WORK => {
                 self.computing = false;
-                while let Some((from, msg)) = self.pending.pop_front() {
+                while let Some((from, msg, arrived_ns)) = self.pending.pop_front() {
                     // Servicing a message at a poll point costs the
                     // working rank CPU time, billed to the next batch;
                     // replies leave serially, in service order.
                     self.service_debt_ns += self.cfg.msg_handle_ns;
                     self.service_offset_ns += self.cfg.msg_handle_ns;
-                    self.handle(ctx, from, msg);
+                    self.handle(ctx, from, msg, arrived_ns);
                 }
                 self.service_offset_ns = 0;
                 // A message handled above may already have resumed work

@@ -16,6 +16,7 @@
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
+use crate::critpath::CriticalPath;
 use crate::histogram::{Histogram, LatencyHistograms};
 use crate::span::{SpanKind, SpanTrace};
 use crate::trace::ActivityTrace;
@@ -394,6 +395,7 @@ pub fn histogram_json(h: &Histogram) -> JsonValue {
         ("mean", h.mean().into()),
         ("p50", h.p50().into()),
         ("p90", h.p90().into()),
+        ("p95", h.p95().into()),
         ("p99", h.p99().into()),
         (
             "buckets",
@@ -447,7 +449,7 @@ type KindPred = fn(&SpanKind) -> bool;
 
 /// Span counts per kind — the machine-readable reconciliation surface.
 pub fn span_counts_json(spans: &SpanTrace) -> JsonValue {
-    let kinds: [(&str, KindPred); 13] = [
+    let kinds: [(&str, KindPred); 15] = [
         ("steal_request_sent", |k| {
             matches!(k, SpanKind::StealRequestSent { .. })
         }),
@@ -456,6 +458,9 @@ pub fn span_counts_json(spans: &SpanTrace) -> JsonValue {
         }),
         ("steal_reply_sent", |k| {
             matches!(k, SpanKind::StealReplySent { .. })
+        }),
+        ("steal_serviced", |k| {
+            matches!(k, SpanKind::StealServiced { .. })
         }),
         ("steal_ok", |k| matches!(k, SpanKind::StealOk { .. })),
         ("steal_empty", |k| matches!(k, SpanKind::StealEmpty { .. })),
@@ -473,6 +478,7 @@ pub fn span_counts_json(spans: &SpanTrace) -> JsonValue {
         ("token_regenerated", |k| {
             matches!(k, SpanKind::TokenRegenerated { .. })
         }),
+        ("quarantined", |k| matches!(k, SpanKind::Quarantined { .. })),
         ("session_end", |k| matches!(k, SpanKind::SessionEnd { .. })),
         ("done", |k| matches!(k, SpanKind::Done)),
     ];
@@ -519,6 +525,19 @@ fn outcome_args(outcome: &str) -> (&'static str, JsonValue) {
     ("args", JsonValue::obj(vec![("outcome", outcome.into())]))
 }
 
+/// A flow event (`ph` ∈ {`s`, `t`, `f`}) on the steal chain keyed by
+/// the attempt's trace ID, so Perfetto draws arrows request → service
+/// → reply → outcome across rank tracks.
+fn flow_event(ph: &str, ts_ns: u64, rank: usize, trace: u64) -> JsonValue {
+    let mut extra = vec![async_extra(trace)];
+    if ph == "f" {
+        // Bind the arrowhead to the enclosing slice rather than the
+        // next one on the track.
+        extra.push(("bp", "e".into()));
+    }
+    event("steal chain", "steal-flow", ph, ts_ns, rank, extra)
+}
+
 /// Export a run as Chrome trace-event JSON, loadable in
 /// `chrome://tracing` or Perfetto.
 ///
@@ -532,6 +551,19 @@ pub fn chrome_trace(
     spans: &SpanTrace,
     activity: Option<&ActivityTrace>,
     makespan_ns: u64,
+) -> JsonValue {
+    chrome_trace_with_critpath(spans, activity, makespan_ns, None)
+}
+
+/// [`chrome_trace`] with the run's critical path overlaid: a dedicated
+/// "critical path" track of `X` slices (one per attributed segment)
+/// plus flow arrows hopping rank tracks wherever the path changes
+/// rank, so the chain that bounds the makespan is visually traceable.
+pub fn chrome_trace_with_critpath(
+    spans: &SpanTrace,
+    activity: Option<&ActivityTrace>,
+    makespan_ns: u64,
+    critpath: Option<&CriticalPath>,
 ) -> JsonValue {
     let mut events: Vec<(u64, JsonValue)> = Vec::new();
     let n_ranks = activity
@@ -607,6 +639,7 @@ pub fn chrome_trace(
                         ],
                     ),
                 ));
+                events.push((r.at_ns, flow_event("s", r.at_ns, r.rank, r.trace)));
             }
             SpanKind::StealOk { nodes, .. } => {
                 open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
@@ -630,6 +663,7 @@ pub fn chrome_trace(
                         ],
                     ),
                 ));
+                events.push((r.at_ns, flow_event("f", r.at_ns, r.rank, r.trace)));
             }
             SpanKind::StealEmpty { .. } => {
                 open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
@@ -644,6 +678,7 @@ pub fn chrome_trace(
                         vec![async_extra(r.trace), outcome_args("empty")],
                     ),
                 ));
+                events.push((r.at_ns, flow_event("f", r.at_ns, r.rank, r.trace)));
             }
             SpanKind::StealTimeout { .. } => {
                 open_attempts.retain(|&(rk, tr)| !(rk == r.rank && tr == r.trace));
@@ -658,6 +693,7 @@ pub fn chrome_trace(
                         vec![async_extra(r.trace), outcome_args("timeout")],
                     ),
                 ));
+                events.push((r.at_ns, flow_event("f", r.at_ns, r.rank, r.trace)));
                 events.push((
                     r.at_ns,
                     event(
@@ -683,6 +719,7 @@ pub fn chrome_trace(
                         vec![async_extra(r.trace), outcome_args("abandoned")],
                     ),
                 ));
+                events.push((r.at_ns, flow_event("f", r.at_ns, r.rank, r.trace)));
             }
             SpanKind::StealRequestRecv { .. } | SpanKind::StealReplySent { .. } => {
                 events.push((
@@ -694,6 +731,49 @@ pub fn chrome_trace(
                         r.at_ns,
                         r.rank,
                         vec![async_extra(r.trace)],
+                    ),
+                ));
+                events.push((r.at_ns, flow_event("t", r.at_ns, r.rank, r.trace)));
+            }
+            SpanKind::StealServiced {
+                queue_ns,
+                depart_delay_ns,
+                ..
+            } => {
+                events.push((
+                    r.at_ns,
+                    event(
+                        "serviced",
+                        "steal",
+                        "n",
+                        r.at_ns,
+                        r.rank,
+                        vec![
+                            async_extra(r.trace),
+                            (
+                                "args",
+                                JsonValue::obj(vec![
+                                    ("queue_ns", queue_ns.into()),
+                                    ("depart_delay_ns", depart_delay_ns.into()),
+                                ]),
+                            ),
+                        ],
+                    ),
+                ));
+            }
+            SpanKind::Quarantined { victim } => {
+                events.push((
+                    r.at_ns,
+                    event(
+                        "quarantined",
+                        "recovery",
+                        "i",
+                        r.at_ns,
+                        r.rank,
+                        vec![
+                            ("s", "t".into()),
+                            ("args", JsonValue::obj(vec![("victim", victim.into())])),
+                        ],
                     ),
                 ));
             }
@@ -742,6 +822,74 @@ pub fn chrome_trace(
                 vec![async_extra(trace), outcome_args("unresolved")],
             ),
         ));
+    }
+
+    // The critical path as its own track: one `X` slice per attributed
+    // segment, plus flow arrows hopping between rank tracks wherever
+    // the path changes rank.
+    if let Some(cp) = critpath {
+        let cp_tid = n_ranks;
+        events.push((
+            0,
+            event(
+                "thread_name",
+                "__metadata",
+                "M",
+                0,
+                cp_tid,
+                vec![(
+                    "args",
+                    JsonValue::obj(vec![("name", "critical path".into())]),
+                )],
+            ),
+        ));
+        let segs = cp.segments();
+        for (i, seg) in segs.iter().enumerate() {
+            events.push((
+                seg.from_ns,
+                event(
+                    seg.component.label(),
+                    "critpath",
+                    "X",
+                    seg.from_ns,
+                    cp_tid,
+                    vec![
+                        ("dur", us(seg.dur_ns())),
+                        (
+                            "args",
+                            JsonValue::obj(vec![("rank", (seg.rank as usize).into())]),
+                        ),
+                    ],
+                ),
+            ));
+            if let Some(next) = segs.get(i + 1) {
+                if next.rank != seg.rank {
+                    let id = ("id", JsonValue::Str(format!("cp{i}")));
+                    events.push((
+                        seg.to_ns,
+                        event(
+                            "critical path",
+                            "critpath-flow",
+                            "s",
+                            seg.to_ns,
+                            seg.rank as usize,
+                            vec![id.clone()],
+                        ),
+                    ));
+                    events.push((
+                        next.from_ns,
+                        event(
+                            "critical path",
+                            "critpath-flow",
+                            "f",
+                            next.from_ns,
+                            next.rank as usize,
+                            vec![id, ("bp", "e".into())],
+                        ),
+                    ));
+                }
+            }
+        }
     }
 
     events.sort_by_key(|&(ts, _)| ts);

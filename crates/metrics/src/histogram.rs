@@ -141,6 +141,11 @@ impl Histogram {
         self.quantile(0.90)
     }
 
+    /// 95th percentile (bucket-resolved).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
     /// 99th percentile (bucket-resolved).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)

@@ -12,6 +12,12 @@
 //!   sessions (§V-A);
 //! - [`span`] — causal per-steal-attempt tracing with a
 //!   zero-cost-when-disabled [`Tracer`] hook;
+//! - [`critpath`] — happens-before reconstruction and critical-path
+//!   extraction: tiles the makespan into contiguous attributed
+//!   segments that sum to the measured makespan exactly;
+//! - [`blame`] — blame reports over the critical path: component
+//!   totals, per-rank waterfalls, Coz-style what-if virtual speedups,
+//!   and the text view behind `dws why`;
 //! - [`histogram`] — log-bucketed latency histograms (p50/p90/p99/max)
 //!   for steal round trips, message delivery, backoff depth and
 //!   session durations;
@@ -43,6 +49,8 @@
 
 #![warn(missing_docs)]
 
+pub mod blame;
+pub mod critpath;
 pub mod export;
 pub mod histogram;
 pub mod lifestory;
@@ -55,6 +63,8 @@ pub mod streaming;
 pub mod summary;
 pub mod trace;
 
+pub use blame::{BlameReport, WhatIf, BLAME_SCHEMA_VERSION};
+pub use critpath::{rank_waterfall, Component, CriticalPath, RankWaterfall, Segment};
 pub use export::JsonValue;
 pub use histogram::{Histogram, LatencyHistograms};
 pub use occupancy::OccupancyCurve;

@@ -55,6 +55,23 @@ pub enum SpanKind {
         /// Tree nodes in the reply; 0 for an empty-handed refusal.
         nodes: u64,
     },
+    /// Victim-side service accounting for one request: how long the
+    /// request sat in the victim's pending queue before being handled
+    /// (`queue_ns`, zero when the victim was idle and handled it
+    /// immediately) and how much victim-side CPU debt delays the
+    /// reply's departure past the handling instant (`depart_delay_ns`).
+    /// Recorded at the same instant as the matching
+    /// [`StealReplySent`](Self::StealReplySent), so the reply actually
+    /// leaves at `at_ns + depart_delay_ns` — the missing ingredient for
+    /// attributing queue-at-victim time on the critical path.
+    StealServiced {
+        /// Rank that asked for work.
+        thief: usize,
+        /// Arrival → handling wait in the victim's pending queue.
+        queue_ns: u64,
+        /// Handling instant → reply departure (victim CPU debt).
+        depart_delay_ns: u64,
+    },
     /// Thief's request was answered with work after `rtt_ns`.
     StealOk {
         /// Rank that supplied the work.
@@ -113,6 +130,13 @@ pub enum SpanKind {
     TokenRegenerated {
         /// Generation number of the regenerated token.
         generation: u64,
+    },
+    /// Adaptive victim selection quarantined `victim` on this rank
+    /// after repeated timeouts: until the probation expires, every
+    /// selection round must re-draw around it.
+    Quarantined {
+        /// Rank placed under probation.
+        victim: usize,
     },
     /// A work-discovery session closed after `dur_ns`.
     SessionEnd {
@@ -244,7 +268,7 @@ impl SpanTrace {
     /// [`StealStats`]: crate::StealStats
     pub fn reconcile(&self, stats: &crate::RunStats) -> Result<(), String> {
         for (rank, s) in stats.per_rank.iter().enumerate() {
-            let checks: [(&str, u64, u64); 7] = [
+            let checks: [(&str, u64, u64); 8] = [
                 (
                     "steal_attempts",
                     s.steal_attempts,
@@ -286,6 +310,11 @@ impl SpanTrace {
                     "sessions",
                     s.sessions,
                     self.count_rank(rank, |k| matches!(k, SpanKind::SessionEnd { .. })),
+                ),
+                (
+                    "quarantines",
+                    s.quarantines,
+                    self.count_rank(rank, |k| matches!(k, SpanKind::Quarantined { .. })),
                 ),
             ];
             for (name, counter, spans) in checks {

@@ -52,8 +52,9 @@ fn spans_reconcile_under_faults() {
 }
 
 /// The Chrome trace document must be well-formed: it parses as JSON,
-/// every duration-begin event has a matching end, and per-rank
-/// timestamps are monotone.
+/// every duration-begin event has a matching end, per-rank timestamps
+/// are monotone, flow steps/ends bind to an emitted flow start, and
+/// the critical-path track tiles `[0, makespan]` exactly.
 #[test]
 fn chrome_trace_is_well_formed() {
     let mut cfg = traced_config(16);
@@ -71,16 +72,26 @@ fn chrome_trace_is_well_formed() {
         .and_then(|v| v.as_arr())
         .expect("traceEvents array");
     assert!(!events.is_empty());
+    let n_ranks = r.n_ranks as usize;
     let mut b_minus_e = 0i64; // thread-duration nesting per trace
     let mut async_open: Vec<(String, String)> = Vec::new();
-    let mut last_ts = vec![f64::NEG_INFINITY; r.n_ranks as usize];
+    let mut flow_started: Vec<(String, String)> = Vec::new();
+    // tid n_ranks is the synthetic "critical path" track.
+    let mut last_ts = vec![f64::NEG_INFINITY; n_ranks + 1];
+    let mut critpath_cursor = 0.0f64; // µs tiling cursor
+    let mut critpath_slices = 0usize;
     for ev in events {
         let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
         let tid = ev.get("tid").and_then(|v| v.as_u64()).expect("tid") as usize;
-        assert!(tid < r.n_ranks as usize, "tid {tid} out of range");
+        assert!(tid <= n_ranks, "tid {tid} out of range");
         if ph == "M" {
             continue; // metadata carries no timestamp
         }
+        let cat = ev.get("cat").and_then(|v| v.as_str()).unwrap_or("");
+        assert!(
+            tid < n_ranks || cat == "critpath",
+            "only critical-path slices may sit on the synthetic track"
+        );
         let ts = ev.get("ts").and_then(|v| v.as_num()).expect("ts");
         assert!(
             ts >= last_ts[tid],
@@ -108,6 +119,35 @@ fn chrome_trace_is_well_formed() {
                     .expect("async end must match an open begin");
                 async_open.swap_remove(pos);
             }
+            "s" => {
+                let id = ev.get("id").and_then(|v| v.as_str()).expect("flow id");
+                flow_started.push((cat.to_string(), id.to_string()));
+            }
+            "t" | "f" => {
+                let id = ev.get("id").and_then(|v| v.as_str()).expect("flow id");
+                assert!(
+                    flow_started.iter().any(|(c, i)| c == cat && i == id),
+                    "flow {ph} ({cat}, {id}) must follow its flow start"
+                );
+                if ph == "f" {
+                    assert_eq!(
+                        ev.get("bp").and_then(|v| v.as_str()),
+                        Some("e"),
+                        "flow ends must bind to the enclosing slice"
+                    );
+                }
+            }
+            "X" => {
+                assert_eq!(cat, "critpath", "only the critical path emits X slices");
+                let dur = ev.get("dur").and_then(|v| v.as_num()).expect("dur");
+                assert!(
+                    (ts - critpath_cursor).abs() < 1e-6,
+                    "critical-path slices must tile contiguously \
+                     ({ts} after cursor {critpath_cursor})"
+                );
+                critpath_cursor = ts + dur;
+                critpath_slices += 1;
+            }
             "n" | "i" => {}
             other => panic!("unexpected phase {other:?}"),
         }
@@ -117,6 +157,17 @@ fn chrome_trace_is_well_formed() {
         async_open.is_empty(),
         "every steal-attempt span must be closed (even crash-orphaned ones): \
          {async_open:?}"
+    );
+    assert!(
+        flow_started.iter().any(|(c, _)| c == "steal-flow"),
+        "steal chains must carry flow arrows"
+    );
+    assert!(critpath_slices > 0, "critical-path track must be present");
+    let makespan_us = r.makespan.ns() as f64 / 1e3;
+    assert!(
+        (critpath_cursor - makespan_us).abs() < 1e-6,
+        "critical-path track must end at the makespan \
+         ({critpath_cursor} vs {makespan_us})"
     );
 }
 
